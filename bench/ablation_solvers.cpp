@@ -1,0 +1,136 @@
+// Ablations beyond the paper's figures (DESIGN.md §7):
+//
+//  A. batch_solve backend — the paper's exact Cholesky vs the approximate
+//     warm-started CG solver the cuMF line later shipped (als_cg): per-
+//     iteration cost vs convergence quality.
+//  B. algorithm family on equal footing — ALS vs CCD++ vs blocked SGD
+//     (libMF-style) objective/RMSE per pass, reproducing the related-work
+//     claims: CCD++ is strong early then flattens; ALS costs more per pass
+//     but needs far fewer passes.
+//  C. bin-size sweep around the paper's recommended [10, 30].
+
+#include <cstdio>
+
+#include "baselines/ccdpp.hpp"
+#include "baselines/fpsgd.hpp"
+#include "bench_common.hpp"
+#include "util/stopwatch.hpp"
+#include "core/solver.hpp"
+#include "data/datasets.hpp"
+#include "gpusim/device_group.hpp"
+
+namespace {
+
+using namespace cumf;
+
+void ablation_solver_backend(const data::SimDataset& ds, int f,
+                             util::CsvWriter& csv) {
+  std::printf("\nA. batch_solve backend (f=%d):\n", f);
+  for (const auto backend :
+       {core::SolveBackend::Cholesky, core::SolveBackend::ConjugateGradient}) {
+    const bool cg = backend == core::SolveBackend::ConjugateGradient;
+    const auto topo = gpusim::PcieTopology::flat(1);
+    gpusim::DeviceGroup gpu(1, gpusim::titan_x(), topo);
+    core::SolverConfig cfg;
+    cfg.als.f = f;
+    cfg.als.lambda = 0.05f;
+    cfg.als.solve_backend = backend;
+    cfg.als.cg_max_iters = 6;
+    core::AlsSolver solver(gpu.pointers(), topo, ds.train_csr,
+                           ds.train_rt_csr, cfg);
+    const auto hist =
+        solver.train(5, &ds.train, &ds.test, cg ? "ALS-CG" : "ALS-Cholesky");
+    std::printf("  %-12s final test RMSE %.4f | modeled %.4gs | solve share "
+                "%.4gs\n",
+                hist.label.c_str(), hist.points.back().test_rmse,
+                solver.modeled_seconds(), solver.profile().batch_solve);
+    csv.row("backend", hist.label, hist.points.back().test_rmse,
+            solver.modeled_seconds(), solver.profile().batch_solve);
+  }
+  std::printf("  expectation: near-identical RMSE; CG shrinks the solve "
+              "share at f large.\n");
+}
+
+void ablation_algorithms(const data::SimDataset& ds, int f,
+                         util::CsvWriter& csv) {
+  std::printf("\nB. algorithm families, RMSE per pass (f=%d):\n", f);
+  const auto topo = gpusim::PcieTopology::flat(1);
+  gpusim::DeviceGroup gpu(1, gpusim::titan_x(), topo);
+  core::SolverConfig cfg;
+  cfg.als.f = f;
+  cfg.als.lambda = 0.05f;
+  core::AlsSolver als(gpu.pointers(), topo, ds.train_csr, ds.train_rt_csr,
+                      cfg);
+  const auto als_hist = als.train(6, &ds.train, &ds.test, "ALS");
+
+  baselines::CcdOptions ccd;
+  ccd.f = f;
+  ccd.lambda = 0.05f;
+  ccd.outer_sweeps = 6;
+  const auto ccd_hist = baselines::CcdPlusPlus(ds.train_csr, ccd)
+                            .train(&ds.train, &ds.test, "CCD++");
+
+  baselines::SgdOptions sgd;
+  sgd.f = f;
+  sgd.lambda = 0.05f;
+  sgd.epochs = 6;
+  sgd.threads = 3;
+  const auto sgd_hist = baselines::FpsgdSgd(ds.train_csr, sgd)
+                            .train(&ds.train, &ds.test, "FPSGD")
+                            .history;
+
+  std::printf("  %-6s %10s %10s %10s\n", "pass", "ALS", "CCD++", "FPSGD");
+  for (std::size_t i = 0; i < als_hist.points.size(); ++i) {
+    std::printf("  %-6zu %10.4f %10.4f %10.4f\n", i,
+                als_hist.points[i].test_rmse, ccd_hist.points[i].test_rmse,
+                sgd_hist.points[i].test_rmse);
+    csv.row("algorithms", i, als_hist.points[i].test_rmse,
+            ccd_hist.points[i].test_rmse, sgd_hist.points[i].test_rmse);
+  }
+  std::printf("  expectation (§6.2): CCD++ strong early; ALS lowest after a "
+              "few passes.\n");
+}
+
+void ablation_bin_size(const data::SimDataset& ds, int f,
+                       util::CsvWriter& csv) {
+  std::printf("\nC. shared-memory bin-size sweep (paper picks 10-30):\n");
+  for (const int bin : {2, 5, 10, 20, 30, 60}) {
+    const auto topo = gpusim::PcieTopology::flat(1);
+    gpusim::DeviceGroup gpu(1, gpusim::titan_x(), topo);
+    core::SolverConfig cfg;
+    cfg.als.f = f;
+    cfg.als.lambda = 0.05f;
+    cfg.als.kernel.bin = bin;
+    core::AlsSolver solver(gpu.pointers(), topo, ds.train_csr,
+                           ds.train_rt_csr, cfg);
+    util::Stopwatch sw;
+    solver.run_iteration();
+    solver.run_iteration();
+    const double wall = sw.seconds() / 2;
+    // Shared usage per block: bin·f floats — the Alg. 2 occupancy trade-off.
+    const double shared_kb = static_cast<double>(bin) * f * 4.0 / 1024.0;
+    std::printf("  bin %3d: %.3fs wall/iter, %5.1f KiB shared per block\n",
+                bin, wall, shared_kb);
+    csv.row("bin_size", bin, wall, shared_kb, 0);
+  }
+  std::printf("  expectation: flat wall cost within [10,30]; tiny bins pay "
+              "staging overhead, huge bins exceed the 96 KiB/SM budget.\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace cumf;
+  bench::print_header("Ablations", "solver backend / algorithm family / bin");
+  util::CsvWriter csv(bench::results_dir() + "/ablation_solvers.csv",
+                      {"ablation", "arg", "v1", "v2", "v3"});
+  const auto ds = data::make_sim_dataset(data::netflix(), 0.01, 909, 0.1, 32);
+  std::printf("workload: netflix-sim m=%lld n=%lld nz=%lld\n",
+              static_cast<long long>(ds.spec.m),
+              static_cast<long long>(ds.spec.n),
+              static_cast<long long>(ds.train_csr.nnz()));
+  ablation_solver_backend(ds, 32, csv);
+  ablation_algorithms(ds, 32, csv);
+  ablation_bin_size(ds, 32, csv);
+  return 0;
+}

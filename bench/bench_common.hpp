@@ -1,0 +1,52 @@
+#pragma once
+
+// Shared plumbing for the table/figure reproduction benches.
+//
+// Every bench prints the paper's rows/series to stdout (with the published
+// value next to ours where the paper gives one) and drops a CSV under
+// ./bench_results/ for plotting. Run them all with:
+//   for b in build/bench/*; do $b; done
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "data/synthetic.hpp"
+#include "eval/metrics.hpp"
+#include "util/csv.hpp"
+
+namespace cumf::bench {
+
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+/// Dumps one convergence history into an open CSV
+/// (columns: label, iteration, wall_s, modeled_s, train_rmse, test_rmse).
+inline void dump_history(util::CsvWriter& csv,
+                         const eval::ConvergenceHistory& hist) {
+  for (const auto& pt : hist.points) {
+    csv.row(hist.label, pt.iteration, pt.wall_seconds, pt.modeled_seconds,
+            pt.train_rmse, pt.test_rmse);
+  }
+}
+
+inline void print_history(const eval::ConvergenceHistory& hist) {
+  std::printf("  %-22s %4s %9s %10s %11s %10s\n", hist.label.c_str(), "iter",
+              "wall(s)", "modeled(s)", "train-rmse", "test-rmse");
+  for (const auto& pt : hist.points) {
+    std::printf("  %-22s %4d %9.3f %10.4g %11.4f %10.4f\n", "", pt.iteration,
+                pt.wall_seconds, pt.modeled_seconds, pt.train_rmse,
+                pt.test_rmse);
+  }
+}
+
+}  // namespace cumf::bench

@@ -1,0 +1,41 @@
+// Figure 2 + Table 5: the scale of MF data sets — Nz (y) against model
+// parameters (m+n)·f (x) — and the characteristics table.
+//
+// Paper's point: cuMF tackles problems two orders of magnitude beyond the
+// Netflix-class sets earlier parallel solutions targeted, up to the
+// Facebook-scale 112B-rating matrix (and the paper's own f=100 variant).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "costmodel/table3.hpp"
+#include "data/datasets.hpp"
+
+int main() {
+  using namespace cumf;
+  bench::print_header("Figure 2 / Table 5", "the scale of MF data sets");
+  util::CsvWriter csv(bench::results_dir() + "/figure2_scale.csv",
+                      {"dataset", "m", "n", "nz", "f", "lambda",
+                       "model_parameters", "approximate"});
+
+  std::printf("\n%-22s %13s %11s %15s %4s %7s %14s\n", "dataset", "m", "n",
+              "Nz", "f", "lambda", "(m+n)*f");
+  for (const auto& ds : data::figure2_inventory()) {
+    std::printf("%-22s %13lld %11lld %15lld %4d %7.2f %14.3e%s\n",
+                ds.name.c_str(), static_cast<long long>(ds.m),
+                static_cast<long long>(ds.n), static_cast<long long>(ds.nz),
+                ds.f, ds.lambda, ds.model_parameters(),
+                ds.approximate ? "  (approx.)" : "");
+    csv.row(ds.name, ds.m, ds.n, ds.nz, ds.f, ds.lambda,
+            ds.model_parameters(), ds.approximate ? 1 : 0);
+  }
+
+  // The §2.2 capacity argument that motivates everything downstream.
+  const auto nf = data::netflix();
+  costmodel::Table3Model model{nf.m, nf.n, nf.nz, nf.f};
+  std::printf("\nCapacity check (§2.2): Netflix at f=%d needs %.2fB floats "
+              "for the Hermitians alone;\na 12 GB device holds 3B — hence "
+              "batching (q>1) and SU-ALS.\n",
+              nf.f, model.all_items().a_mem_floats / 1e9);
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Kernel-level microbenchmarks (google-benchmark): the building blocks whose
+// relative speeds the paper's §3 optimizations rest on. Wall-clock here is
+// host CPU time — the register-tiled path is genuinely faster on CPUs too,
+// for the same reason it is on GPUs (accumulator locality).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "data/synthetic.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_spec.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/hermitian.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cumf;
+
+std::vector<real_t> random_vec(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<real_t> v(n);
+  for (auto& x : v) x = static_cast<real_t>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+// ---- rank-1 accumulation: global vs register paths ----
+
+void BM_Rank1Global(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  const int bin = 20;
+  const auto cols = random_vec(static_cast<std::size_t>(bin) * f, 1);
+  std::vector<real_t> A(static_cast<std::size_t>(f) * f, 0.0f);
+  for (auto _ : state) {
+    linalg::rank1_accumulate_global(A.data(), cols.data(), bin, f);
+    benchmark::DoNotOptimize(A.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bin * f * f);
+}
+BENCHMARK(BM_Rank1Global)->Arg(16)->Arg(32)->Arg(64)->Arg(100);
+
+void BM_Rank1Registers(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  const int bin = 20;
+  const auto cols = random_vec(static_cast<std::size_t>(bin) * f, 1);
+  std::vector<real_t> A(static_cast<std::size_t>(f) * f, 0.0f);
+  for (auto _ : state) {
+    linalg::rank1_accumulate_registers(A.data(), cols.data(), bin, f);
+    benchmark::DoNotOptimize(A.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bin * f * f);
+}
+BENCHMARK(BM_Rank1Registers)->Arg(16)->Arg(32)->Arg(64)->Arg(100);
+
+// ---- full get_hermitian: Algorithm 1 vs Algorithm 2 ----
+
+sparse::CsrMatrix bench_matrix() {
+  data::SyntheticOptions opt;
+  opt.m = 2000;
+  opt.n = 400;
+  opt.nz = 120'000;
+  opt.seed = 3;
+  return sparse::coo_to_csr(data::generate_ratings(opt));
+}
+
+void BM_GetHermitian(benchmark::State& state) {
+  const bool mo = state.range(0) != 0;
+  const int f = 32;
+  static const sparse::CsrMatrix R = bench_matrix();
+  const auto theta = random_vec(static_cast<std::size_t>(R.cols) * f, 7);
+  std::vector<real_t> A(static_cast<std::size_t>(R.rows) * f * f);
+  std::vector<real_t> B(static_cast<std::size_t>(R.rows) * f);
+  gpusim::Device dev(0, gpusim::titan_x());
+  const core::KernelOptions opt =
+      mo ? core::KernelOptions{20, true, true}
+         : core::KernelOptions{1, false, false};
+  for (auto _ : state) {
+    core::get_hermitian_block(dev, R, 0, R.rows, theta.data(), f, 0.05f, opt,
+                              A.data(), B.data());
+    benchmark::DoNotOptimize(A.data());
+  }
+  state.SetItemsProcessed(state.iterations() * R.nnz());
+  state.SetLabel(mo ? "MO-ALS(Alg2)" : "base(Alg1)");
+}
+BENCHMARK(BM_GetHermitian)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ---- bin-size sweep (DESIGN.md ablation: paper picks bin in [10, 30]) ----
+
+void BM_BinSize(benchmark::State& state) {
+  const int bin = static_cast<int>(state.range(0));
+  const int f = 32;
+  static const sparse::CsrMatrix R = bench_matrix();
+  const auto theta = random_vec(static_cast<std::size_t>(R.cols) * f, 7);
+  std::vector<real_t> A(static_cast<std::size_t>(R.rows) * f * f);
+  std::vector<real_t> B(static_cast<std::size_t>(R.rows) * f);
+  gpusim::Device dev(0, gpusim::titan_x());
+  const core::KernelOptions opt{bin, true, true};
+  for (auto _ : state) {
+    core::get_hermitian_block(dev, R, 0, R.rows, theta.data(), f, 0.05f, opt,
+                              A.data(), B.data());
+    benchmark::DoNotOptimize(A.data());
+  }
+  state.SetItemsProcessed(state.iterations() * R.nnz());
+}
+BENCHMARK(BM_BinSize)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- batched Cholesky solve ----
+
+void BM_BatchSolve(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  const idx_t count = 256;
+  util::Rng rng(9);
+  std::vector<real_t> A0(static_cast<std::size_t>(count) * f * f);
+  for (idx_t u = 0; u < count; ++u) {
+    real_t* a = A0.data() + static_cast<std::size_t>(u) * f * f;
+    for (int i = 0; i < f; ++i) {
+      for (int j = 0; j <= i; ++j) {
+        const auto v = static_cast<real_t>(rng.uniform(-0.1, 0.1));
+        a[static_cast<std::size_t>(i) * f + j] = v;
+        a[static_cast<std::size_t>(j) * f + i] = v;
+      }
+      a[static_cast<std::size_t>(i) * f + i] += static_cast<real_t>(f);
+    }
+  }
+  const auto B0 = random_vec(static_cast<std::size_t>(count) * f, 11);
+  std::vector<real_t> X(static_cast<std::size_t>(count) * f);
+  gpusim::Device dev(0, gpusim::titan_x());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto A = A0;
+    auto B = B0;
+    state.ResumeTiming();
+    core::batch_solve_block(dev, A.data(), B.data(), count, f, X.data());
+    benchmark::DoNotOptimize(X.data());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_BatchSolve)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// ---- Cholesky single system ----
+
+void BM_Cholesky(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  util::Rng rng(13);
+  std::vector<real_t> A0(static_cast<std::size_t>(f) * f, 0.0f);
+  for (int i = 0; i < f; ++i) {
+    A0[static_cast<std::size_t>(i) * f + i] = static_cast<real_t>(f);
+    for (int j = 0; j < i; ++j) {
+      const auto v = static_cast<real_t>(rng.uniform(-0.1, 0.1));
+      A0[static_cast<std::size_t>(i) * f + j] = v;
+      A0[static_cast<std::size_t>(j) * f + i] = v;
+    }
+  }
+  for (auto _ : state) {
+    auto A = A0;
+    linalg::cholesky_factor(A.data(), f);
+    benchmark::DoNotOptimize(A.data());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(16)->Arg(32)->Arg(64)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

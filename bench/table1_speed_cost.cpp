@@ -1,0 +1,105 @@
+// Table 1: speed and cost of cuMF on one 4-GPU machine vs three distributed
+// CPU systems, on the cloud.
+//
+// Paper's table:
+//   baseline    config          nodes  $/node/hr   cuMF speed   cuMF cost
+//   NOMAD       m3.xlarge       32     $0.27       10x          3%
+//   SparkALS    m3.2xlarge      50     $0.53       10x          1%
+//   Factorbird  c3.2xlarge      50     $0.42       6x           2%
+// with the cuMF machine (2 × K80) at $2.44/hr amortized.
+//
+// cost = (price/node/hr) × nodes × execution time. Baseline execution times
+// are the paper's published figures; cuMF's time comes from the full-scale
+// projection (validated in figure11) — so the speed column is
+// baseline_time / cumf_time and the cost column follows from the price
+// arithmetic alone.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "costmodel/machines.hpp"
+#include "costmodel/projection.hpp"
+#include "data/datasets.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/topology.hpp"
+
+namespace {
+
+using namespace cumf;
+
+struct Table1Row {
+  const char* baseline;
+  const char* node_type;
+  int nodes;
+  double price_per_node_hr;
+  double baseline_seconds;  // published per-iteration (or per-epoch) time
+  data::DatasetSpec dataset;
+  double paper_speed;
+  double paper_cost_pct;
+};
+
+}  // namespace
+
+int main() {
+  using namespace cumf;
+  bench::print_header("Table 1", "speed and cost vs distributed CPU systems");
+  util::CsvWriter csv(bench::results_dir() + "/table1_speed_cost.csv",
+                      {"baseline", "nodes", "price_node_hr", "baseline_s",
+                       "cumf_s", "speedup", "paper_speedup", "cost_pct",
+                       "paper_cost_pct"});
+
+  // Row semantics follow the paper's own comparison bases: the SparkALS and
+  // Factorbird rows compare per-iteration latency (the §5.5 anchors); the
+  // NOMAD row compares time-to-convergence on Hugewiki (Fig. 10's basis),
+  // since one SGD epoch and one ALS iteration make different progress —
+  // NOMAD needs ~40 epochs where ALS needs ~12 iterations (§2.1: ALS
+  // converges in 5-20).
+  constexpr double kNomadEpochsToConverge = 40.0;
+  constexpr double kAlsItersToConverge = 12.0;
+  const auto hugewiki = data::hugewiki();
+  const double nomad_aws_s =
+      kNomadEpochsToConverge *
+      costmodel::cluster_sgd_epoch_seconds(
+          costmodel::nomad_aws32(), static_cast<double>(hugewiki.nz),
+          hugewiki.f, static_cast<double>(hugewiki.m + hugewiki.n) * hugewiki.f);
+
+  const Table1Row rows[] = {
+      {"NOMAD", "m3.xlarge", 32, 0.27, nomad_aws_s, hugewiki, 10.0, 3.0},
+      {"SparkALS", "m3.2xlarge", 50, 0.53, costmodel::kSparkAlsSecPerIter,
+       data::sparkals(), 10.0, 1.0},
+      {"Factorbird", "c3.2xlarge", 50, 0.42, costmodel::kFactorbirdSecPerIter,
+       data::factorbird(), 6.0, 2.0},
+  };
+
+  const auto topo = gpusim::PcieTopology::two_socket(4);
+  std::printf("\n%-11s %-11s %5s %9s | %10s %9s %7s(%5s) %7s(%5s)\n",
+              "baseline", "node", "nodes", "$/node/hr", "baseline_s",
+              "cuMF_s", "speed", "paper", "cost%", "paper");
+  for (const auto& row : rows) {
+    const auto proj = costmodel::project_cumf_iteration(
+        row.dataset, gpusim::gk210(), 4, topo, core::ReduceScheme::TwoPhase);
+    double cumf_s = proj.iteration_seconds();
+    if (std::string(row.baseline) == "NOMAD") {
+      cumf_s *= kAlsItersToConverge;  // convergence basis for this row
+    }
+    const double speedup = row.baseline_seconds / cumf_s;
+    const double baseline_cost = costmodel::run_cost_dollars(
+        row.price_per_node_hr, row.nodes, row.baseline_seconds);
+    const double cumf_cost = costmodel::run_cost_dollars(
+        costmodel::kCumfMachinePricePerHr, 1, cumf_s);
+    const double cost_pct = 100.0 * cumf_cost / baseline_cost;
+    std::printf("%-11s %-11s %5d %9.2f | %10.1f %9.1f %6.1fx(%4.0fx) %6.1f%%(%4.0f%%)\n",
+                row.baseline, row.node_type, row.nodes, row.price_per_node_hr,
+                row.baseline_seconds, cumf_s, speedup, row.paper_speed,
+                cost_pct, row.paper_cost_pct);
+    csv.row(row.baseline, row.nodes, row.price_per_node_hr,
+            row.baseline_seconds, cumf_s, speedup, row.paper_speed, cost_pct,
+            row.paper_cost_pct);
+  }
+  std::printf("\ncuMF machine: one node, 2 x K80 (4 GK210 devices), "
+              "$%.2f/hr amortized (IBM SoftLayer).\n",
+              costmodel::kCumfMachinePricePerHr);
+  std::printf("Shape check: cuMF several-x faster and 1-3%% of the cost on "
+              "every row.\n");
+  return 0;
+}

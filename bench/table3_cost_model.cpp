@@ -1,0 +1,106 @@
+// Table 3 + Table 4: the analytic cost model of the ALS update-X step, and
+// the programmable-GPU-memory characteristics, validated against the
+// simulator's measured counters.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/kernels.hpp"
+#include "costmodel/roofline.hpp"
+#include "costmodel/table3.hpp"
+#include "data/synthetic.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_spec.hpp"
+
+int main() {
+  using namespace cumf;
+  bench::print_header("Table 3 / Table 4", "ALS cost model + GPU memory");
+  util::CsvWriter csv(bench::results_dir() + "/table3_cost_model.csv",
+                      {"quantity", "analytic", "measured", "ratio"});
+
+  // ----- Table 3 for the Netflix shape (f=100), as printed in the paper.
+  const costmodel::Table3Model netflix{480'189, 17'770, 99'000'000, 100};
+  std::printf("\nTable 3 (Netflix, f=100):\n");
+  std::printf("  %-34s %14s %14s\n", "quantity", "one item", "all m items");
+  const auto one = netflix.one_item();
+  const auto all = netflix.all_items();
+  std::printf("  %-34s %14.4g %14.4g\n", "get_hermitian A (multiplies)",
+              one.a_compute, all.a_compute);
+  std::printf("  %-34s %14.4g %14.4g\n", "get_hermitian B (ops)",
+              one.b_compute, all.b_compute);
+  std::printf("  %-34s %14.4g %14.4g\n", "batch_solve (ops)",
+              one.solve_compute, all.solve_compute);
+  std::printf("  %-34s %14.4g %14.4g\n", "A memory (floats)", one.a_mem_floats,
+              all.a_mem_floats);
+  std::printf("  %-34s %14.4g %14.4g\n", "B memory (floats)", one.b_mem_floats,
+              all.b_mem_floats);
+
+  // ----- Validate the simulator's counters against the analytic model on a
+  // synthetic workload we can actually run.
+  data::SyntheticOptions opt;
+  opt.m = 2000;
+  opt.n = 500;
+  opt.nz = 100'000;
+  opt.seed = 5;
+  const auto R = sparse::coo_to_csr(data::generate_ratings(opt));
+  const int f = 32;
+  const costmodel::Table3Model model{R.rows, R.cols, R.nnz(), f};
+
+  gpusim::Device dev(0, gpusim::titan_x());
+  std::vector<real_t> theta(static_cast<std::size_t>(R.cols) * f, 0.1f);
+  std::vector<real_t> A(static_cast<std::size_t>(R.rows) * f * f);
+  std::vector<real_t> B(static_cast<std::size_t>(R.rows) * f);
+  core::get_hermitian_block(dev, R, 0, R.rows, theta.data(), f, 0.05f, {},
+                            A.data(), B.data());
+  std::vector<real_t> X(static_cast<std::size_t>(R.rows) * f);
+  core::batch_solve_block(dev, A.data(), B.data(), R.rows, f, X.data());
+
+  const auto& c = dev.counters();
+  const double analytic_herm_flops =
+      2.0 * model.all_items().a_compute + model.all_items().b_compute;
+  const double analytic_solve_flops = 2.0 / 3.0 * model.all_items().solve_compute;
+  const double measured_herm = c.flops - analytic_solve_flops;  // order of launches
+  std::printf("\nCounter validation (m=%d n=%d nz=%lld f=%d):\n", R.rows,
+              R.cols, static_cast<long long>(R.nnz()), f);
+  std::printf("  %-34s %14.4g %14.4g  (%.2fx)\n", "hermitian flops",
+              analytic_herm_flops, measured_herm,
+              measured_herm / analytic_herm_flops);
+  csv.row("hermitian_flops", analytic_herm_flops, measured_herm,
+          measured_herm / analytic_herm_flops);
+  const double a_bytes_analytic = model.all_items().a_mem_floats * 4;
+  std::printf("  %-34s %14.4g %14llu\n", "A flush bytes (analytic floats*4)",
+              a_bytes_analytic,
+              static_cast<unsigned long long>(c.global_write));
+  csv.row("a_flush_bytes", a_bytes_analytic,
+          static_cast<double>(c.global_write),
+          static_cast<double>(c.global_write) / a_bytes_analytic);
+
+  // ----- Table 4: programmable GPU memory (drives the simulator's model).
+  std::printf("\nTable 4 (programmable GPU memory, modeled):\n");
+  std::printf("  %-10s %10s %10s %s\n", "type", "size", "latency", "scope");
+  std::printf("  %-10s %10s %10s %s\n", "global", "12 GB", "high",
+              "application");
+  std::printf("  %-10s %10s %10s %s\n", "texture", "medium", "medium",
+              "application, read-only");
+  std::printf("  %-10s %10s %10s %s\n", "shared", "96 KB/SM", "low",
+              "thread block");
+  std::printf("  %-10s %10s %10s %s\n", "register", "256 KB/SM", "lowest",
+              "thread; not indexable");
+
+  // ----- Roofline (§3): MO-ALS climbs the roofline by raising intensity.
+  const auto spec = gpusim::titan_x();
+  const double i_base = costmodel::hermitian_intensity_base(99e6, 480189, 100);
+  const double i_mo = costmodel::hermitian_intensity_mo(99e6, 480189, 100);
+  std::printf("\nRoofline (%s, ridge %.1f flops/byte):\n", spec.name.c_str(),
+              costmodel::roofline_ridge(spec));
+  std::printf("  base ALS  intensity %6.2f -> %7.0f attainable GFLOP/s\n",
+              i_base, costmodel::roofline_gflops(spec, i_base));
+  std::printf("  MO-ALS    intensity %6.2f -> %7.0f attainable GFLOP/s\n",
+              i_mo, costmodel::roofline_gflops(spec, i_mo));
+  csv.row("roofline_gflops_base", costmodel::roofline_gflops(spec, i_base),
+          0.0, 0.0);
+  csv.row("roofline_gflops_mo", costmodel::roofline_gflops(spec, i_mo), 0.0,
+          0.0);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Implicit feedback — §1/§2.1: "ALS has advantage when R is made up of
+// implicit ratings and therefore cannot be considered sparse" (a key reason
+// the paper picks ALS over SGD: with implicit data, unobserved cells carry
+// signal too, which SGD-over-nonzeros cannot express).
+//
+// This example contrasts two treatments of click-style data:
+//   1. naive: binarize and run the explicit ALS solver on the 1s;
+//   2. proper: Hu-Koren weighted implicit ALS (core/implicit_als.hpp), where
+//      every unobserved cell is a 0-preference with confidence 1 and
+//      observed cells get confidence 1 + α·count.
+// Evaluation is ranking AUC of held-out interactions vs unseen items.
+
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "core/implicit_als.hpp"
+#include "core/solver.hpp"
+#include "data/synthetic.hpp"
+#include "gpusim/device_group.hpp"
+#include "linalg/hermitian.hpp"
+#include "sparse/split.hpp"
+
+namespace {
+
+using namespace cumf;
+
+double ranking_auc(const linalg::FactorMatrix& X,
+                   const linalg::FactorMatrix& Theta,
+                   const sparse::CooMatrix& heldout,
+                   const std::vector<std::unordered_set<idx_t>>& interacted,
+                   idx_t n_items, util::Rng& rng) {
+  const int f = X.f();
+  long long wins = 0, trials = 0;
+  for (std::size_t k = 0; k < heldout.val.size(); ++k) {
+    const idx_t u = heldout.row[k];
+    const double pos = linalg::dot(X.row(u), Theta.row(heldout.col[k]), f);
+    for (int t = 0; t < 4; ++t) {
+      const auto neg =
+          static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n_items)));
+      if (interacted[static_cast<std::size_t>(u)].count(neg)) continue;
+      ++trials;
+      if (pos > linalg::dot(X.row(u), Theta.row(neg), f)) ++wins;
+    }
+  }
+  return static_cast<double>(wins) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cumf;
+
+  data::SyntheticOptions gen;
+  gen.m = 2500;
+  gen.n = 600;
+  gen.nz = 70'000;
+  gen.f_true = 10;
+  gen.noise_std = 0.4;
+  gen.seed = 31;
+  const auto raw = data::generate_ratings(gen);
+
+  // Keep liked items as implicit interaction counts.
+  sparse::CooMatrix implicit;
+  implicit.rows = raw.rows;
+  implicit.cols = raw.cols;
+  for (std::size_t k = 0; k < raw.val.size(); ++k) {
+    if (raw.val[k] > 3.5f) {
+      implicit.push_back(raw.row[k], raw.col[k], raw.val[k] - 3.5f);
+    }
+  }
+  std::printf("implicit interactions: %lld of %lld raw ratings\n",
+              static_cast<long long>(implicit.nnz()),
+              static_cast<long long>(raw.nnz()));
+
+  util::Rng rng(32);
+  auto split = sparse::split_ratings(implicit, 0.2, rng);
+  const auto R = sparse::coo_to_csr(split.train);
+  const auto Rt = sparse::csc_as_csr_of_transpose(sparse::csr_to_csc(R));
+
+  std::vector<std::unordered_set<idx_t>> interacted(
+      static_cast<std::size_t>(implicit.rows));
+  for (std::size_t k = 0; k < implicit.val.size(); ++k) {
+    interacted[static_cast<std::size_t>(implicit.row[k])].insert(
+        implicit.col[k]);
+  }
+
+  // --- 1. naive: explicit ALS on binarized data ---
+  sparse::CooMatrix binary = split.train;
+  for (auto& v : binary.val) v = 1.0f;
+  const auto Rb = sparse::coo_to_csr(binary);
+  const auto Rbt = sparse::csc_as_csr_of_transpose(sparse::csr_to_csc(Rb));
+  const auto topo = gpusim::PcieTopology::flat(1);
+  gpusim::DeviceGroup gpu(1, gpusim::titan_x(), topo);
+  core::SolverConfig cfg;
+  cfg.als.f = 16;
+  cfg.als.lambda = 0.1f;
+  core::AlsSolver naive(gpu.pointers(), topo, Rb, Rbt, cfg);
+  for (int i = 0; i < 8; ++i) naive.run_iteration();
+  const double auc_naive = ranking_auc(naive.x(), naive.theta(), split.test,
+                                       interacted, R.cols, rng);
+
+  // --- 2. proper: Hu-Koren weighted implicit ALS ---
+  gpusim::Device dev(0, gpusim::titan_x());
+  core::ImplicitAlsOptions iopt;
+  iopt.f = 16;
+  iopt.lambda = 0.1f;
+  iopt.alpha = 40.0f;
+  core::ImplicitAlsSolver proper(dev, R, Rt, iopt);
+  for (int i = 0; i < 8; ++i) proper.run_iteration();
+  const double auc_proper = ranking_auc(proper.x(), proper.theta(),
+                                        split.test, interacted, R.cols, rng);
+
+  std::printf("ranking AUC (0.5 = random):\n");
+  std::printf("  explicit ALS on binarized data : %.3f\n", auc_naive);
+  std::printf("  implicit weighted ALS (α=%.0f)  : %.3f\n",
+              static_cast<double>(iopt.alpha), auc_proper);
+  std::printf("expected: the naive treatment collapses toward a rank-1 "
+              "\"everything is a 1\" fit\n(AUC ~0.5 or below), while "
+              "weighted implicit ALS ranks well above chance.\n");
+  return (auc_proper > 0.65 && auc_proper > auc_naive) ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// Out-of-core staging and fault tolerance (§4.4).
+//
+// Demonstrates the two production features around the solver:
+//  1. OocBlockStore/OocPrefetcher — grid-partitioned ratings staged on disk
+//     and prefetched asynchronously ("close-to-zero data loading time except
+//     for the first load");
+//  2. CheckpointManager — X/Θ checkpointed each iteration; a simulated crash
+//     restarts from the freshest valid snapshot.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/checkpoint.hpp"
+#include "core/ooc.hpp"
+#include "core/solver.hpp"
+#include "data/synthetic.hpp"
+#include "eval/metrics.hpp"
+#include "gpusim/device_group.hpp"
+#include "sparse/split.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace cumf;
+  const std::string work_dir = "ooc_demo";
+  std::filesystem::create_directories(work_dir);
+
+  data::SyntheticOptions gen;
+  gen.m = 4000;
+  gen.n = 600;
+  gen.nz = 80'000;
+  gen.seed = 5;
+  const auto ratings = data::generate_ratings(gen);
+  util::Rng rng(6);
+  auto split = sparse::split_ratings(ratings, 0.1, rng);
+  const auto R = sparse::coo_to_csr(split.train);
+  const auto Rt = sparse::csc_as_csr_of_transpose(sparse::csr_to_csc(R));
+
+  // --- 1. out-of-core block store + prefetch ---
+  const auto part = sparse::grid_partition(R, 2, 4);
+  const auto store = core::OocBlockStore::create(work_dir + "/blocks", part);
+  std::printf("staged %dx%d grid blocks on disk\n", store.p(), store.q());
+
+  std::vector<std::pair<int, int>> schedule;
+  for (int j = 0; j < store.q(); ++j) {
+    for (int i = 0; i < store.p(); ++i) schedule.emplace_back(i, j);
+  }
+  core::OocPrefetcher prefetch(store, schedule);
+  util::Stopwatch sw;
+  nnz_t streamed = 0;
+  while (prefetch.has_next()) {
+    const auto blk = prefetch.next();
+    streamed += blk.nnz();
+    // (a real out-of-core run would feed blk into get_hermitian here)
+  }
+  std::printf("streamed %lld nonzeros in %.3fs; prefetch stall %.4fs "
+              "(paper: close-to-zero after the first load)\n",
+              static_cast<long long>(streamed), sw.seconds(),
+              prefetch.stall_seconds());
+
+  // --- 2. checkpointed training with a simulated crash ---
+  const auto topo = gpusim::PcieTopology::flat(1);
+  core::SolverConfig cfg;
+  cfg.als.f = 16;
+  core::CheckpointManager ckpt(work_dir);
+  double crashed_rmse = 0.0;
+  {
+    gpusim::DeviceGroup gpu(1, gpusim::titan_x(), topo);
+    core::AlsSolver solver(gpu.pointers(), topo, R, Rt, cfg);
+    for (int it = 1; it <= 3; ++it) {
+      solver.run_iteration();
+      ckpt.save_x(solver.x(), it);
+      ckpt.save_theta(solver.theta(), it);
+    }
+    crashed_rmse = eval::rmse(split.test, solver.x(), solver.theta());
+    std::printf("trained 3 iterations (test RMSE %.4f)... simulating machine "
+                "failure now\n",
+                crashed_rmse);
+  }  // solver destroyed: the "crash"
+
+  gpusim::DeviceGroup gpu2(1, gpusim::titan_x(), topo);
+  core::AlsSolver resumed(gpu2.pointers(), topo, R, Rt, cfg);
+  auto restored = ckpt.restore();
+  if (!restored) {
+    std::printf("no usable checkpoint found!\n");
+    return 1;
+  }
+  std::printf("restored checkpoint from iteration %d\n",
+              restored->resume_iteration());
+  resumed.set_factors(std::move(restored->x), std::move(restored->theta));
+  std::printf("post-restore test RMSE %.4f (matches pre-crash %.4f)\n",
+              eval::rmse(split.test, resumed.x(), resumed.theta()),
+              crashed_rmse);
+  for (int it = 0; it < 2; ++it) resumed.run_iteration();
+  std::printf("resumed and trained 2 more iterations: test RMSE %.4f\n",
+              eval::rmse(split.test, resumed.x(), resumed.theta()));
+
+  std::filesystem::remove_all(work_dir);
+  return 0;
+}

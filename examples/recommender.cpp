@@ -1,0 +1,110 @@
+// Top-N recommendation — the paper's motivating application (§1:
+// collaborative filtering for e-commerce and content streaming).
+//
+// Trains cuMF ALS on a synthetic catalog with popularity skew, then produces
+// per-user top-N lists, excluding items the user has already rated, and
+// reports hit-rate against the held-out set.
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "data/synthetic.hpp"
+#include "gpusim/device_group.hpp"
+#include "linalg/hermitian.hpp"
+#include "sparse/split.hpp"
+
+namespace {
+
+using namespace cumf;
+
+/// Scores every item for `user` and returns the indices of the best `n`
+/// unseen ones.
+std::vector<idx_t> top_n(const linalg::FactorMatrix& X,
+                         const linalg::FactorMatrix& Theta, idx_t user, int n,
+                         const std::unordered_set<idx_t>& seen) {
+  const int f = X.f();
+  std::vector<std::pair<real_t, idx_t>> scored;
+  scored.reserve(static_cast<std::size_t>(Theta.rows()));
+  for (idx_t v = 0; v < Theta.rows(); ++v) {
+    if (seen.count(v)) continue;
+    scored.emplace_back(
+        static_cast<real_t>(linalg::dot(X.row(user), Theta.row(v), f)), v);
+  }
+  const auto keep = std::min<std::size_t>(static_cast<std::size_t>(n),
+                                          scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scored.end(), std::greater<>());
+  std::vector<idx_t> out;
+  for (std::size_t i = 0; i < keep; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cumf;
+
+  data::SyntheticOptions gen;
+  gen.m = 3000;
+  gen.n = 800;
+  gen.nz = 90'000;
+  gen.f_true = 12;
+  gen.noise_std = 0.4;
+  gen.col_zipf_s = 1.05;  // popular items dominate, like real catalogs
+  gen.seed = 11;
+  const auto ratings = data::generate_ratings(gen);
+
+  util::Rng rng(12);
+  auto split = sparse::split_ratings(ratings, 0.2, rng);
+  const auto R = sparse::coo_to_csr(split.train);
+  const auto Rt = sparse::csc_as_csr_of_transpose(sparse::csr_to_csc(R));
+
+  const auto topo = gpusim::PcieTopology::flat(1);
+  gpusim::DeviceGroup gpu(1, gpusim::titan_x(), topo);
+  core::SolverConfig cfg;
+  cfg.als.f = 24;
+  cfg.als.lambda = 0.05f;
+  core::AlsSolver solver(gpu.pointers(), topo, R, Rt, cfg);
+  for (int i = 0; i < 8; ++i) solver.run_iteration();
+
+  // Held-out items per user (the "future" we try to predict).
+  std::vector<std::unordered_set<idx_t>> heldout(
+      static_cast<std::size_t>(gen.m));
+  for (std::size_t k = 0; k < split.test.val.size(); ++k) {
+    if (split.test.val[k] > 3.5f) {  // only count liked items as hits
+      heldout[static_cast<std::size_t>(split.test.row[k])].insert(
+          split.test.col[k]);
+    }
+  }
+
+  constexpr int kN = 10;
+  int users_with_heldout = 0, hits = 0;
+  for (idx_t u = 0; u < R.rows; ++u) {
+    if (heldout[static_cast<std::size_t>(u)].empty()) continue;
+    ++users_with_heldout;
+    std::unordered_set<idx_t> seen(R.row_cols(u).begin(), R.row_cols(u).end());
+    for (const idx_t rec : top_n(solver.x(), solver.theta(), u, kN, seen)) {
+      if (heldout[static_cast<std::size_t>(u)].count(rec)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  std::printf("hit-rate@%d over %d users with liked held-out items: %.1f%%\n",
+              kN, users_with_heldout,
+              100.0 * hits / std::max(1, users_with_heldout));
+
+  // Show one user's list.
+  const idx_t demo_user = 42;
+  std::unordered_set<idx_t> seen(R.row_cols(demo_user).begin(),
+                                 R.row_cols(demo_user).end());
+  std::printf("top-%d recommendations for user %d:", kN, demo_user);
+  for (const idx_t rec : top_n(solver.x(), solver.theta(), demo_user, kN, seen)) {
+    std::printf(" %d", rec);
+  }
+  std::printf("\n");
+  return 0;
+}

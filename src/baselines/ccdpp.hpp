@@ -1,0 +1,56 @@
+#pragma once
+
+// CCD++ — cyclic coordinate descent baseline ([32], §6.2).
+//
+// CCD++ sweeps the latent features one at a time: for feature k it removes
+// the rank-one term x_{*k}·θ_{*k}ᵀ from the residual, then alternately
+// refreshes the two coordinate vectors in closed form,
+//   x_uk = Σ_v ê_uv·θ_vk / (λ + Σ_v θ_vk²),
+// and folds the updated term back in. Lower per-sweep cost than ALS but less
+// progress per sweep — the related-work section notes it "behaves well in the
+// early stage of optimization, but then becomes slower than libMF", a shape
+// our benches reproduce.
+
+#include "baselines/sgd_common.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf::baselines {
+
+struct CcdOptions {
+  int f = 32;
+  real_t lambda = 0.05f;
+  int outer_sweeps = 10;   // full passes over the f features
+  int inner_iters = 2;     // x/θ refinements per feature per sweep
+  std::uint64_t seed = 321;
+};
+
+class CcdPlusPlus {
+ public:
+  CcdPlusPlus(const sparse::CsrMatrix& train, CcdOptions opt);
+
+  /// One outer sweep over all f features.
+  void run_sweep();
+
+  [[nodiscard]] const linalg::FactorMatrix& x() const { return x_; }
+  [[nodiscard]] const linalg::FactorMatrix& theta() const { return theta_; }
+
+  eval::ConvergenceHistory train(const sparse::CooMatrix* train_eval,
+                                 const sparse::CooMatrix* test_eval,
+                                 const std::string& label);
+
+ private:
+  const sparse::CsrMatrix& train_;
+  CcdOptions opt_;
+  linalg::FactorMatrix x_;
+  linalg::FactorMatrix theta_;
+
+  // Residuals e_uv = r_uv - x_uᵀθ_v, stored in CSR order; csc_of_csr_ maps
+  // each CSC position to its CSR position so both orientations share them.
+  std::vector<real_t> residual_;
+  std::vector<nnz_t> col_ptr_;
+  std::vector<idx_t> col_rows_;
+  std::vector<nnz_t> csc_to_csr_;
+  int sweeps_run_ = 0;
+};
+
+}  // namespace cumf::baselines

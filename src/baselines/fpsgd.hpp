@@ -1,0 +1,43 @@
+#pragma once
+
+// FPSGD — the libMF baseline (§5.2, [36]).
+//
+// libMF partitions R into a (t+1)×(t+1) grid of blocks; a scheduler hands
+// each worker a block whose row range and column range are not currently in
+// use by any other worker, so blocks never conflict and no locking is needed
+// inside the SGD inner loop. Per epoch every block is processed exactly once;
+// the scheduler prefers less-processed blocks to keep the pass balanced.
+
+#include "baselines/sgd_common.hpp"
+#include "sparse/partition.hpp"
+
+namespace cumf::baselines {
+
+class FpsgdSgd {
+ public:
+  FpsgdSgd(const sparse::CsrMatrix& train, SgdOptions opt);
+
+  void run_epoch();
+
+  [[nodiscard]] const linalg::FactorMatrix& x() const { return x_; }
+  [[nodiscard]] const linalg::FactorMatrix& theta() const { return theta_; }
+  [[nodiscard]] int grid_dim() const { return grid_.p; }
+
+  BaselineRun train(const sparse::CooMatrix* train_eval,
+                    const sparse::CooMatrix* test_eval,
+                    const std::string& label);
+
+ private:
+  void process_block(const sparse::GridBlock& blk, real_t lr);
+
+  const sparse::CsrMatrix& train_;
+  SgdOptions opt_;
+  sparse::GridPartition grid_;
+  linalg::FactorMatrix x_;
+  linalg::FactorMatrix theta_;
+  real_t lr_;
+  int epochs_run_ = 0;
+  double samples_ = 0.0;
+};
+
+}  // namespace cumf::baselines

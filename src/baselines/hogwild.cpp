@@ -1,0 +1,66 @@
+#include "baselines/hogwild.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace cumf::baselines {
+
+HogwildSgd::HogwildSgd(const sparse::CooMatrix& train, SgdOptions opt)
+    : train_(train), opt_(opt), x_(train.rows, opt.f),
+      theta_(train.cols, opt.f), lr_(opt.lr) {
+  util::Rng rng(opt_.seed);
+  const real_t scale = opt_.effective_init_scale();
+  x_.randomize(rng, scale);
+  theta_.randomize(rng, scale);
+  order_.resize(static_cast<std::size_t>(train.nnz()));
+  std::iota(order_.begin(), order_.end(), nnz_t{0});
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    std::swap(order_[i - 1], order_[rng.next_below(i)]);
+  }
+}
+
+void HogwildSgd::run_epoch() {
+  const int f = opt_.f;
+  util::parallel_for_chunks(
+      util::ThreadPool::global(), 0, train_.nnz(),
+      [&](nnz_t lo, nnz_t hi) {
+        for (nnz_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(order_[static_cast<std::size_t>(i)]);
+          sgd_update(x_.row(train_.row[k]), theta_.row(train_.col[k]),
+                     train_.val[k], lr_, opt_.lambda, f);
+        }
+      },
+      static_cast<std::size_t>(opt_.threads));
+  lr_ *= opt_.lr_decay;
+  ++epochs_run_;
+}
+
+BaselineRun HogwildSgd::train(const sparse::CooMatrix* train_eval,
+                              const sparse::CooMatrix* test_eval,
+                              const std::string& label) {
+  BaselineRun run;
+  run.history.label = label;
+  auto snapshot = [&](int epoch, double wall) {
+    eval::ConvergencePoint pt;
+    pt.iteration = epoch;
+    pt.wall_seconds = wall;
+    pt.train_rmse = train_eval ? eval::rmse(*train_eval, x_, theta_) : 0.0;
+    pt.test_rmse = test_eval ? eval::rmse(*test_eval, x_, theta_) : 0.0;
+    run.history.add(pt);
+  };
+  snapshot(0, 0.0);
+  double wall = 0.0;
+  for (int e = 1; e <= opt_.epochs; ++e) {
+    util::Stopwatch sw;
+    run_epoch();
+    wall += sw.seconds();
+    run.samples_processed += static_cast<double>(train_.nnz());
+    snapshot(e, wall);
+  }
+  return run;
+}
+
+}  // namespace cumf::baselines

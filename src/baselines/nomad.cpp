@@ -1,0 +1,148 @@
+#include "baselines/nomad.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <thread>
+
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cumf::baselines {
+
+NomadSgd::NomadSgd(const sparse::CsrMatrix& train, SgdOptions opt)
+    : train_(train), opt_(opt), x_(train.rows, opt.f),
+      theta_(train.cols, opt.f), lr_(opt.lr),
+      queues_(static_cast<std::size_t>(opt.threads)),
+      visits_(static_cast<std::size_t>(train.cols), 0) {
+  util::Rng rng(opt_.seed);
+  const real_t scale = opt_.effective_init_scale();
+  x_.randomize(rng, scale);
+  theta_.randomize(rng, scale);
+
+  // Column-major ratings with per-worker segment offsets.
+  const sparse::CscMatrix csc = sparse::csr_to_csc(train);
+  col_ptr_ = csc.col_ptr;
+  col_rows_ = csc.row_ind;
+  col_vals_ = csc.vals;
+
+  const int T = opt_.threads;
+  const auto ranges = sparse::split_even(train.rows, T);
+  row_boundaries_.resize(static_cast<std::size_t>(T) + 1);
+  for (int w = 0; w < T; ++w) {
+    row_boundaries_[static_cast<std::size_t>(w)] = ranges[static_cast<std::size_t>(w)].begin;
+  }
+  row_boundaries_[static_cast<std::size_t>(T)] = train.rows;
+
+  // off[v][w] = first entry of column v with row >= b[w]; worker w's segment
+  // is [off[v][w], off[v][w+1]) (CSC keeps rows sorted, so it's contiguous).
+  col_worker_off_.resize(static_cast<std::size_t>(train.cols) * (T + 1));
+  for (idx_t v = 0; v < train.cols; ++v) {
+    const auto lo = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(v)]);
+    const auto hi = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(v) + 1]);
+    for (int w = 0; w <= T; ++w) {
+      const idx_t bound = row_boundaries_[static_cast<std::size_t>(w)];
+      const auto it = std::lower_bound(col_rows_.begin() + static_cast<std::ptrdiff_t>(lo),
+                                       col_rows_.begin() + static_cast<std::ptrdiff_t>(hi),
+                                       bound);
+      col_worker_off_[static_cast<std::size_t>(v) * (T + 1) + w] =
+          static_cast<nnz_t>(it - col_rows_.begin());
+    }
+  }
+}
+
+void NomadSgd::worker_loop(int w, real_t lr, std::atomic<nnz_t>& hops_done,
+                           nnz_t total_hops) {
+  const int T = opt_.threads;
+  const int f = opt_.f;
+  auto& my_queue = queues_[static_cast<std::size_t>(w)];
+  while (hops_done.load(std::memory_order_acquire) < total_hops) {
+    idx_t v = -1;
+    {
+      std::lock_guard lock(my_queue.mu);
+      if (!my_queue.cols.empty()) {
+        v = my_queue.cols.front();
+        my_queue.cols.pop_front();
+      }
+    }
+    if (v < 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Apply this worker's segment of column v.
+    const auto seg_lo = static_cast<std::size_t>(
+        col_worker_off_[static_cast<std::size_t>(v) * (T + 1) + w]);
+    const auto seg_hi = static_cast<std::size_t>(
+        col_worker_off_[static_cast<std::size_t>(v) * (T + 1) + w + 1]);
+    real_t* tv = theta_.row(v);
+    for (std::size_t k = seg_lo; k < seg_hi; ++k) {
+      sgd_update(x_.row(col_rows_[k]), tv, col_vals_[k], lr, opt_.lambda, f);
+    }
+    // Forward the token, or retire it after its T-th visit.
+    const int visit = ++visits_[static_cast<std::size_t>(v)];
+    if (visit < T) {
+      auto& next = queues_[static_cast<std::size_t>((w + 1) % T)];
+      std::lock_guard lock(next.mu);
+      next.cols.push_back(v);
+    }
+    hops_done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void NomadSgd::run_epoch() {
+  const int T = opt_.threads;
+  std::fill(visits_.begin(), visits_.end(), 0);
+  for (idx_t v = 0; v < train_.cols; ++v) {
+    queues_[static_cast<std::size_t>(v % T)].cols.push_back(v);
+  }
+  std::atomic<nnz_t> hops_done{0};
+  const nnz_t total_hops = static_cast<nnz_t>(train_.cols) * T;
+  const real_t lr = lr_;
+
+  // Dedicated threads (not the shared pool): every NOMAD worker must be
+  // runnable, because tokens forwarded to a never-scheduled worker would
+  // stall the ring.
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(T) - 1);
+  for (int w = 1; w < T; ++w) {
+    workers.emplace_back(
+        [&, w] { worker_loop(w, lr, hops_done, total_hops); });
+  }
+  worker_loop(0, lr, hops_done, total_hops);
+  for (auto& t : workers) t.join();
+
+  samples_ += static_cast<double>(train_.nnz());
+  lr_ *= opt_.lr_decay;
+  ++epochs_run_;
+}
+
+BaselineRun NomadSgd::train(const sparse::CooMatrix* train_eval,
+                            const sparse::CooMatrix* test_eval,
+                            const std::string& label) {
+  BaselineRun run;
+  run.history.label = label;
+  auto snapshot = [&](int epoch, double wall) {
+    eval::ConvergencePoint pt;
+    pt.iteration = epoch;
+    pt.wall_seconds = wall;
+    pt.train_rmse = train_eval ? eval::rmse(*train_eval, x_, theta_) : 0.0;
+    pt.test_rmse = test_eval ? eval::rmse(*test_eval, x_, theta_) : 0.0;
+    run.history.add(pt);
+  };
+  snapshot(0, 0.0);
+  double wall = 0.0;
+  for (int e = 1; e <= opt_.epochs; ++e) {
+    util::Stopwatch sw;
+    run_epoch();
+    wall += sw.seconds();
+    snapshot(e, wall);
+  }
+  run.samples_processed = samples_;
+  return run;
+}
+
+}  // namespace cumf::baselines

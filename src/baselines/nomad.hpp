@@ -1,0 +1,66 @@
+#pragma once
+
+// NOMAD — non-locking, decentralized SGD ([33], §5.2/§5.4).
+//
+// Rows are statically partitioned across workers. Item columns are the unit
+// of ownership and circulate: a worker pops a column token from its queue,
+// applies eq.-(4) updates for every rating of that column falling in its row
+// range, and passes the token to the next worker. A column finishes an epoch
+// once every worker has seen it. No factor entry is ever touched by two
+// workers at once (x rows are worker-private, θ_v travels with its token), so
+// the algorithm needs no locks — only the token queues synchronize.
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "baselines/sgd_common.hpp"
+
+namespace cumf::baselines {
+
+class NomadSgd {
+ public:
+  NomadSgd(const sparse::CsrMatrix& train, SgdOptions opt);
+
+  void run_epoch();
+
+  [[nodiscard]] const linalg::FactorMatrix& x() const { return x_; }
+  [[nodiscard]] const linalg::FactorMatrix& theta() const { return theta_; }
+
+  BaselineRun train(const sparse::CooMatrix* train_eval,
+                    const sparse::CooMatrix* test_eval,
+                    const std::string& label);
+
+ private:
+  struct TokenQueue {
+    std::mutex mu;
+    std::deque<idx_t> cols;
+  };
+
+  void worker_loop(int w, real_t lr, std::atomic<nnz_t>& hops_done,
+                   nnz_t total_hops);
+
+  const sparse::CsrMatrix& train_;
+  SgdOptions opt_;
+  linalg::FactorMatrix x_;
+  linalg::FactorMatrix theta_;
+  real_t lr_;
+  int epochs_run_ = 0;
+  double samples_ = 0.0;
+
+  // Column-major view: ratings of column v grouped by owning worker.
+  // col_rows_/col_vals_ hold column v's entries sorted by row at
+  // [col_ptr_[v], col_ptr_[v+1]); col_worker_off_[v*(T+1)+w] marks worker w's
+  // segment inside that span.
+  std::vector<nnz_t> col_ptr_;
+  std::vector<idx_t> col_rows_;
+  std::vector<real_t> col_vals_;
+  std::vector<nnz_t> col_worker_off_;
+  std::vector<idx_t> row_boundaries_;  // worker w owns rows [b[w], b[w+1])
+
+  std::vector<TokenQueue> queues_;
+  std::vector<int> visits_;  // per-column hop count within the epoch
+};
+
+}  // namespace cumf::baselines

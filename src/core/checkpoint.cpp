@@ -1,0 +1,92 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+
+#include "util/binary_io.hpp"
+#include "util/log.hpp"
+
+namespace cumf::core {
+
+namespace {
+constexpr std::uint32_t kCkptTag = 0x434b5054;  // "CKPT"
+
+std::vector<std::byte> stamp(const linalg::FactorMatrix& m, int iteration) {
+  const std::vector<std::byte> body = linalg::serialize_factors(m);
+  std::vector<std::byte> payload(sizeof(std::int32_t) + body.size());
+  const auto it32 = static_cast<std::int32_t>(iteration);
+  std::memcpy(payload.data(), &it32, sizeof(it32));
+  std::memcpy(payload.data() + sizeof(it32), body.data(), body.size());
+  return payload;
+}
+
+std::pair<linalg::FactorMatrix, int> unstamp(
+    const std::vector<std::byte>& payload) {
+  if (payload.size() < sizeof(std::int32_t)) {
+    throw std::runtime_error("checkpoint payload truncated");
+  }
+  std::int32_t iteration = 0;
+  std::memcpy(&iteration, payload.data(), sizeof(iteration));
+  return {linalg::deserialize_factors(payload.data() + sizeof(iteration),
+                                      payload.size() - sizeof(iteration)),
+          iteration};
+}
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir) : dir_(std::move(dir)) {}
+
+void CheckpointManager::save_one(const std::string& stem,
+                                 const linalg::FactorMatrix& m,
+                                 int iteration) {
+  namespace fs = std::filesystem;
+  const fs::path cur = fs::path(dir_) / (stem + ".ckpt");
+  const fs::path prev = fs::path(dir_) / (stem + ".prev.ckpt");
+  const fs::path tmp = fs::path(dir_) / (stem + ".tmp.ckpt");
+
+  util::write_blob(tmp.string(), kCkptTag, stamp(m, iteration));
+  std::error_code ec;
+  if (fs::exists(cur)) {
+    fs::rename(cur, prev, ec);  // rotate; best effort
+  }
+  fs::rename(tmp, cur, ec);
+  if (ec) {
+    throw std::runtime_error("checkpoint rename failed: " + ec.message());
+  }
+}
+
+void CheckpointManager::save_x(const linalg::FactorMatrix& x, int iteration) {
+  save_one("x", x, iteration);
+}
+
+void CheckpointManager::save_theta(const linalg::FactorMatrix& theta,
+                                   int iteration) {
+  save_one("theta", theta, iteration);
+}
+
+std::optional<std::pair<linalg::FactorMatrix, int>> CheckpointManager::load_one(
+    const std::string& stem) const {
+  namespace fs = std::filesystem;
+  for (const char* suffix : {".ckpt", ".prev.ckpt"}) {
+    const fs::path path = fs::path(dir_) / (stem + suffix);
+    if (!fs::exists(path)) continue;
+    try {
+      return unstamp(util::read_blob(path.string(), kCkptTag));
+    } catch (const std::exception& e) {
+      util::log_warn("checkpoint ", path.string(), " unreadable (", e.what(),
+                     "), trying previous");
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CheckpointManager::Restored> CheckpointManager::restore() const {
+  auto x = load_one("x");
+  auto theta = load_one("theta");
+  if (!x || !theta) return std::nullopt;
+  Restored r{std::move(x->first), std::move(theta->first), x->second,
+             theta->second};
+  return r;
+}
+
+}  // namespace cumf::core

@@ -1,0 +1,55 @@
+#pragma once
+
+// Fault tolerance (§4.4): "During ALS execution we asynchronously checkpoint
+// X and Θ generated from the latest iteration into a connected parallel file
+// system. When the machine fails, the latest X or Θ (whichever is more
+// recent) is used to restart ALS."
+//
+// The manager double-buffers each factor (current + previous file) and stamps
+// every write with its iteration, so a crash mid-write — simulated in the
+// tests by truncating or corrupting the current file — falls back to the
+// previous consistent snapshot. restore() returns the freshest pair of
+// factors that pass their checksums.
+
+#include <optional>
+#include <string>
+
+#include "linalg/dense.hpp"
+
+namespace cumf::core {
+
+class CheckpointManager {
+ public:
+  /// `dir` must exist and be writable.
+  explicit CheckpointManager(std::string dir);
+
+  /// Writes the factor, stamped with `iteration`, rotating current→previous.
+  void save_x(const linalg::FactorMatrix& x, int iteration);
+  void save_theta(const linalg::FactorMatrix& theta, int iteration);
+
+  struct Restored {
+    linalg::FactorMatrix x;
+    linalg::FactorMatrix theta;
+    int x_iteration = -1;
+    int theta_iteration = -1;
+    /// Resume from min(x_iteration, theta_iteration) completed iterations.
+    [[nodiscard]] int resume_iteration() const {
+      return x_iteration < theta_iteration ? x_iteration : theta_iteration;
+    }
+  };
+
+  /// Loads the freshest valid snapshot of both factors, skipping files that
+  /// fail checksum validation. Returns nullopt when either factor has no
+  /// valid snapshot at all.
+  [[nodiscard]] std::optional<Restored> restore() const;
+
+ private:
+  void save_one(const std::string& stem, const linalg::FactorMatrix& m,
+                int iteration);
+  [[nodiscard]] std::optional<std::pair<linalg::FactorMatrix, int>> load_one(
+      const std::string& stem) const;
+
+  std::string dir_;
+};
+
+}  // namespace cumf::core

@@ -1,0 +1,70 @@
+#pragma once
+
+// The two compute phases of ALS update-X (and, symmetrically, update-Θ):
+//
+//   get_hermitian — for every row u of a CSR block, form
+//       A_u = Σ_{r_uv≠0} (θ_v·θ_vᵀ + λI)   and   B_u = Θᵀ·R_{u*}ᵀ
+//     (eq. 2). The λ term uses the block-local nonzero count, so partial
+//     A_u's computed from column partitions sum to the globally correct
+//     weighted-λ Hermitian after reduction (eq. 5).
+//
+//   batch_solve — solve A_u·x_u = B_u for every u via in-place Cholesky.
+//
+// Two kernel flavors exist, matching Algorithm 1 (base) and Algorithm 2
+// (memory-optimized). They run real arithmetic on the host pool; simulated
+// traffic is accounted analytically per launch (see kernel_stats_* below),
+// and the CPU code genuinely takes the corresponding fast/slow path (direct
+// heap accumulation vs register-tiled accumulation), so both wall and
+// modeled time respond to the toggles.
+
+#include "core/als_options.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cumf::core {
+
+/// Analytic traffic of get_hermitian over `nz` nonzeros and `rows` rows at
+/// dimension f (Table 3's cost model turned into bytes/flops). `cols` is the
+/// fixed factor's extent: the average per-column reuse nz/cols sets the
+/// texture-cache quality (sparser catalogs benefit less, §5.3); cols = 0
+/// assumes perfect reuse.
+gpusim::KernelStats hermitian_kernel_stats(nnz_t nz, idx_t rows, int f,
+                                           const KernelOptions& opt,
+                                           idx_t cols = 0);
+
+/// Analytic traffic of batch_solve over `rows` systems of size f.
+gpusim::KernelStats solve_kernel_stats(idx_t rows, int f);
+
+/// Computes A/B for rows [row_begin, row_end) of `R` (a CSR whose column
+/// indices address `theta` — θ_v is the f contiguous floats at theta+v*f).
+/// A has (row_end-row_begin)·f² entries, B (row_end-row_begin)·f.
+/// With accumulate=true the contribution is added to the existing A/B
+/// contents instead of overwriting them — this is how the elastic sequential
+/// waves of §4.4 fold several logical Θ-partitions through one physical
+/// device. Accounts one kernel launch on `dev`.
+void get_hermitian_block(gpusim::Device& dev, const sparse::CsrMatrix& R,
+                         idx_t row_begin, idx_t row_end, const real_t* theta,
+                         int f, real_t lambda, const KernelOptions& opt,
+                         real_t* A, real_t* B, bool accumulate = false);
+
+/// Solves the `count` systems produced by get_hermitian_block, writing
+/// x_u into x_out (count·f, row-major). A and B are clobbered (in-place
+/// solve, §2.2). Returns the number of systems that needed pivot clamping
+/// (rows with no ratings produce the zero solution and are not counted).
+int batch_solve_block(gpusim::Device& dev, real_t* A, real_t* B, idx_t count,
+                      int f, real_t* x_out);
+
+/// Analytic traffic of the CG batch solver at `avg_iters` steps per system.
+gpusim::KernelStats solve_cg_kernel_stats(idx_t rows, int f, double avg_iters);
+
+/// CG variant of batch_solve: x_inout provides the warm start (the previous
+/// ALS iterate) and receives the solution; A and B are read-only. Returns
+/// the total CG iterations taken across all systems.
+std::int64_t batch_solve_block_cg(gpusim::Device& dev, const real_t* A,
+                                  const real_t* B, idx_t count, int f,
+                                  real_t* x_inout, int max_iters,
+                                  double tolerance);
+
+}  // namespace cumf::core

@@ -1,0 +1,77 @@
+#include "core/ooc.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "sparse/io.hpp"
+#include "util/stopwatch.hpp"
+
+namespace cumf::core {
+
+namespace fs = std::filesystem;
+
+OocBlockStore OocBlockStore::create(const std::string& dir,
+                                    const sparse::GridPartition& part) {
+  fs::create_directories(dir);
+  OocBlockStore store(dir, part.p, part.q);
+  for (int i = 0; i < part.p; ++i) {
+    for (int j = 0; j < part.q; ++j) {
+      sparse::save_csr(store.block_path(i, j), part.block(i, j).local);
+    }
+  }
+  std::ofstream manifest(fs::path(dir) / "manifest.txt");
+  if (!manifest) {
+    throw std::runtime_error("OocBlockStore: cannot write manifest in " + dir);
+  }
+  manifest << part.p << ' ' << part.q << '\n';
+  return store;
+}
+
+OocBlockStore::OocBlockStore(const std::string& dir) : dir_(dir) {
+  std::ifstream manifest(fs::path(dir) / "manifest.txt");
+  if (!manifest || !(manifest >> p_ >> q_) || p_ <= 0 || q_ <= 0) {
+    throw std::runtime_error("OocBlockStore: missing/bad manifest in " + dir);
+  }
+}
+
+std::string OocBlockStore::block_path(int i, int j) const {
+  return (fs::path(dir_) / ("block_" + std::to_string(i) + "_" +
+                            std::to_string(j) + ".csr"))
+      .string();
+}
+
+sparse::CsrMatrix OocBlockStore::load_block(int i, int j) const {
+  if (i < 0 || i >= p_ || j < 0 || j >= q_) {
+    throw std::out_of_range("OocBlockStore::load_block: bad block index");
+  }
+  return sparse::load_csr(block_path(i, j));
+}
+
+OocPrefetcher::OocPrefetcher(const OocBlockStore& store,
+                             std::vector<std::pair<int, int>> schedule)
+    : store_(store), schedule_(std::move(schedule)) {
+  if (!schedule_.empty()) {
+    const auto [i, j] = schedule_[0];
+    inflight_ = std::async(std::launch::async,
+                           [this, i, j] { return store_.load_block(i, j); });
+  }
+}
+
+sparse::CsrMatrix OocPrefetcher::next() {
+  if (!has_next()) {
+    throw std::out_of_range("OocPrefetcher::next: schedule exhausted");
+  }
+  util::Stopwatch sw;
+  sparse::CsrMatrix block = inflight_.get();
+  stall_seconds_ += sw.seconds();
+  ++at_;
+  if (at_ < schedule_.size()) {
+    const auto [i, j] = schedule_[at_];
+    inflight_ = std::async(std::launch::async,
+                           [this, i, j] { return store_.load_block(i, j); });
+  }
+  return block;
+}
+
+}  // namespace cumf::core

@@ -1,0 +1,113 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cumf::core {
+
+const char* parallel_mode_name(ParallelMode mode) {
+  switch (mode) {
+    case ParallelMode::SingleDevice: return "single-device";
+    case ParallelMode::ModelParallel: return "model-parallel";
+    case ParallelMode::DataParallel: return "data-parallel";
+  }
+  return "?";
+}
+
+std::string Plan::describe() const {
+  std::ostringstream os;
+  os << parallel_mode_name(mode) << " p=" << p << " q=" << q
+     << " per-device=" << (per_device_bytes >> 20) << " MiB";
+  return os.str();
+}
+
+bytes_t eq8_bytes(const PlanInput& in, int p, int q) {
+  const auto f = static_cast<double>(in.f);
+  const double rows_batch =
+      static_cast<double>(in.rows_solved) / q;  // ceil'd below via +1 rows
+  const double cols_part = static_cast<double>(in.cols_fixed) / p;
+  const double r_block_words =
+      2.0 * static_cast<double>(in.nz) / (static_cast<double>(p) * q) +
+      rows_batch + 1.0;
+  const double words = rows_batch * f          // X(j)
+                       + cols_part * f         // Θ(i)
+                       + r_block_words         // R(ij)
+                       + rows_batch * f * f    // A(j)
+                       + rows_batch * f;       // B(j)
+  return static_cast<bytes_t>(words * sizeof(real_t));
+}
+
+Plan plan_partition(const PlanInput& in) {
+  if (in.rows_solved <= 0 || in.cols_fixed <= 0 || in.f <= 0 ||
+      in.physical_devices <= 0) {
+    throw std::invalid_argument("plan_partition: bad input");
+  }
+  if (in.capacity <= in.headroom) {
+    throw std::runtime_error("plan_partition: headroom exceeds capacity");
+  }
+  const bytes_t budget = in.capacity - in.headroom;
+
+  const auto max_q = static_cast<int>(std::min<std::int64_t>(
+      in.rows_solved, 1 << 20));
+  auto smallest_feasible_q = [&](int p) -> int {
+    // Doubling then binary search keeps this O(log q) despite huge ranges.
+    int lo = 1, hi = 1;
+    while (hi <= max_q && eq8_bytes(in, p, hi) > budget) {
+      lo = hi + 1;
+      hi *= 2;
+    }
+    if (hi > max_q) {
+      if (eq8_bytes(in, p, max_q) > budget) return -1;
+      hi = max_q;
+    }
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (eq8_bytes(in, p, mid) <= budget) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  };
+
+  // Best practice 1: p = 1 feasible → single device, sequential batches.
+  const int q1 = smallest_feasible_q(1);
+  if (q1 > 0) {
+    Plan plan;
+    plan.p = 1;
+    plan.q = q1;
+    plan.per_device_bytes = eq8_bytes(in, 1, q1);
+    if (in.physical_devices == 1) {
+      plan.mode = ParallelMode::SingleDevice;
+    } else {
+      // The fixed factor fits on every device: replicate it and split the
+      // rows (Fig. 9). Keep per-device batching from the p=1 analysis.
+      plan.mode = ParallelMode::ModelParallel;
+    }
+    return plan;
+  }
+
+  // Best practice 3: start from p with (n·f)/p ≈ C/2, grow until feasible.
+  const double fixed_bytes =
+      static_cast<double>(in.cols_fixed) * in.f * sizeof(real_t);
+  int p = std::max(2, static_cast<int>(fixed_bytes / (static_cast<double>(budget) / 2.0)));
+  constexpr int kMaxLogicalP = 4096;
+  for (; p <= kMaxLogicalP; ++p) {
+    const int q = smallest_feasible_q(p);
+    if (q > 0) {
+      Plan plan;
+      plan.mode = ParallelMode::DataParallel;
+      plan.p = p;
+      plan.q = q;
+      plan.per_device_bytes = eq8_bytes(in, p, q);
+      return plan;
+    }
+  }
+  throw std::runtime_error(
+      "plan_partition: no (p,q) satisfies eq. 8 — problem requires "
+      "out-of-core staging");
+}
+
+}  // namespace cumf::core

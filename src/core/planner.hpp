@@ -1,0 +1,67 @@
+#pragma once
+
+// Capacity-driven partition planning (§4.3, eq. 8).
+//
+// For one update phase (solving a factor with `rows_solved` rows against a
+// fixed factor of `cols_fixed` rows), a device participating in SU-ALS must
+// simultaneously hold
+//
+//    X(j): (m/q)·f   +  Θ(i): (n/p)·f  +  R(ij)  +  A(j): (m/q)·f²
+//    +  B(j): (m/q)·f  +  ε   <   C                               (eq. 8)
+//
+// (in floats; ε is headroom for miscellanea — the paper uses 500 MB at
+// C = 12 GB). The planner applies the paper's three best practices:
+//   1. if p = 1 satisfies (8), solve on a single GPU in sequential batches;
+//   2. never grow q further once p = 1 fits;
+//   3. otherwise start from p ≈ n·f/(C/2) and pick the smallest feasible q.
+//
+// The plan also selects the execution mode: with multiple physical devices
+// and a fixed factor that fits everywhere, replicate it (pure model
+// parallelism, the Fig. 9 configuration); otherwise partition it and reduce
+// (data parallelism, Fig. 10). A logical p larger than the physical device
+// count is allowed — the solver runs partitions in sequential waves
+// (elasticity, §4.4).
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace cumf::core {
+
+enum class ParallelMode {
+  SingleDevice,   // MO-ALS with sequential row batches
+  ModelParallel,  // fixed factor replicated, rows split across devices
+  DataParallel,   // fixed factor partitioned, Hermitians reduced (SU-ALS)
+};
+
+const char* parallel_mode_name(ParallelMode mode);
+
+struct PlanInput {
+  std::int64_t rows_solved = 0;  // m when updating X, n when updating Θ
+  std::int64_t cols_fixed = 0;   // n when updating X, m when updating Θ
+  std::int64_t nz = 0;
+  int f = 0;
+  int physical_devices = 1;
+  bytes_t capacity = 12_GiB;   // C
+  bytes_t headroom = 500_MiB;  // ε
+};
+
+struct Plan {
+  ParallelMode mode = ParallelMode::SingleDevice;
+  int p = 1;  // logical fixed-factor partitions (may exceed physical devices)
+  int q = 1;  // row batches
+  bytes_t per_device_bytes = 0;  // worst-case bytes a device holds
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Worst-case bytes one device needs under a (p, q) split of the given
+/// problem — the left side of eq. (8) in bytes, excluding headroom.
+bytes_t eq8_bytes(const PlanInput& in, int p, int q);
+
+/// Produces the cheapest feasible plan. Throws std::runtime_error when even
+/// the maximum partitioning cannot satisfy eq. (8) (the problem needs
+/// out-of-core staging on top, see core/ooc.hpp).
+Plan plan_partition(const PlanInput& in);
+
+}  // namespace cumf::core

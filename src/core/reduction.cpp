@@ -1,0 +1,245 @@
+#include "core/reduction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace cumf::core {
+
+namespace {
+
+using gpusim::Device;
+using gpusim::PcieTopology;
+using gpusim::Transfer;
+
+gpusim::KernelStats add_stats(double adds) {
+  gpusim::KernelStats s;
+  s.flops = adds;
+  s.global_read = static_cast<bytes_t>(adds * 2) * sizeof(real_t);
+  s.global_write = static_cast<bytes_t>(adds) * sizeof(real_t);
+  return s;
+}
+
+/// Sums bufs[*] over the unit range into bufs[owner]. Summation order is
+/// fixed (device 0 first), so every scheme produces bit-identical values.
+void sum_units(const std::vector<real_t*>& bufs, const sparse::Range& units,
+               int unit_elems, std::size_t owner) {
+  real_t* out = bufs[owner];
+  const std::size_t lo = static_cast<std::size_t>(units.begin) *
+                         static_cast<std::size_t>(unit_elems);
+  const std::size_t hi = static_cast<std::size_t>(units.end) *
+                         static_cast<std::size_t>(unit_elems);
+  for (std::size_t e = lo; e < hi; ++e) {
+    real_t acc = bufs[0][e];
+    for (std::size_t d = 1; d < bufs.size(); ++d) {
+      acc += bufs[d][e];
+    }
+    out[e] = acc;
+  }
+}
+
+bytes_t total_bytes(const std::vector<Transfer>& batch) {
+  bytes_t total = 0;
+  for (const auto& t : batch) total += t.bytes;
+  return total;
+}
+
+}  // namespace
+
+const char* reduce_scheme_name(ReduceScheme scheme) {
+  switch (scheme) {
+    case ReduceScheme::SingleDevice: return "single-device";
+    case ReduceScheme::OnePhase: return "one-phase";
+    case ReduceScheme::TwoPhase: return "two-phase";
+  }
+  return "?";
+}
+
+ReduceResult reduce_across_devices(const std::vector<Device*>& devices,
+                                   const PcieTopology& topo,
+                                   const std::vector<real_t*>& bufs,
+                                   idx_t units, int unit_elems,
+                                   ReduceScheme scheme) {
+  const auto p = devices.size();
+  if (p == 0 || bufs.size() != p) {
+    throw std::invalid_argument("reduce_across_devices: device/buffer mismatch");
+  }
+  ReduceResult result;
+  result.owned.assign(p, sparse::Range{0, 0});
+
+  if (p == 1) {
+    result.owned[0] = sparse::Range{0, units};
+    return result;  // nothing to move or add
+  }
+
+  // Reduction is a synchronization point: align clocks first.
+  gpusim::sync_devices(devices);
+  const double t0 = devices[0]->clock_seconds();
+  const bytes_t unit_bytes = static_cast<bytes_t>(unit_elems) * sizeof(real_t);
+  const double unit_adds = static_cast<double>(unit_elems);
+
+  if (scheme == ReduceScheme::SingleDevice) {
+    std::vector<Transfer> batch;
+    const bytes_t full = static_cast<bytes_t>(units) * unit_bytes;
+    for (std::size_t src = 1; src < p; ++src) {
+      batch.push_back({static_cast<int>(src), 0, full});
+    }
+    const double makespan = topo.makespan_seconds(batch);
+    for (std::size_t d = 0; d < p; ++d) {
+      devices[d]->account_transfer(d == 0 ? 0 : full, makespan, false, d != 0);
+    }
+    result.owned[0] = sparse::Range{0, units};
+    sum_units(bufs, result.owned[0], unit_elems, 0);
+    devices[0]->account_kernel(add_stats(static_cast<double>(p - 1) *
+                                         static_cast<double>(units) * unit_adds));
+    result.bytes_moved = total_bytes(batch);
+  } else {
+    const auto slices = sparse::split_even(units, static_cast<int>(p));
+    for (std::size_t i = 0; i < p; ++i) result.owned[i] = slices[i];
+
+    if (scheme == ReduceScheme::OnePhase) {
+      // Fig. 5(a): all-to-all slice exchange on full-duplex channels.
+      std::vector<Transfer> batch;
+      for (std::size_t owner = 0; owner < p; ++owner) {
+        const bytes_t b = static_cast<bytes_t>(slices[owner].size()) * unit_bytes;
+        for (std::size_t src = 0; src < p; ++src) {
+          if (src != owner) {
+            batch.push_back({static_cast<int>(src), static_cast<int>(owner), b});
+          }
+        }
+      }
+      const double makespan = topo.makespan_seconds(batch);
+      for (std::size_t d = 0; d < p; ++d) {
+        devices[d]->advance_clock(makespan);
+        devices[d]->account_kernel(
+            add_stats(static_cast<double>(p - 1) *
+                      static_cast<double>(slices[d].size()) * unit_adds));
+      }
+      for (std::size_t owner = 0; owner < p; ++owner) {
+        sum_units(bufs, slices[owner], unit_elems, owner);
+      }
+      result.bytes_moved = total_bytes(batch);
+    } else {
+      // Fig. 5(b): phase 1 reduces each slice within every socket; phase 2
+      // moves exactly one partial per (slice, foreign socket) across.
+      std::vector<std::vector<int>> socket_members;
+      for (std::size_t d = 0; d < p; ++d) {
+        const int s = topo.socket_of(static_cast<int>(d));
+        if (static_cast<std::size_t>(s) >= socket_members.size()) {
+          socket_members.resize(static_cast<std::size_t>(s) + 1);
+        }
+        socket_members[static_cast<std::size_t>(s)].push_back(static_cast<int>(d));
+      }
+
+      std::vector<Transfer> phase1, phase2;
+      std::vector<double> adds(p, 0.0);
+      for (std::size_t owner = 0; owner < p; ++owner) {
+        const bytes_t b = static_cast<bytes_t>(slices[owner].size()) * unit_bytes;
+        const double slice_adds =
+            static_cast<double>(slices[owner].size()) * unit_adds;
+        const int owner_socket = topo.socket_of(static_cast<int>(owner));
+        for (std::size_t s = 0; s < socket_members.size(); ++s) {
+          const auto& members = socket_members[s];
+          if (members.empty()) continue;
+          // Aggregator: the owner within its own socket; round-robin over
+          // the socket's members otherwise to balance channels over slices.
+          int agg;
+          if (static_cast<int>(s) == owner_socket) {
+            agg = static_cast<int>(owner);
+          } else {
+            agg = members[owner % members.size()];
+          }
+          for (const int d : members) {
+            if (d != agg) {
+              phase1.push_back({d, agg, b});
+              adds[static_cast<std::size_t>(agg)] += slice_adds;
+            }
+          }
+          if (static_cast<int>(s) != owner_socket) {
+            phase2.push_back({agg, static_cast<int>(owner), b});
+            adds[owner] += slice_adds;
+          }
+        }
+      }
+      const double makespan =
+          topo.makespan_seconds(phase1) + topo.makespan_seconds(phase2);
+      for (std::size_t d = 0; d < p; ++d) {
+        devices[d]->advance_clock(makespan);
+        devices[d]->account_kernel(add_stats(adds[d]));
+      }
+      for (std::size_t owner = 0; owner < p; ++owner) {
+        sum_units(bufs, slices[owner], unit_elems, owner);
+      }
+      result.bytes_moved = total_bytes(phase1) + total_bytes(phase2);
+    }
+  }
+
+  gpusim::sync_devices(devices);
+  result.modeled_seconds = devices[0]->clock_seconds() - t0;
+  return result;
+}
+
+double reduce_modeled_seconds(int p, const gpusim::PcieTopology& topo,
+                              double total_elems, ReduceScheme scheme,
+                              const gpusim::DeviceSpec& spec) {
+  if (p <= 1) return 0.0;
+  const double total_bytes = total_elems * sizeof(real_t);
+  const double slice_bytes = total_bytes / p;
+  const auto b = [](double v) { return static_cast<bytes_t>(v); };
+  Device model_dev(0, spec);
+
+  std::vector<Transfer> batch;
+  double adds_per_dev = 0.0;
+  double makespan = 0.0;
+  switch (scheme) {
+    case ReduceScheme::SingleDevice: {
+      for (int src = 1; src < p; ++src) batch.push_back({src, 0, b(total_bytes)});
+      makespan = topo.makespan_seconds(batch);
+      adds_per_dev = static_cast<double>(p - 1) * total_elems;  // all on dev 0
+      break;
+    }
+    case ReduceScheme::OnePhase: {
+      for (int owner = 0; owner < p; ++owner) {
+        for (int src = 0; src < p; ++src) {
+          if (src != owner) batch.push_back({src, owner, b(slice_bytes)});
+        }
+      }
+      makespan = topo.makespan_seconds(batch);
+      adds_per_dev = static_cast<double>(p - 1) * total_elems / p;
+      break;
+    }
+    case ReduceScheme::TwoPhase: {
+      std::vector<std::vector<int>> members;
+      for (int d = 0; d < p; ++d) {
+        const int s = topo.socket_of(d);
+        if (static_cast<std::size_t>(s) >= members.size()) {
+          members.resize(static_cast<std::size_t>(s) + 1);
+        }
+        members[static_cast<std::size_t>(s)].push_back(d);
+      }
+      std::vector<Transfer> phase1, phase2;
+      for (int owner = 0; owner < p; ++owner) {
+        const int os = topo.socket_of(owner);
+        for (std::size_t s = 0; s < members.size(); ++s) {
+          const auto& mem = members[s];
+          if (mem.empty()) continue;
+          const int agg = (static_cast<int>(s) == os)
+                              ? owner
+                              : mem[static_cast<std::size_t>(owner) % mem.size()];
+          for (const int d : mem) {
+            if (d != agg) phase1.push_back({d, agg, b(slice_bytes)});
+          }
+          if (static_cast<int>(s) != os) phase2.push_back({agg, owner, b(slice_bytes)});
+        }
+      }
+      makespan = topo.makespan_seconds(phase1) + topo.makespan_seconds(phase2);
+      // Each slice needs p-1 adds in total, balanced across aggregators.
+      adds_per_dev = static_cast<double>(p - 1) * total_elems / p;
+      break;
+    }
+  }
+  gpusim::KernelStats adds = add_stats(adds_per_dev);
+  return makespan + model_dev.model_kernel_seconds(adds);
+}
+
+}  // namespace cumf::core

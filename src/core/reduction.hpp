@@ -1,0 +1,63 @@
+#pragma once
+
+// Cross-device reduction of partial Hermitians (Algorithm 3 lines 13-16 and
+// §4.2). Each of the p devices holds a partial buffer of identical length;
+// after reduction, device i owns slice i of the fully reduced sum.
+//
+// Three schemes, in increasing sophistication:
+//   SingleDevice — every device ships its whole buffer to device 0, which
+//     sums (the strawman of §4.2; the fully reduced result lives on
+//     device 0 only).
+//   OnePhase — Fig. 5(a): the buffer is cut into p slices; device i collects
+//     every other device's slice i, using every in- and out-channel
+//     simultaneously (full-duplex PCIe).
+//   TwoPhase — Fig. 5(b): slices are first reduced within each socket, and
+//     only one partial per slice crosses the (slower) inter-socket link.
+//
+// The arithmetic is performed for real on the host-resident device buffers;
+// the PCIe model prices the transfer schedule and the device clocks advance
+// by that makespan plus the add-kernel time.
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/topology.hpp"
+#include "sparse/partition.hpp"
+#include "util/types.hpp"
+
+namespace cumf::core {
+
+enum class ReduceScheme { SingleDevice, OnePhase, TwoPhase };
+
+const char* reduce_scheme_name(ReduceScheme scheme);
+
+struct ReduceResult {
+  double modeled_seconds = 0.0;  // transfer makespan + add time
+  bytes_t bytes_moved = 0;       // total bytes crossing any link
+  /// Slice of the reduced buffer owned by each device (by element index).
+  std::vector<sparse::Range> owned;
+};
+
+/// Reduces p equal-shape buffers (bufs[i] on devices[i]) holding `units`
+/// logical units of `unit_elems` contiguous real_t each (for the Hermitian
+/// reduction a unit is one row's A_u, unit_elems = f²; slicing respects unit
+/// boundaries so each owner can batch-solve its rows directly — `owned` ranges
+/// are in units). On return, device i's buffer holds the correct global sum
+/// over its owned slice (other regions are unspecified); for SingleDevice,
+/// device 0 owns everything. Device clocks are advanced; every device ends
+/// at the same simulated time (the reduction is a synchronization point).
+ReduceResult reduce_across_devices(const std::vector<gpusim::Device*>& devices,
+                                   const gpusim::PcieTopology& topo,
+                                   const std::vector<real_t*>& bufs,
+                                   idx_t units, int unit_elems,
+                                   ReduceScheme scheme);
+
+/// Model-only variant: prices the same transfer schedule and add kernels for
+/// `total_elems` reduced elements across p devices WITHOUT touching any data.
+/// Used to project reductions at full paper scale (10¹¹-element Hermitians)
+/// where materializing buffers is impossible.
+double reduce_modeled_seconds(int p, const gpusim::PcieTopology& topo,
+                              double total_elems, ReduceScheme scheme,
+                              const gpusim::DeviceSpec& spec);
+
+}  // namespace cumf::core

@@ -1,0 +1,425 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/kernels.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace cumf::core {
+
+namespace {
+
+using gpusim::Device;
+using gpusim::DeviceBuffer;
+using gpusim::kHost;
+using gpusim::Transfer;
+
+/// RAII capacity charge for data that logically resides on a device but is
+/// physically shared host memory (R blocks).
+class ChargeGuard {
+ public:
+  ChargeGuard(Device& dev, bytes_t bytes) : dev_(&dev), bytes_(bytes) {
+    dev_->charge(bytes_);
+  }
+  ~ChargeGuard() {
+    if (dev_) dev_->release(bytes_);
+  }
+  ChargeGuard(const ChargeGuard&) = delete;
+  ChargeGuard& operator=(const ChargeGuard&) = delete;
+
+ private:
+  Device* dev_;
+  bytes_t bytes_;
+};
+
+bytes_t factor_bytes(std::int64_t rows, int f) {
+  return static_cast<bytes_t>(rows) * static_cast<bytes_t>(f) * sizeof(real_t);
+}
+
+}  // namespace
+
+AlsSolver::AlsSolver(std::vector<Device*> devices, gpusim::PcieTopology topo,
+                     const sparse::CsrMatrix& R, const sparse::CsrMatrix& Rt,
+                     SolverConfig config)
+    : devices_(std::move(devices)), topo_(std::move(topo)),
+      cfg_(std::move(config)) {
+  if (devices_.empty()) {
+    throw std::invalid_argument("AlsSolver: need at least one device");
+  }
+  if (topo_.num_devices() < static_cast<int>(devices_.size())) {
+    throw std::invalid_argument("AlsSolver: topology smaller than device set");
+  }
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (devices_[d]->id() != static_cast<int>(d)) {
+      throw std::invalid_argument("AlsSolver: device ids must be 0..P-1");
+    }
+  }
+  if (R.rows != Rt.cols || R.cols != Rt.rows || R.nnz() != Rt.nnz()) {
+    throw std::invalid_argument("AlsSolver: R and Rt shapes do not match");
+  }
+
+  side_x_ = make_side(R, cfg_.plan_x);
+  side_t_ = make_side(Rt, cfg_.plan_t);
+
+  const int f = cfg_.als.f;
+  x_ = linalg::FactorMatrix(R.rows, f);
+  theta_ = linalg::FactorMatrix(R.cols, f);
+  util::Rng rng(cfg_.als.seed);
+  const auto scale =
+      static_cast<real_t>(1.0 / std::sqrt(static_cast<double>(f)));
+  x_.randomize(rng, scale);
+  theta_.randomize(rng, scale);
+
+  if (cfg_.als.verbose) {
+    util::log_info("AlsSolver: update-X ", side_x_.plan.describe(),
+                   "; update-Theta ", side_t_.plan.describe());
+  }
+}
+
+AlsSolver::Side AlsSolver::make_side(const sparse::CsrMatrix& R,
+                                     const std::optional<Plan>& forced) {
+  Side side;
+  side.R = &R;
+  if (forced) {
+    side.plan = *forced;
+  } else {
+    PlanInput in;
+    in.rows_solved = R.rows;
+    in.cols_fixed = R.cols;
+    in.nz = R.nnz();
+    in.f = cfg_.als.f;
+    in.physical_devices = static_cast<int>(devices_.size());
+    in.capacity = devices_[0]->spec().global_bytes;
+    in.headroom = cfg_.planner_headroom
+                      ? cfg_.planner_headroom
+                      : std::min<bytes_t>(500_MiB, in.capacity / 24);
+    side.plan = plan_partition(in);
+  }
+  if (side.plan.mode == ParallelMode::DataParallel) {
+    side.grid = sparse::grid_partition(R, side.plan.p, side.plan.q);
+  }
+  return side;
+}
+
+void AlsSolver::set_factors(linalg::FactorMatrix x,
+                            linalg::FactorMatrix theta) {
+  if (x.rows() != x_.rows() || x.f() != x_.f() ||
+      theta.rows() != theta_.rows() || theta.f() != theta_.f()) {
+    throw std::invalid_argument("set_factors: shape mismatch");
+  }
+  x_ = std::move(x);
+  theta_ = std::move(theta);
+}
+
+double AlsSolver::modeled_seconds() const {
+  return gpusim::max_clock(devices_);
+}
+
+void AlsSolver::run_iteration() {
+  update_side(side_x_, theta_, x_);
+  update_side(side_t_, x_, theta_);
+  ++iterations_run_;
+}
+
+void AlsSolver::update_side(const Side& side,
+                            const linalg::FactorMatrix& fixed,
+                            linalg::FactorMatrix& out) {
+  switch (side.plan.mode) {
+    case ParallelMode::SingleDevice:
+      update_single(side, fixed, out);
+      break;
+    case ParallelMode::ModelParallel:
+      update_model_parallel(side, fixed, out);
+      break;
+    case ParallelMode::DataParallel:
+      update_data_parallel(side, fixed, out);
+      break;
+  }
+  cold_start_ = false;  // factors now live on the devices
+}
+
+namespace {
+/// Rows per get_hermitian/batch_solve wave for the single/model-parallel
+/// paths: the planner's q batches, capped by the practical solve_batch.
+idx_t wave_rows(idx_t rows, int q, idx_t cap) {
+  const idx_t per_batch = (rows + q - 1) / std::max(1, q);
+  return std::max<idx_t>(1, std::min(per_batch, cap));
+}
+}  // namespace
+
+void AlsSolver::update_single(const Side& side,
+                              const linalg::FactorMatrix& fixed,
+                              linalg::FactorMatrix& out) {
+  Device& dev = *devices_[0];
+  const int f = cfg_.als.f;
+  const sparse::CsrMatrix& R = *side.R;
+
+  DeviceBuffer<real_t> theta_buf(dev, fixed.data().size());
+  std::memcpy(theta_buf.data(), fixed.data().data(),
+              fixed.data().size() * sizeof(real_t));
+  if (cold_start_) {
+    account_transfer_batch({{kHost, 0, factor_bytes(fixed.rows(), f)}});
+  }
+
+  const ChargeGuard r_guard(dev, R.footprint_bytes());
+  const idx_t bs = wave_rows(R.rows, side.plan.q, cfg_.als.solve_batch);
+  DeviceBuffer<real_t> A(dev, static_cast<std::size_t>(bs) * f * f);
+  DeviceBuffer<real_t> B(dev, static_cast<std::size_t>(bs) * f);
+
+  for (idx_t b = 0; b < R.rows; b += bs) {
+    const idx_t e = std::min<idx_t>(R.rows, b + bs);
+    double t0 = dev.clock_seconds();
+    get_hermitian_block(dev, R, b, e, theta_buf.data(), f, cfg_.als.lambda,
+                        cfg_.als.kernel, A.data(), B.data());
+    profile_.get_hermitian += dev.clock_seconds() - t0;
+    t0 = dev.clock_seconds();
+    solve_rows(dev, A.data(), B.data(), e - b, out.row(b));
+    profile_.batch_solve += dev.clock_seconds() - t0;
+  }
+  // The solved factor stays device-resident for the next phase.
+}
+
+void AlsSolver::update_model_parallel(const Side& side,
+                                      const linalg::FactorMatrix& fixed,
+                                      linalg::FactorMatrix& out) {
+  const int f = cfg_.als.f;
+  const sparse::CsrMatrix& R = *side.R;
+  const auto P = static_cast<int>(devices_.size());
+  const auto ranges = sparse::split_even(R.rows, P);
+
+  if (cold_start_) {
+    // Broadcast the fixed factor: P simultaneous H2D copies contend on the
+    // host channel — the "PCIe IO contention" overhead of §5.4.
+    std::vector<Transfer> bcast;
+    bcast.reserve(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      bcast.push_back({kHost, d, factor_bytes(fixed.rows(), f)});
+    }
+    account_transfer_batch(bcast);
+  } else {
+    // Warm phase: the fixed factor was just solved in slices across the
+    // devices; all-gather those slices peer-to-peer over PCIe.
+    const auto fixed_slices = sparse::split_even(fixed.rows(), P);
+    std::vector<Transfer> allgather;
+    for (int src = 0; src < P; ++src) {
+      const bytes_t b = factor_bytes(
+          fixed_slices[static_cast<std::size_t>(src)].size(), f);
+      if (b == 0) continue;
+      for (int dst = 0; dst < P; ++dst) {
+        if (dst != src) allgather.push_back({src, dst, b});
+      }
+    }
+    account_transfer_batch(allgather);
+  }
+
+  for (int d = 0; d < P; ++d) {
+    Device& dev = *devices_[d];
+    const sparse::Range rr = ranges[static_cast<std::size_t>(d)];
+    if (rr.size() == 0) continue;
+
+    DeviceBuffer<real_t> theta_buf(dev, fixed.data().size());
+    std::memcpy(theta_buf.data(), fixed.data().data(),
+                fixed.data().size() * sizeof(real_t));
+    // This device holds only its share of R.
+    const ChargeGuard r_guard(
+        dev, R.footprint_bytes() / static_cast<bytes_t>(P) + 1);
+
+    const idx_t bs = wave_rows(R.rows, side.plan.q, cfg_.als.solve_batch);
+    DeviceBuffer<real_t> A(dev, static_cast<std::size_t>(bs) * f * f);
+    DeviceBuffer<real_t> B(dev, static_cast<std::size_t>(bs) * f);
+    for (idx_t b = rr.begin; b < rr.end; b += bs) {
+      const idx_t e = std::min<idx_t>(rr.end, b + bs);
+      double t0 = dev.clock_seconds();
+      get_hermitian_block(dev, R, b, e, theta_buf.data(), f, cfg_.als.lambda,
+                          cfg_.als.kernel, A.data(), B.data());
+      if (d == 0) profile_.get_hermitian += dev.clock_seconds() - t0;
+      t0 = dev.clock_seconds();
+      solve_rows(dev, A.data(), B.data(), e - b, out.row(b));
+      if (d == 0) profile_.batch_solve += dev.clock_seconds() - t0;
+    }
+    // Solved slices stay device-resident for the next phase.
+  }
+  gpusim::sync_devices(devices_);
+}
+
+void AlsSolver::update_data_parallel(const Side& side,
+                                     const linalg::FactorMatrix& fixed,
+                                     linalg::FactorMatrix& out) {
+  const int f = cfg_.als.f;
+  const auto P = static_cast<int>(devices_.size());
+  const int p = side.plan.p;
+  const int q = side.plan.q;
+  const int waves = (p + P - 1) / P;
+  const auto& grid = side.grid;
+  const std::size_t fsq = static_cast<std::size_t>(f) * f;
+
+  std::vector<DeviceBuffer<real_t>> theta_parts(static_cast<std::size_t>(P));
+  auto load_theta_wave = [&](int wave) {
+    std::vector<Transfer> h2d;
+    for (int d = 0; d < P; ++d) {
+      const int l = wave * P + d;
+      if (l >= p) {
+        theta_parts[static_cast<std::size_t>(d)].reset();
+        continue;
+      }
+      const sparse::Range cr = grid.col_ranges[static_cast<std::size_t>(l)];
+      auto& buf = theta_parts[static_cast<std::size_t>(d)];
+      buf = DeviceBuffer<real_t>(*devices_[static_cast<std::size_t>(d)],
+                                 static_cast<std::size_t>(cr.size()) * f);
+      std::memcpy(buf.data(), fixed.row(cr.begin),
+                  static_cast<std::size_t>(cr.size()) * f * sizeof(real_t));
+      h2d.push_back({kHost, d, factor_bytes(cr.size(), f)});
+    }
+    account_transfer_batch(h2d);
+  };
+  if (waves == 1) load_theta_wave(0);
+
+  for (int j = 0; j < q; ++j) {
+    const sparse::Range rows_j = grid.row_ranges[static_cast<std::size_t>(j)];
+    if (rows_j.size() == 0) continue;
+
+    // Per-device partial-Hermitian accumulators (zero-initialized).
+    std::vector<DeviceBuffer<real_t>> A_acc, B_acc;
+    A_acc.reserve(static_cast<std::size_t>(P));
+    B_acc.reserve(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      A_acc.emplace_back(*devices_[static_cast<std::size_t>(d)],
+                         static_cast<std::size_t>(rows_j.size()) * fsq);
+      B_acc.emplace_back(*devices_[static_cast<std::size_t>(d)],
+                         static_cast<std::size_t>(rows_j.size()) * f);
+    }
+
+    for (int wave = 0; wave < waves; ++wave) {
+      if (waves > 1) load_theta_wave(wave);
+      std::vector<Transfer> h2d;
+      for (int d = 0; d < P; ++d) {
+        const int l = wave * P + d;
+        if (l >= p) continue;
+        h2d.push_back({kHost, d, grid.block(l, j).local.footprint_bytes()});
+      }
+      account_transfer_batch(h2d);
+
+      for (int d = 0; d < P; ++d) {
+        const int l = wave * P + d;
+        if (l >= p) continue;
+        Device& dev = *devices_[static_cast<std::size_t>(d)];
+        const sparse::GridBlock& blk = grid.block(l, j);
+        const ChargeGuard r_guard(dev, blk.local.footprint_bytes());
+        const double t0 = dev.clock_seconds();
+        get_hermitian_block(dev, blk.local, 0, blk.local.rows,
+                            theta_parts[static_cast<std::size_t>(d)].data(), f,
+                            cfg_.als.lambda, cfg_.als.kernel,
+                            A_acc[static_cast<std::size_t>(d)].data(),
+                            B_acc[static_cast<std::size_t>(d)].data(),
+                            /*accumulate=*/true);
+        if (d == 0) profile_.get_hermitian += dev.clock_seconds() - t0;
+      }
+    }
+
+    // Parallel reduction of the partial Hermitians (Alg. 3 lines 13-16).
+    std::vector<real_t*> abufs, bbufs;
+    for (int d = 0; d < P; ++d) {
+      abufs.push_back(A_acc[static_cast<std::size_t>(d)].data());
+      bbufs.push_back(B_acc[static_cast<std::size_t>(d)].data());
+    }
+    const ReduceResult ra = reduce_across_devices(
+        devices_, topo_, abufs, rows_j.size(), f * f, cfg_.reduce);
+    const ReduceResult rb = reduce_across_devices(
+        devices_, topo_, bbufs, rows_j.size(), f, cfg_.reduce);
+    profile_.reduce += ra.modeled_seconds + rb.modeled_seconds;
+
+    // Slice-parallel solve on the owning devices (Alg. 3 line 17).
+    std::vector<Transfer> d2h;
+    for (int d = 0; d < P; ++d) {
+      const sparse::Range owned = ra.owned[static_cast<std::size_t>(d)];
+      assert(owned.begin == rb.owned[static_cast<std::size_t>(d)].begin);
+      if (owned.size() == 0) continue;
+      Device& dev = *devices_[static_cast<std::size_t>(d)];
+      const double t0 = dev.clock_seconds();
+      solve_rows(dev,
+                 A_acc[static_cast<std::size_t>(d)].data() +
+                     static_cast<std::size_t>(owned.begin) * fsq,
+                 B_acc[static_cast<std::size_t>(d)].data() +
+                     static_cast<std::size_t>(owned.begin) * f,
+                 owned.size(), out.row(rows_j.begin + owned.begin));
+      if (d == 0) profile_.batch_solve += dev.clock_seconds() - t0;
+      d2h.push_back({d, kHost, factor_bytes(owned.size(), f)});
+    }
+    account_transfer_batch(d2h);
+  }
+  gpusim::sync_devices(devices_);
+}
+
+void AlsSolver::solve_rows(Device& dev, real_t* A, real_t* B, idx_t count,
+                           real_t* x_out) {
+  const int f = cfg_.als.f;
+  if (cfg_.als.solve_backend == SolveBackend::Cholesky) {
+    batch_solve_block(dev, A, B, count, f, x_out);
+  } else {
+    batch_solve_block_cg(dev, A, B, count, f, x_out, cfg_.als.cg_max_iters,
+                         cfg_.als.cg_tolerance);
+  }
+}
+
+void AlsSolver::account_transfer_batch(const std::vector<Transfer>& batch) {
+  if (batch.empty()) return;
+  const double makespan = topo_.makespan_seconds(batch);
+  std::vector<bytes_t> in_bytes(devices_.size(), 0);
+  std::vector<bytes_t> out_bytes(devices_.size(), 0);
+  for (const Transfer& t : batch) {
+    if (t.dst != kHost) in_bytes[static_cast<std::size_t>(t.dst)] += t.bytes;
+    if (t.src != kHost) out_bytes[static_cast<std::size_t>(t.src)] += t.bytes;
+  }
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (in_bytes[d] == 0 && out_bytes[d] == 0) continue;
+    if (in_bytes[d] != 0) {
+      devices_[d]->account_transfer(in_bytes[d], makespan, true, false);
+    }
+    if (out_bytes[d] != 0) {
+      devices_[d]->account_transfer(out_bytes[d],
+                                    in_bytes[d] != 0 ? 0.0 : makespan, true,
+                                    true);
+    }
+  }
+  profile_.transfer += makespan;
+}
+
+eval::ConvergenceHistory AlsSolver::train(int iterations,
+                                          const sparse::CooMatrix* train_eval,
+                                          const sparse::CooMatrix* test_eval,
+                                          const std::string& label) {
+  eval::ConvergenceHistory hist;
+  hist.label = label;
+  auto snapshot = [&](int iter, double wall) {
+    eval::ConvergencePoint pt;
+    pt.iteration = iter;
+    pt.wall_seconds = wall;
+    pt.modeled_seconds = modeled_seconds();
+    pt.train_rmse = train_eval ? eval::rmse(*train_eval, x_, theta_) : 0.0;
+    pt.test_rmse = test_eval ? eval::rmse(*test_eval, x_, theta_) : 0.0;
+    hist.add(pt);
+  };
+  snapshot(0, 0.0);
+  double wall_total = 0.0;
+  for (int it = 1; it <= iterations; ++it) {
+    util::Stopwatch sw;
+    run_iteration();
+    wall_total += sw.seconds();
+    snapshot(it, wall_total);
+    if (cfg_.als.verbose) {
+      const auto& pt = hist.points.back();
+      util::log_info(label, " iter ", it, " wall ", pt.wall_seconds,
+                     "s modeled ", pt.modeled_seconds, "s test-rmse ",
+                     pt.test_rmse);
+    }
+  }
+  return hist;
+}
+
+}  // namespace cumf::core

@@ -1,0 +1,138 @@
+#pragma once
+
+// The cuMF ALS solver.
+//
+// One public class covers the paper's three deployment shapes, selected per
+// update phase by the eq.-8 planner (or forced via SolverConfig):
+//
+//   SingleDevice  — MO-ALS (Algorithm 2) on one device, X solved in
+//                   sequential row batches;
+//   ModelParallel — the fixed factor is replicated on every device and the
+//                   solved factor's rows are split across them (the Fig. 9
+//                   configuration; no inter-device reduction);
+//   DataParallel  — SU-ALS (Algorithm 3): the fixed factor is vertically
+//                   partitioned into p pieces, R grid-partitioned p×q, local
+//                   Hermitians computed per device and parallel-reduced with
+//                   a topology-aware scheme (§4.2), then solved slice-
+//                   parallel. A logical p larger than the physical device
+//                   count runs in sequential waves (elasticity, §4.4).
+//
+// Update-X and update-Θ are planned independently — e.g. for a Hugewiki-
+// shaped problem, update-X is model-parallel (Θ is tiny) while update-Θ is
+// data-parallel (X is huge), exactly as in §5.5.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/als_options.hpp"
+#include "core/planner.hpp"
+#include "core/reduction.hpp"
+#include "eval/metrics.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/topology.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace cumf::core {
+
+struct SolverConfig {
+  AlsOptions als;
+  ReduceScheme reduce = ReduceScheme::OnePhase;
+  /// Optional plan overrides (tests/ablations); nullopt → eq.-8 planner.
+  std::optional<Plan> plan_x;
+  std::optional<Plan> plan_t;
+  /// Device capacity/headroom fed to the planner. Defaults to the first
+  /// device's capacity and the paper's 500 MB ε (scaled if tiny).
+  bytes_t planner_headroom = 0;  // 0 → auto
+};
+
+/// Cumulative per-phase cost breakdown (modeled seconds).
+struct PhaseProfile {
+  double get_hermitian = 0.0;
+  double batch_solve = 0.0;
+  double reduce = 0.0;
+  double transfer = 0.0;
+  [[nodiscard]] double total() const {
+    return get_hermitian + batch_solve + reduce + transfer;
+  }
+};
+
+class AlsSolver {
+ public:
+  /// `R` is the m×n training matrix in CSR; `Rt` its transpose (CSR of Rᵀ).
+  /// Devices must be numbered 0..P-1 matching the topology.
+  AlsSolver(std::vector<gpusim::Device*> devices, gpusim::PcieTopology topo,
+            const sparse::CsrMatrix& R, const sparse::CsrMatrix& Rt,
+            SolverConfig config);
+
+  [[nodiscard]] const linalg::FactorMatrix& x() const { return x_; }
+  [[nodiscard]] const linalg::FactorMatrix& theta() const { return theta_; }
+  /// Replaces the factors (checkpoint restore). Shapes must match.
+  void set_factors(linalg::FactorMatrix x, linalg::FactorMatrix theta);
+
+  [[nodiscard]] const Plan& plan_x() const { return side_x_.plan; }
+  [[nodiscard]] const Plan& plan_theta() const { return side_t_.plan; }
+
+  /// One full ALS iteration: update-X, then update-Θ.
+  void run_iteration();
+  [[nodiscard]] int iterations_run() const { return iterations_run_; }
+
+  /// Max simulated device clock (the modeled end-to-end training time).
+  [[nodiscard]] double modeled_seconds() const;
+  [[nodiscard]] const PhaseProfile& profile() const { return profile_; }
+
+  /// Runs `iterations` full iterations, recording train/test RMSE and both
+  /// time axes after each. Evaluation cost is excluded from the wall clock.
+  eval::ConvergenceHistory train(int iterations,
+                                 const sparse::CooMatrix* train_eval,
+                                 const sparse::CooMatrix* test_eval,
+                                 const std::string& label);
+
+ private:
+  struct Side {
+    const sparse::CsrMatrix* R = nullptr;  // rows = factor being solved
+    Plan plan;
+    sparse::GridPartition grid;            // DataParallel only
+  };
+
+  Side make_side(const sparse::CsrMatrix& R, const std::optional<Plan>& forced);
+  void update_side(const Side& side, const linalg::FactorMatrix& fixed,
+                   linalg::FactorMatrix& out);
+  void update_single(const Side& side, const linalg::FactorMatrix& fixed,
+                     linalg::FactorMatrix& out);
+  void update_model_parallel(const Side& side,
+                             const linalg::FactorMatrix& fixed,
+                             linalg::FactorMatrix& out);
+  void update_data_parallel(const Side& side,
+                            const linalg::FactorMatrix& fixed,
+                            linalg::FactorMatrix& out);
+
+  /// Advances the clocks of all devices appearing in `batch` by the batch's
+  /// makespan and records the per-device byte counters.
+  void account_transfer_batch(const std::vector<gpusim::Transfer>& batch);
+
+  /// Dispatches batch_solve to the configured backend (Cholesky in-place or
+  /// warm-started CG; x_out holds the previous iterate on entry either way).
+  void solve_rows(gpusim::Device& dev, real_t* A, real_t* B, idx_t count,
+                  real_t* x_out);
+
+  std::vector<gpusim::Device*> devices_;
+  gpusim::PcieTopology topo_;
+  SolverConfig cfg_;
+  Side side_x_;
+  Side side_t_;
+  linalg::FactorMatrix x_;
+  linalg::FactorMatrix theta_;
+  PhaseProfile profile_;
+  int iterations_run_ = 0;
+  // First phase ever must load the fixed factor from host memory; every
+  // later phase finds it device-resident (it was just computed there), so
+  // only slice exchange between devices is charged. This mirrors cuMF
+  // keeping X and Θ on the GPUs across the whole run.
+  bool cold_start_ = true;
+};
+
+}  // namespace cumf::core

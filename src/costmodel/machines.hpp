@@ -1,0 +1,87 @@
+#pragma once
+
+// Machine and cluster models for the CPU baselines, plus the cloud price
+// table behind Table 1.
+//
+// The paper's cross-system numbers come from hardware we cannot run
+// (30-core Xeons, 32/64-node clusters); we model their throughput and anchor
+// per-iteration latencies at the values the paper itself reports, so every
+// comparison's baseline side equals the published figure (see DESIGN.md §2).
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace cumf::costmodel {
+
+struct CpuSpec {
+  std::string name;
+  int cores = 1;
+  double gflops_per_core = 16.0;  // SP, with SIMD
+  double mem_bw_gbps = 60.0;
+};
+
+/// The 30-core machine of §5.2 (libMF/NOMAD single-node comparisons).
+CpuSpec xeon_30core();
+/// One AWS m3.2xlarge-class node (8 vCPU), the SparkALS cluster node.
+CpuSpec m3_2xlarge();
+/// One AWS c3.2xlarge-class node, Factorbird's node type.
+CpuSpec c3_2xlarge();
+
+/// Parallel efficiency of libMF at a given thread count: per §6.2 it "stops
+/// scaling beyond 16 cores".
+double libmf_efficiency(int threads);
+/// NOMAD keeps scaling further but sub-linearly (§5.4: cache locality and
+/// communication overhead).
+double nomad_efficiency(int threads);
+
+/// Modeled seconds for one SGD epoch (Nz eq.-(4) updates) on a CPU machine.
+/// SGD is memory bound: each update touches 4f floats (read+write x_u, θ_v)
+/// and does ~6f flops.
+double sgd_epoch_seconds(const CpuSpec& cpu, int threads, double efficiency,
+                         double nz, int f);
+
+// --- clusters --------------------------------------------------------------
+
+struct ClusterSpec {
+  std::string name;
+  int nodes = 1;
+  CpuSpec node;
+  double net_gbps_per_node = 1.0;  // usable point-to-point bandwidth
+  double price_per_node_hr = 0.0;  // Table 1 prices
+  double parallel_efficiency = 0.7;
+};
+
+/// NOMAD on the 64-node HPC cluster of Fig. 10.
+ClusterSpec nomad_hpc64();
+/// NOMAD on 32 AWS m3.xlarge-class nodes (Fig. 10, Table 1).
+ClusterSpec nomad_aws32();
+/// SparkALS: 50 × m3.2xlarge (§5.5).
+ClusterSpec sparkals_cluster();
+/// Factorbird: 50 nodes similar to c3.2xlarge (§5.5, Table 1).
+ClusterSpec factorbird_cluster();
+
+/// Modeled seconds for one distributed SGD epoch: per-node compute plus the
+/// block/parameter hand-off traffic ((m+n)·f floats crossing the wire per
+/// node per epoch, NOMAD-style).
+double cluster_sgd_epoch_seconds(const ClusterSpec& cluster, double nz, int f,
+                                 double model_floats);
+
+// --- Table 1 pricing ---------------------------------------------------------
+
+/// Amortized hourly price of the paper's GPU machine (one node, two K80s =
+/// four GK210 devices, IBM SoftLayer): $2.44/hr.
+inline constexpr double kCumfMachinePricePerHr = 2.44;
+
+/// Published per-iteration anchors (§5.5 / Fig. 11).
+inline constexpr double kSparkAlsSecPerIter = 240.0;
+inline constexpr double kSparkAlsCumfSecPerIter = 24.0;
+inline constexpr double kFactorbirdSecPerIter = 563.0;
+inline constexpr double kFactorbirdCumfSecPerIter = 92.0;
+inline constexpr double kFacebookCumfSecPerIter = 746.0;   // f = 16
+inline constexpr double kCumfLargestSecPerIter = 3.8 * 3600;  // f = 100
+
+/// cost = price/node/hr × nodes × hours (the Table 1 formula).
+double run_cost_dollars(double price_per_node_hr, int nodes, double seconds);
+
+}  // namespace cumf::costmodel

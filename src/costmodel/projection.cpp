@@ -1,0 +1,100 @@
+#include "costmodel/projection.hpp"
+
+#include <algorithm>
+
+#include "core/kernels.hpp"
+#include "gpusim/device.hpp"
+
+namespace cumf::costmodel {
+
+namespace {
+
+/// Modeled seconds for one update phase at full scale.
+double phase_seconds(std::int64_t rows, std::int64_t cols, std::int64_t nz,
+                     int f, const gpusim::DeviceSpec& spec, int P,
+                     const gpusim::PcieTopology& topo,
+                     core::ReduceScheme scheme, core::Plan& plan_out) {
+  core::PlanInput in;
+  in.rows_solved = rows;
+  in.cols_fixed = cols;
+  in.nz = nz;
+  in.f = f;
+  in.physical_devices = P;
+  in.capacity = spec.global_bytes;
+  plan_out = core::plan_partition(in);
+  const core::Plan& plan = plan_out;
+
+  gpusim::Device model_dev(0, spec);
+  const core::KernelOptions mo{};  // full MO-ALS kernel
+
+  // Hermitian work per device: each device sees ~nz/P ratings; under data
+  // parallelism every device also flushes a partial A for every row.
+  const auto dev_nz = static_cast<nnz_t>(nz / P);
+  const idx_t dev_rows =
+      plan.mode == core::ParallelMode::DataParallel
+          ? static_cast<idx_t>(std::min<std::int64_t>(rows, 1LL << 30))
+          : static_cast<idx_t>(std::min<std::int64_t>(rows / P, 1LL << 30));
+  auto herm = core::hermitian_kernel_stats(
+      dev_nz, dev_rows, f, mo,
+      static_cast<idx_t>(std::min<std::int64_t>(cols, 1LL << 30)));
+  // Batched execution launches q kernels instead of one.
+  herm.flops *= 1.0;  // traffic already totals; only overhead multiplies
+  double compute =
+      model_dev.model_kernel_seconds(herm) / kAchievedFraction +
+      spec.kernel_launch_overhead_us * 1e-6 * plan.q;
+
+  const auto solve_rows = static_cast<idx_t>(
+      std::min<std::int64_t>(rows / P, 1LL << 30));
+  compute +=
+      model_dev.model_kernel_seconds(core::solve_kernel_stats(solve_rows, f)) /
+      kAchievedFraction;
+
+  // Reduction (data parallelism only): rows·(f² + f) elements per batch,
+  // totalled across the q batches.
+  double reduce_s = 0.0;
+  if (plan.mode == core::ParallelMode::DataParallel && P > 1) {
+    const double total_elems =
+        static_cast<double>(rows) * (static_cast<double>(f) * f + f);
+    reduce_s = core::reduce_modeled_seconds(P, topo, total_elems, scheme, spec);
+  }
+
+  // Host transfers: R streamed once (2·nz words), fixed factor cols·f floats
+  // (replicated per device under model parallelism, or re-sent per wave of
+  // the elastic schedule), solved rows·f floats gathered back. The host
+  // channel carries all of it.
+  const int waves = (plan.p + P - 1) / P;
+  double fixed_copies = 1.0;
+  if (plan.mode == core::ParallelMode::ModelParallel) {
+    fixed_copies = P;
+  } else if (plan.mode == core::ParallelMode::DataParallel && waves > 1) {
+    fixed_copies = static_cast<double>(plan.q);  // re-streamed per batch
+  }
+  const double h2d_bytes =
+      2.0 * static_cast<double>(nz) * sizeof(real_t) +
+      fixed_copies * static_cast<double>(cols) * f * sizeof(real_t);
+  const double d2h_bytes = static_cast<double>(rows) * f * sizeof(real_t);
+  const double transfer_s =
+      (h2d_bytes + d2h_bytes) / (topo.pcie_gbps() * 1e9);
+
+  // Async streams overlap loading with compute (§4.4 out-of-core pipeline).
+  return std::max(compute, transfer_s) + reduce_s;
+}
+
+}  // namespace
+
+ProjectionResult project_cumf_iteration(const data::DatasetSpec& full,
+                                        const gpusim::DeviceSpec& spec,
+                                        int num_devices,
+                                        const gpusim::PcieTopology& topo,
+                                        core::ReduceScheme scheme) {
+  ProjectionResult out;
+  out.update_x_seconds =
+      phase_seconds(full.m, full.n, full.nz, full.f, spec, num_devices, topo,
+                    scheme, out.plan_x);
+  out.update_theta_seconds =
+      phase_seconds(full.n, full.m, full.nz, full.f, spec, num_devices, topo,
+                    scheme, out.plan_theta);
+  return out;
+}
+
+}  // namespace cumf::costmodel

@@ -1,0 +1,50 @@
+#pragma once
+
+// Full-scale cuMF iteration projection.
+//
+// The paper's headline numbers (Table 1, Fig. 11) are per-iteration times on
+// data sets with 10⁹ rows and 10¹¹ ratings — far beyond anything we can
+// materialize. We *run* scaled replicas to validate convergence behaviour,
+// and *project* full-scale per-iteration time from the same analytic kernel
+// model the simulator uses: the eq.-8 planner picks (mode, p, q), the
+// Hermitian/solve kernel stats are priced on the device's roofline, the
+// reduction schedule on the PCIe model, and host transfers on the host
+// channel. Compute and transfer overlap (the paper's async streams), so an
+// update phase costs max(compute, transfer) + reduction.
+//
+// Roofline models are optimistic; real sparse kernels reach a fraction of
+// peak. kAchievedFraction calibrates that gap (0.3 is a typical achieved
+// fraction for irregular sparse kernels, and puts our projected SparkALS
+// iteration in the paper's reported range). All comparisons in the benches
+// are ratios against published baseline anchors, which do not depend on this
+// constant's exact value.
+
+#include "core/planner.hpp"
+#include "core/reduction.hpp"
+#include "data/datasets.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/topology.hpp"
+
+namespace cumf::costmodel {
+
+inline constexpr double kAchievedFraction = 0.3;
+
+struct ProjectionResult {
+  double update_x_seconds = 0.0;
+  double update_theta_seconds = 0.0;
+  core::Plan plan_x;
+  core::Plan plan_theta;
+  [[nodiscard]] double iteration_seconds() const {
+    return update_x_seconds + update_theta_seconds;
+  }
+};
+
+/// Projects one full ALS iteration (update-X + update-Θ) for `full` on
+/// `num_devices` devices of `spec` wired as `topo`.
+ProjectionResult project_cumf_iteration(const data::DatasetSpec& full,
+                                        const gpusim::DeviceSpec& spec,
+                                        int num_devices,
+                                        const gpusim::PcieTopology& topo,
+                                        core::ReduceScheme scheme);
+
+}  // namespace cumf::costmodel

@@ -1,0 +1,28 @@
+#include "costmodel/roofline.hpp"
+
+#include <algorithm>
+
+namespace cumf::costmodel {
+
+double roofline_gflops(const gpusim::DeviceSpec& spec, double flops_per_byte) {
+  return std::min(spec.peak_sp_gflops, flops_per_byte * spec.mem_bw_gbps);
+}
+
+double roofline_ridge(const gpusim::DeviceSpec& spec) {
+  return spec.peak_sp_gflops / spec.mem_bw_gbps;
+}
+
+double hermitian_intensity_mo(double nz, double rows, int f) {
+  const double flops = nz * f * (f + 1.0);
+  const double bytes = (nz * f + rows * static_cast<double>(f) * f) * 4.0;
+  return flops / bytes;
+}
+
+double hermitian_intensity_base(double nz, double rows, int f) {
+  (void)rows;
+  const double flops = nz * f * (f + 1.0);
+  const double bytes = 3.0 * nz * static_cast<double>(f) * f * 4.0;
+  return flops / bytes;
+}
+
+}  // namespace cumf::costmodel

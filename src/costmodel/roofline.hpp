@@ -1,0 +1,24 @@
+#pragma once
+
+// Roofline model (§1/§3: "cuMF gets closer to the roofline performance of a
+// single GPU"). Attainable GFLOP/s = min(peak, intensity × bandwidth).
+
+#include "gpusim/device_spec.hpp"
+
+namespace cumf::costmodel {
+
+/// Attainable GFLOP/s at the given arithmetic intensity (flops per byte of
+/// global traffic).
+double roofline_gflops(const gpusim::DeviceSpec& spec,
+                       double flops_per_byte);
+
+/// The ridge point: the intensity at which a kernel turns compute bound.
+double roofline_ridge(const gpusim::DeviceSpec& spec);
+
+/// Arithmetic intensity of the get_hermitian phase: the MO kernel moves
+/// ~Nz·f gathered floats + rows·f² flushed floats for Nz·f(f+1) flops;
+/// the base (Alg. 1) kernel moves ~3·Nz·f² floats for the same flops.
+double hermitian_intensity_mo(double nz, double rows, int f);
+double hermitian_intensity_base(double nz, double rows, int f);
+
+}  // namespace cumf::costmodel

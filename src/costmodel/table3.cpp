@@ -1,0 +1,44 @@
+#include "costmodel/table3.hpp"
+
+namespace cumf::costmodel {
+
+Table3Row Table3Model::one_item() const {
+  Table3Row row;
+  const double dm = static_cast<double>(m);
+  const double dnz = static_cast<double>(nz);
+  const double df = static_cast<double>(f);
+  row.a_compute = dnz * df * (df + 1.0) / (2.0 * dm);
+  row.b_compute = (dnz + dnz * df) / dm + 2.0 * df;
+  row.solve_compute = df * df * df;
+  row.a_mem_floats = df * df;
+  row.b_mem_floats = static_cast<double>(n) * df + df +
+                     (2.0 * dnz + dm + 1.0) / dm;
+  return row;
+}
+
+Table3Row Table3Model::batch(std::int64_t mb) const {
+  const Table3Row one = one_item();
+  const double dmb = static_cast<double>(mb);
+  Table3Row row;
+  row.a_compute = one.a_compute * dmb;
+  row.b_compute = one.b_compute * dmb;
+  row.solve_compute = one.solve_compute * dmb;
+  row.a_mem_floats = one.a_mem_floats * dmb;
+  // Θ and R are shared across the batch; only B_u and X grow with m_b.
+  const double df = static_cast<double>(f);
+  row.b_mem_floats = static_cast<double>(n) * df + dmb * df +
+                     dmb * (2.0 * static_cast<double>(nz) +
+                            static_cast<double>(m) + 1.0) /
+                         static_cast<double>(m);
+  return row;
+}
+
+double Table3Model::resident_floats() const {
+  const double df = static_cast<double>(f);
+  return static_cast<double>(m) * df * df      // A
+         + static_cast<double>(m) * df         // X
+         + static_cast<double>(n) * df         // Θ
+         + 2.0 * static_cast<double>(nz) + static_cast<double>(m) + 1.0;  // R
+}
+
+}  // namespace cumf::costmodel

@@ -1,0 +1,42 @@
+#pragma once
+
+// Closed-form compute/memory model of the ALS update-X step — Table 3 of the
+// paper, verbatim:
+//
+//              compute cost                    memory footprint (floats)
+//   A_u:   Nz·f(f+1)/2m  per item              f²
+//   B_u:   (Nz + Nz·f)/m + 2f per item         n·f + f + (2Nz + m + 1)/m
+//   solve: f³ per item                         (in place)
+//
+// with the m_b-item and all-m rows scaling linearly. The gpusim counters are
+// validated against these formulas in bench/table3_cost_model.
+
+#include <cstdint>
+
+namespace cumf::costmodel {
+
+struct Table3Row {
+  double a_compute = 0.0;   // multiplications for A
+  double b_compute = 0.0;   // operations for B
+  double solve_compute = 0.0;
+  double a_mem_floats = 0.0;
+  double b_mem_floats = 0.0;
+};
+
+struct Table3Model {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t nz = 0;
+  int f = 0;
+
+  [[nodiscard]] Table3Row one_item() const;
+  [[nodiscard]] Table3Row batch(std::int64_t mb) const;
+  [[nodiscard]] Table3Row all_items() const { return batch(m); }
+
+  /// Total single-precision bytes the update-X step must hold resident
+  /// without batching: m·f² (A) + m·f (X) + n·f (Θ) + CSR(R). This is the
+  /// §2.2 capacity argument (Netflix at f=100 → 4.8e9 floats > 3e9).
+  [[nodiscard]] double resident_floats() const;
+};
+
+}  // namespace cumf::costmodel

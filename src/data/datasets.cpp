@@ -1,0 +1,85 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cumf::data {
+
+DatasetSpec DatasetSpec::scaled(double factor) const {
+  DatasetSpec s = *this;
+  if (factor >= 1.0) return s;
+  auto shrink = [factor](std::int64_t v) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(static_cast<double>(v) * factor)));
+  };
+  s.m = shrink(m);
+  s.n = shrink(n);
+  s.nz = shrink(nz);
+  // The per-row degree Nz/m is what drives get_hermitian cost, so it is the
+  // quantity scaling must preserve. At aggressive factors the catalog n can
+  // shrink below the row degree (a user cannot rate 200 of 100 items): floor
+  // n at 4× the row degree — column skew flattens a little, row behaviour
+  // stays exact.
+  const std::int64_t row_deg = std::max<std::int64_t>(1, s.nz / s.m);
+  s.n = std::clamp(s.n, std::min(n, 4 * row_deg), n);
+  s.nz = std::min(s.nz, s.m * s.n / 2 + 1);
+  return s;
+}
+
+DatasetSpec netflix() {
+  return {"Netflix", 480'189, 17'770, 99'000'000, 100, 0.05, false};
+}
+
+DatasetSpec yahoomusic() {
+  return {"YahooMusic", 1'000'990, 624'961, 252'800'000, 100, 1.4, false};
+}
+
+DatasetSpec hugewiki() {
+  return {"Hugewiki", 50'082'603, 39'780, 3'100'000'000, 100, 0.05, false};
+}
+
+DatasetSpec sparkals() {
+  return {"SparkALS", 660'000'000, 2'400'000, 3'500'000'000, 10, 0.05, false};
+}
+
+DatasetSpec factorbird() {
+  return {"Factorbird", 229'000'000, 195'000'000, 38'500'000'000, 5, 0.05,
+          false};
+}
+
+DatasetSpec facebook() {
+  return {"Facebook", 1'000'000'000, 48'000'000, 112'000'000'000, 16, 0.05,
+          false};
+}
+
+DatasetSpec cumf_largest() {
+  DatasetSpec s = facebook();
+  s.name = "cuMF";
+  s.f = 100;  // the paper enlarges f from 16 to 100 (§5.5)
+  return s;
+}
+
+std::vector<DatasetSpec> figure2_inventory() {
+  std::vector<DatasetSpec> sets{
+      netflix(), yahoomusic(), hugewiki(), sparkals(), factorbird(),
+      facebook(), cumf_largest()};
+  // Footnote-1 systems whose data shapes the paper does not tabulate;
+  // shapes below follow the cited sources and are marked approximate.
+  sets.push_back({"CCD++ (Hugewiki'12)", 50'082'603, 39'780, 2'736'496'604,
+                  100, 0.05, true});
+  sets.push_back({"DSGD (Netflix)", 480'189, 17'770, 99'000'000, 50, 0.05,
+                  true});
+  sets.push_back({"Flink (700GB)", 30'000'000, 2'000'000, 25'000'000'000, 100,
+                  0.05, true});
+  return sets;
+}
+
+DatasetSpec dataset_by_name(const std::string& name) {
+  for (const auto& s : figure2_inventory()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace cumf::data

@@ -1,0 +1,53 @@
+#pragma once
+
+// Dataset registry: every data set the paper evaluates or charts.
+//
+// Table 5 gives exact shapes for Netflix, YahooMusic, Hugewiki and the three
+// synthesized giants (SparkALS, Factorbird, Facebook) plus the paper's own
+// f=100 "largest ever" run. Figure 2 additionally charts the data sets used
+// by CCD++, DSGD, DSGD++ and Flink; where the paper gives no exact numbers we
+// mark the entry approximate.
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cumf::data {
+
+struct DatasetSpec {
+  std::string name;
+  std::int64_t m = 0;   // users
+  std::int64_t n = 0;   // items
+  std::int64_t nz = 0;  // ratings
+  int f = 0;            // latent dimension used in the paper
+  double lambda = 0.0;
+  bool approximate = false;  // true when the paper gives no exact shape
+
+  /// Model-parameter count (m+n)·f — the x-axis of Figure 2.
+  [[nodiscard]] double model_parameters() const {
+    return static_cast<double>(m + n) * f;
+  }
+
+  /// Shrinks m, n and nz by `factor` (all three linearly, preserving the
+  /// per-row and per-column degree means that drive ALS cost shape).
+  [[nodiscard]] DatasetSpec scaled(double factor) const;
+};
+
+// Table 5 entries.
+DatasetSpec netflix();
+DatasetSpec yahoomusic();
+DatasetSpec hugewiki();
+DatasetSpec sparkals();
+DatasetSpec factorbird();
+DatasetSpec facebook();
+DatasetSpec cumf_largest();  // Facebook shape with f = 100 (§5.5)
+
+/// All data sets charted in Figure 2 (footnote 1).
+std::vector<DatasetSpec> figure2_inventory();
+
+/// Looks up any registry entry by name (case sensitive); throws
+/// std::invalid_argument for unknown names.
+DatasetSpec dataset_by_name(const std::string& name);
+
+}  // namespace cumf::data

@@ -1,0 +1,32 @@
+#include "data/duplicate.hpp"
+
+#include <stdexcept>
+
+namespace cumf::data {
+
+sparse::CooMatrix duplicate_grid(const sparse::CooMatrix& base, int kr, int kc,
+                                 double value_jitter, util::Rng& rng) {
+  if (kr <= 0 || kc <= 0) {
+    throw std::invalid_argument("duplicate_grid: kr and kc must be > 0");
+  }
+  sparse::CooMatrix out;
+  out.rows = base.rows * kr;
+  out.cols = base.cols * kc;
+  out.reserve(base.nnz() * kr * kc);
+  for (int br = 0; br < kr; ++br) {
+    for (int bc = 0; bc < kc; ++bc) {
+      const idx_t row_off = br * base.rows;
+      const idx_t col_off = bc * base.cols;
+      for (std::size_t k = 0; k < base.val.size(); ++k) {
+        real_t v = base.val[k];
+        if (value_jitter > 0.0) {
+          v += static_cast<real_t>(rng.gaussian(0.0, value_jitter));
+        }
+        out.push_back(base.row[k] + row_off, base.col[k] + col_off, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cumf::data

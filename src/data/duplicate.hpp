@@ -1,0 +1,19 @@
+#pragma once
+
+// The paper's duplication scheme for synthesizing extreme-scale data sets
+// (§5.5): SparkALS uses a 100-by-1 duplication of Amazon Reviews, Facebook a
+// 160-by-20 duplication. Tiling a base matrix kr×kc ways multiplies m by kr,
+// n by kc and Nz by kr·kc while preserving the degree distributions exactly.
+
+#include "sparse/coo.hpp"
+#include "util/rng.hpp"
+
+namespace cumf::data {
+
+/// Tiles `base` into a kr-by-kc grid of copies. When `value_jitter` > 0 each
+/// copied rating is perturbed by N(0, value_jitter) so duplicated blocks are
+/// not bit-identical (rank stays ~rank(base) + noise, like the paper's use).
+sparse::CooMatrix duplicate_grid(const sparse::CooMatrix& base, int kr, int kc,
+                                 double value_jitter, util::Rng& rng);
+
+}  // namespace cumf::data

@@ -1,0 +1,170 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "sparse/split.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cumf::data {
+
+namespace {
+
+/// Ground-truth factor scale: entries ~ N(0, a²) give Var(x·θ) = f·a⁴.
+double factor_entry_std(int f_true, double signal_std) {
+  return std::sqrt(signal_std / std::sqrt(static_cast<double>(f_true)));
+}
+
+/// Per-row rating counts: log-normal weights normalized to sum ≈ nz, each
+/// clamped to [1, n] so rows are non-empty and can be deduplicated.
+std::vector<idx_t> draw_row_degrees(const SyntheticOptions& opt,
+                                    util::Rng& rng) {
+  std::vector<double> w(static_cast<std::size_t>(opt.m));
+  double total = 0.0;
+  for (auto& v : w) {
+    v = rng.lognormal(0.0, opt.row_degree_sigma);
+    total += v;
+  }
+  std::vector<idx_t> deg(static_cast<std::size_t>(opt.m));
+  const double scale = static_cast<double>(opt.nz) / total;
+  for (std::size_t u = 0; u < w.size(); ++u) {
+    const auto d = static_cast<idx_t>(std::llround(w[u] * scale));
+    deg[u] = std::clamp<idx_t>(d, 1, opt.n);
+  }
+  return deg;
+}
+
+}  // namespace
+
+sparse::CooMatrix generate_ratings(const SyntheticOptions& opt) {
+  util::Rng rng(opt.seed);
+
+  // Ground-truth low-rank factors.
+  const double a = factor_entry_std(opt.f_true, opt.signal_std);
+  std::vector<float> xs(static_cast<std::size_t>(opt.m) * opt.f_true);
+  std::vector<float> ts(static_cast<std::size_t>(opt.n) * opt.f_true);
+  for (auto& v : xs) v = static_cast<float>(rng.gaussian(0.0, a));
+  for (auto& v : ts) v = static_cast<float>(rng.gaussian(0.0, a));
+
+  // Popularity permutation: Zipf rank k maps to column perm[k], so hot
+  // columns are scattered across the index space like real catalogs.
+  std::vector<idx_t> perm(static_cast<std::size_t>(opt.n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+
+  const std::vector<idx_t> degrees = draw_row_degrees(opt, rng);
+  std::vector<nnz_t> offsets(static_cast<std::size_t>(opt.m) + 1, 0);
+  for (std::size_t u = 0; u < degrees.size(); ++u) {
+    offsets[u + 1] = offsets[u] + degrees[u];
+  }
+  const nnz_t total = offsets.back();
+
+  sparse::CooMatrix coo;
+  coo.rows = opt.m;
+  coo.cols = opt.n;
+  coo.row.resize(static_cast<std::size_t>(total));
+  coo.col.resize(static_cast<std::size_t>(total));
+  coo.val.resize(static_cast<std::size_t>(total));
+
+  // Rows are independent given a per-row RNG, so generation parallelizes
+  // deterministically (thread count does not change the output).
+  util::parallel_for_chunks(
+      util::ThreadPool::global(), 0, opt.m, [&](nnz_t lo, nnz_t hi) {
+        std::vector<idx_t> cols;
+        std::unordered_set<idx_t> seen;
+        for (nnz_t u = lo; u < hi; ++u) {
+          util::Rng row_rng(opt.seed ^ (0x9e3779b97f4a7c15ull *
+                                        (static_cast<std::uint64_t>(u) + 1)));
+          const idx_t want = degrees[static_cast<std::size_t>(u)];
+          cols.clear();
+          if (want > opt.n / 2) {
+            // Dense row: sample without replacement via partial shuffle.
+            std::vector<idx_t> all(static_cast<std::size_t>(opt.n));
+            std::iota(all.begin(), all.end(), 0);
+            for (idx_t k = 0; k < want; ++k) {
+              const auto j = k + static_cast<idx_t>(row_rng.next_below(
+                                     static_cast<std::uint64_t>(opt.n - k)));
+              std::swap(all[static_cast<std::size_t>(k)],
+                        all[static_cast<std::size_t>(j)]);
+              cols.push_back(all[static_cast<std::size_t>(k)]);
+            }
+          } else {
+            seen.clear();
+            while (static_cast<idx_t>(cols.size()) < want) {
+              const idx_t v = perm[row_rng.zipf(
+                  static_cast<std::uint64_t>(opt.n), opt.col_zipf_s)];
+              if (seen.insert(v).second) cols.push_back(v);
+            }
+          }
+          std::sort(cols.begin(), cols.end());
+          nnz_t at = offsets[static_cast<std::size_t>(u)];
+          for (const idx_t v : cols) {
+            double dotp = 0.0;
+            const float* xu = xs.data() + static_cast<std::size_t>(u) * opt.f_true;
+            const float* tv = ts.data() + static_cast<std::size_t>(v) * opt.f_true;
+            for (int k = 0; k < opt.f_true; ++k) {
+              dotp += static_cast<double>(xu[k]) * tv[k];
+            }
+            const double r =
+                dotp + opt.mean_rating + row_rng.gaussian(0.0, opt.noise_std);
+            coo.row[static_cast<std::size_t>(at)] = static_cast<idx_t>(u);
+            coo.col[static_cast<std::size_t>(at)] = v;
+            coo.val[static_cast<std::size_t>(at)] = static_cast<real_t>(r);
+            ++at;
+          }
+        }
+      });
+  return coo;
+}
+
+SimDataset make_sim_dataset(const DatasetSpec& full, double scale,
+                            std::uint64_t seed, double test_fraction,
+                            int f_override) {
+  SimDataset ds;
+  ds.spec = full.scaled(scale);
+  if (f_override > 0) ds.spec.f = f_override;
+
+  SyntheticOptions opt;
+  opt.m = static_cast<idx_t>(ds.spec.m);
+  opt.n = static_cast<idx_t>(ds.spec.n);
+  opt.nz = ds.spec.nz;
+  opt.seed = seed;
+  // YahooMusic differs from Netflix in two ways the experiments depend on:
+  // ratings live on a 0-100 scale (which is what makes the paper's λ = 1.4
+  // sensible — RMSE converges to ~22 there, not ~0.92), and the matrix is
+  // sparser per item with milder column skew, which is why §5.3 sees smaller
+  // register/texture gains on it.
+  if (full.name == "YahooMusic") {
+    opt.mean_rating = 50.0;
+    opt.signal_std = 12.0;
+    opt.noise_std = 21.0;
+    opt.col_zipf_s = 0.7;
+    opt.row_degree_sigma = 1.2;
+  }
+
+  const sparse::CooMatrix all = generate_ratings(opt);
+  util::Rng split_rng(seed ^ 0xabcdef1234567ull);
+  auto split = sparse::split_ratings(all, test_fraction, split_rng);
+  ds.train = std::move(split.train);
+  ds.test = std::move(split.test);
+  ds.train_csr = sparse::coo_to_csr(ds.train);
+  ds.train_rt_csr =
+      sparse::csc_as_csr_of_transpose(sparse::csr_to_csc(ds.train_csr));
+  // "Time to RMSE x" threshold: the achievable test RMSE is the noise floor
+  // inflated by estimation error (≈ √(1 + params/observations) for a least-
+  // squares fit), and the paper measures a point slightly above what the
+  // runs converge to. For the Netflix shape at bench scales this lands at
+  // ~0.92-0.94 (paper: 0.92); for 0-100-scale YahooMusic at ~23 (paper ~22).
+  const double params = static_cast<double>(ds.spec.m + ds.spec.n) * ds.spec.f;
+  const double obs = std::max(1.0, static_cast<double>(ds.train_csr.nnz()));
+  ds.target_rmse =
+      opt.noise_std * std::sqrt(1.0 + params / obs) * 1.04;
+  return ds;
+}
+
+}  // namespace cumf::data

@@ -1,0 +1,58 @@
+#pragma once
+
+// Synthetic rating-matrix generation.
+//
+// The generator plants a rank-f_true structure (R = X*·Θ*ᵀ + shift + noise)
+// and samples the observation pattern with the two skews that drive cuMF's
+// performance story: per-row degrees are log-normal (some users rate
+// thousands of items, most rate few) and column popularity is Zipf (hot items
+// shared across users, which is what makes texture-cache reuse of θ_v pay
+// off, §3.3).
+//
+// `make_sim_dataset` shapes a generator run to a registry dataset scaled to
+// laptop size, splits train/test, and precomputes the CSR/CSC forms solvers
+// need.
+
+#include <string>
+
+#include "data/datasets.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace cumf::data {
+
+struct SyntheticOptions {
+  idx_t m = 1000;
+  idx_t n = 500;
+  nnz_t nz = 20'000;
+  int f_true = 16;             // planted rank
+  double signal_std = 0.6;     // std of x·θ across entries
+  double mean_rating = 3.5;    // additive shift
+  double noise_std = 0.85;     // irreducible test RMSE floor
+  double row_degree_sigma = 1.0;  // log-normal σ of per-row counts
+  double col_zipf_s = 1.05;       // popularity skew exponent
+  std::uint64_t seed = 1;
+};
+
+/// Samples a rating matrix per the options. Deterministic given the seed.
+sparse::CooMatrix generate_ratings(const SyntheticOptions& opt);
+
+/// A ready-to-train data set: COO splits plus CSR of R (update-X) and CSR of
+/// Rᵀ (update-Θ).
+struct SimDataset {
+  DatasetSpec spec;  // scaled shape actually generated
+  sparse::CooMatrix train;
+  sparse::CooMatrix test;
+  sparse::CsrMatrix train_csr;     // R, m×n
+  sparse::CsrMatrix train_rt_csr;  // Rᵀ, n×m
+  double target_rmse = 0.92;       // the "time to RMSE x" threshold
+};
+
+/// Builds a simulation-scale version of a registry dataset. `scale` shrinks
+/// m, n, nz linearly; `f_override` (>0) replaces the paper's f in the spec.
+SimDataset make_sim_dataset(const DatasetSpec& full, double scale,
+                            std::uint64_t seed, double test_fraction = 0.1,
+                            int f_override = 0);
+
+}  // namespace cumf::data

@@ -1,0 +1,85 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/hermitian.hpp"
+#include "sparse/stats.hpp"
+
+namespace cumf::eval {
+
+double rmse(const sparse::CooMatrix& ratings, const linalg::FactorMatrix& X,
+            const linalg::FactorMatrix& Theta) {
+  if (ratings.nnz() == 0) return 0.0;
+  const int f = X.f();
+  double sum = 0.0;
+  for (std::size_t k = 0; k < ratings.val.size(); ++k) {
+    const double pred =
+        linalg::dot(X.row(ratings.row[k]), Theta.row(ratings.col[k]), f);
+    const double err = static_cast<double>(ratings.val[k]) - pred;
+    sum += err * err;
+  }
+  return std::sqrt(sum / static_cast<double>(ratings.nnz()));
+}
+
+double objective(const sparse::CsrMatrix& R, const linalg::FactorMatrix& X,
+                 const linalg::FactorMatrix& Theta, double lambda) {
+  const int f = X.f();
+  double sq = 0.0;
+  for (idx_t u = 0; u < R.rows; ++u) {
+    const auto cols = R.row_cols(u);
+    const auto vals = R.row_vals(u);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const double err =
+          static_cast<double>(vals[k]) - linalg::dot(X.row(u), Theta.row(cols[k]), f);
+      sq += err * err;
+    }
+  }
+  double reg = 0.0;
+  const auto ndeg_x = sparse::row_degrees(R);
+  for (idx_t u = 0; u < R.rows; ++u) {
+    reg += static_cast<double>(ndeg_x[static_cast<std::size_t>(u)]) *
+           linalg::dot(X.row(u), X.row(u), f);
+  }
+  const auto ndeg_t = sparse::col_degrees(R);
+  for (idx_t v = 0; v < R.cols; ++v) {
+    reg += static_cast<double>(ndeg_t[static_cast<std::size_t>(v)]) *
+           linalg::dot(Theta.row(v), Theta.row(v), f);
+  }
+  return sq + lambda * reg;
+}
+
+namespace {
+double time_to_rmse(const std::vector<ConvergencePoint>& points, double target,
+                    double ConvergencePoint::*axis) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].test_rmse <= target) {
+      if (i == 0) return points[i].*axis;
+      // Interpolate between the bracketing samples.
+      const auto& a = points[i - 1];
+      const auto& b = points[i];
+      const double span = a.test_rmse - b.test_rmse;
+      const double frac = span > 0 ? (a.test_rmse - target) / span : 1.0;
+      return a.*axis + frac * (b.*axis - a.*axis);
+    }
+  }
+  return -1.0;
+}
+}  // namespace
+
+double ConvergenceHistory::modeled_time_to_rmse(double target) const {
+  return time_to_rmse(points, target, &ConvergencePoint::modeled_seconds);
+}
+
+double ConvergenceHistory::wall_time_to_rmse(double target) const {
+  return time_to_rmse(points, target, &ConvergencePoint::wall_seconds);
+}
+
+double ConvergenceHistory::best_test_rmse() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) best = std::min(best, p.test_rmse);
+  return best;
+}
+
+}  // namespace cumf::eval

@@ -1,0 +1,53 @@
+#pragma once
+
+// Quality metrics and convergence recording.
+//
+// The paper evaluates test RMSE vs training time (Figs. 6-10) and the
+// regularized objective J of eq. (1). RMSE and J are accumulated in double to
+// keep them stable across summation orders and thread counts.
+
+#include <string>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cumf::eval {
+
+/// Root-mean-square error of X·Θᵀ against the ratings in `ratings`.
+double rmse(const sparse::CooMatrix& ratings, const linalg::FactorMatrix& X,
+            const linalg::FactorMatrix& Theta);
+
+/// The weighted-λ-regularized objective J of eq. (1):
+///   Σ (r_uv - x_uᵀθ_v)² + λ (Σ_u n_{x_u}‖x_u‖² + Σ_v n_{θ_v}‖θ_v‖²).
+double objective(const sparse::CsrMatrix& R, const linalg::FactorMatrix& X,
+                 const linalg::FactorMatrix& Theta, double lambda);
+
+/// One convergence sample.
+struct ConvergencePoint {
+  int iteration = 0;
+  double wall_seconds = 0.0;     // measured on the host
+  double modeled_seconds = 0.0;  // simulated device / cluster clock
+  double train_rmse = 0.0;
+  double test_rmse = 0.0;
+};
+
+/// Convergence series for one solver run; benches write these out as CSV.
+struct ConvergenceHistory {
+  std::string label;
+  std::vector<ConvergencePoint> points;
+
+  void add(const ConvergencePoint& p) { points.push_back(p); }
+
+  /// First modeled time at which test RMSE drops to `target`, or a negative
+  /// value if the run never reaches it. Linear interpolation between samples
+  /// (the paper quotes "time to RMSE 0.92" numbers this way).
+  [[nodiscard]] double modeled_time_to_rmse(double target) const;
+  [[nodiscard]] double wall_time_to_rmse(double target) const;
+
+  [[nodiscard]] double best_test_rmse() const;
+};
+
+}  // namespace cumf::eval

@@ -1,0 +1,65 @@
+#pragma once
+
+// Traffic accounting for simulated kernels.
+//
+// Kernels compute their traffic analytically as they execute (aggregate
+// counts per launch, not per element, so accounting costs nothing at run
+// time) and hand a KernelStats to Device::account_kernel, which advances the
+// device's simulated clock via a roofline model. Table-3 validation
+// (bench/table3_cost_model) checks these counters against the paper's
+// closed-form costs.
+
+#include <algorithm>
+
+#include "util/types.hpp"
+
+namespace cumf::gpusim {
+
+struct KernelStats {
+  double flops = 0.0;
+
+  bytes_t global_read = 0;    // contiguous global-memory reads
+  bytes_t global_write = 0;   // global-memory writes
+  bytes_t gathered_read = 0;  // discontiguous read-only traffic (θ gathers);
+                              // routed via texture when the kernel enables it
+  bool gathered_via_texture = false;
+  // Texture-cache effectiveness for this kernel's gather pattern in (0, 1]:
+  // high when the same θ columns are re-fetched by many rows (Netflix-like),
+  // lower on sparse catalogs with little reuse (YahooMusic-like, §5.3).
+  double gather_quality = 1.0;
+
+  bytes_t shared_read = 0;
+  bytes_t shared_write = 0;
+
+  KernelStats& operator+=(const KernelStats& o) {
+    flops += o.flops;
+    global_read += o.global_read;
+    global_write += o.global_write;
+    gathered_read += o.gathered_read;
+    shared_read += o.shared_read;
+    shared_write += o.shared_write;
+    gathered_via_texture = gathered_via_texture || o.gathered_via_texture;
+    gather_quality = std::min(gather_quality, o.gather_quality);
+    return *this;
+  }
+};
+
+/// Cumulative per-device totals since construction / reset.
+struct DeviceCounters {
+  double flops = 0.0;
+  bytes_t global_read = 0;
+  bytes_t global_write = 0;
+  bytes_t gathered_read = 0;
+  bytes_t texture_read = 0;  // the subset of gathered_read served by texture
+  bytes_t shared_read = 0;
+  bytes_t shared_write = 0;
+  bytes_t h2d_bytes = 0;
+  bytes_t d2h_bytes = 0;
+  bytes_t d2d_bytes = 0;
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t transfers = 0;
+
+  void reset() { *this = DeviceCounters{}; }
+};
+
+}  // namespace cumf::gpusim

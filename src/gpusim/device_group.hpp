@@ -1,0 +1,40 @@
+#pragma once
+
+// Convenience owner for a set of simulated devices wired to a topology —
+// the "one machine with p GPUs" of the paper's experiments.
+
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/topology.hpp"
+
+namespace cumf::gpusim {
+
+class DeviceGroup {
+ public:
+  /// Creates `p` devices of identical `spec`, with socket assignment taken
+  /// from the topology.
+  DeviceGroup(int p, const DeviceSpec& spec, const PcieTopology& topo) {
+    devices_.reserve(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      devices_.push_back(std::make_unique<Device>(d, spec, topo.socket_of(d)));
+    }
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] Device& operator[](int i) { return *devices_[static_cast<std::size_t>(i)]; }
+
+  /// Pointer view for APIs taking std::vector<Device*>.
+  [[nodiscard]] std::vector<Device*> pointers() const {
+    std::vector<Device*> out;
+    out.reserve(devices_.size());
+    for (const auto& d : devices_) out.push_back(d.get());
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace cumf::gpusim

@@ -1,0 +1,45 @@
+#include "gpusim/device_spec.hpp"
+
+namespace cumf::gpusim {
+
+DeviceSpec titan_x() {
+  DeviceSpec s;
+  s.name = "TitanX";
+  s.num_sms = 24;
+  s.cores_per_sm = 128;  // 3072 CUDA cores total (§5.1)
+  s.clock_ghz = 1.0;
+  s.peak_sp_gflops = 6144.0;  // 3072 cores * 1 GHz * 2 flops (FMA)
+  s.mem_bw_gbps = 336.0;
+  s.texture_bw_gbps = 600.0;
+  // Aggregate across 24 SMs (~128 B/cycle/SM at 1 GHz).
+  s.shared_bw_gbps = 3000.0;
+  s.global_bytes = 12_GiB;
+  s.shared_bytes_per_sm = 96_KiB;
+  s.register_bytes_per_sm = 256_KiB;
+  return s;
+}
+
+DeviceSpec gk210() {
+  DeviceSpec s;
+  s.name = "GK210";
+  s.num_sms = 13;
+  s.cores_per_sm = 192;  // 2496 CUDA cores total (§5.5)
+  s.clock_ghz = 0.875;
+  s.peak_sp_gflops = 2496.0 * 0.875 * 2.0 / 1.0;  // ~4368
+  s.mem_bw_gbps = 240.0;
+  s.texture_bw_gbps = 440.0;
+  s.shared_bw_gbps = 2200.0;  // 13 SMX, wider Kepler shared banks
+  s.global_bytes = 12_GiB;
+  s.shared_bytes_per_sm = 48_KiB;  // Kepler default split
+  s.register_bytes_per_sm = 512_KiB;  // GK210 doubled the Kepler register file
+  return s;
+}
+
+DeviceSpec tiny_device(bytes_t global_capacity) {
+  DeviceSpec s = titan_x();
+  s.name = "Tiny";
+  s.global_bytes = global_capacity;
+  return s;
+}
+
+}  // namespace cumf::gpusim

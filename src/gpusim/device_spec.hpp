@@ -1,0 +1,78 @@
+#pragma once
+
+// Hardware descriptions for the simulated devices.
+//
+// The paper evaluates on Nvidia Titan X (Maxwell, 3072 cores, 12 GB) and
+// GK210 (one half of a K80, 2496 cores, 12 GB). We reproduce their published
+// characteristics here; every modeled quantity used by the simulator is an
+// explicit field of this struct so the timing model is fully inspectable.
+//
+// Memory-hierarchy modeling (Table 4 of the paper):
+//  * global  — large, high latency. Contiguous traffic runs at mem_bw_gbps;
+//    *gathered* traffic (discontiguous θ_v column fetches, §2.2 challenge 1)
+//    only achieves gather_efficiency_global of that bandwidth, reflecting
+//    wasted sectors on uncoalesced access.
+//  * texture — read-only cache; gathered read-only traffic routed through it
+//    achieves gather_efficiency_texture of texture_bw_gbps (spatial locality
+//    + cross-row reuse of θ columns).
+//  * shared  — per-SM scratchpad at shared_bw_gbps, capacity
+//    shared_bytes_per_sm (the bin-size constraint of Algorithm 2 line 6).
+//  * register — per-SM register file; traffic is free (that is the point of
+//    the paper's Listing-1 optimization) but capacity bounds how much state a
+//    block may hold.
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace cumf::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  int num_sms = 0;
+  int cores_per_sm = 0;
+  double clock_ghz = 0.0;
+
+  double peak_sp_gflops = 0.0;   // single-precision peak
+  double mem_bw_gbps = 0.0;      // global memory, contiguous
+  double texture_bw_gbps = 0.0;  // texture cache service rate
+  double shared_bw_gbps = 0.0;   // aggregate shared-memory bandwidth
+
+  double gather_efficiency_global = 0.55;   // uncoalesced reads, L2-assisted
+  double gather_efficiency_texture = 0.70;  // same reads via texture cache
+
+  bytes_t global_bytes = 0;           // device memory capacity (12 GB)
+  bytes_t shared_bytes_per_sm = 0;    // 48 or 96 KB
+  bytes_t register_bytes_per_sm = 0;  // 256 KB on Maxwell
+
+  double kernel_launch_overhead_us = 5.0;
+
+  /// Effective bandwidth for gathered traffic when routed through global
+  /// memory vs the texture path.
+  [[nodiscard]] double gathered_global_bw() const {
+    return mem_bw_gbps * gather_efficiency_global;
+  }
+  [[nodiscard]] double gathered_texture_bw() const {
+    return texture_bw_gbps * gather_efficiency_texture;
+  }
+};
+
+/// Nvidia Titan X (Maxwell GM200) — the card of §5.1.
+DeviceSpec titan_x();
+
+/// Nvidia GK210, one half of a Tesla K80 — the card of §5.5.
+DeviceSpec gk210();
+
+/// A deliberately tiny device for partition-planner and OOM tests
+/// (capacity in MB instead of GB, same ratios otherwise).
+DeviceSpec tiny_device(bytes_t global_capacity);
+
+/// Host/PCIe link speed shared by the presets (GB/s, per direction).
+inline constexpr double kPcieGbps = 12.0;
+/// Effective inter-socket (QPI) bandwidth for device-to-device traffic that
+/// crosses sockets (GB/s, per direction). Slower than intra-socket PCIe,
+/// which is what makes the two-phase reduction of Fig. 5(b) win.
+inline constexpr double kInterSocketGbps = 6.0;
+
+}  // namespace cumf::gpusim

@@ -1,0 +1,98 @@
+#include "gpusim/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cumf::gpusim {
+
+PcieTopology PcieTopology::flat(int p, double pcie_gbps) {
+  if (p <= 0) throw std::invalid_argument("PcieTopology: p must be > 0");
+  PcieTopology t;
+  t.socket_of_.assign(static_cast<std::size_t>(p), 0);
+  t.num_sockets_ = 1;
+  t.pcie_gbps_ = pcie_gbps;
+  t.inter_socket_gbps_ = pcie_gbps;  // unused: nothing ever crosses
+  return t;
+}
+
+PcieTopology PcieTopology::two_socket(int p, double pcie_gbps,
+                                      double inter_socket_gbps) {
+  if (p <= 0) throw std::invalid_argument("PcieTopology: p must be > 0");
+  PcieTopology t;
+  t.socket_of_.resize(static_cast<std::size_t>(p));
+  // First half of the devices on socket 0, second half on socket 1.
+  for (int d = 0; d < p; ++d) {
+    t.socket_of_[static_cast<std::size_t>(d)] = (d < (p + 1) / 2) ? 0 : 1;
+  }
+  t.num_sockets_ = 2;
+  t.pcie_gbps_ = pcie_gbps;
+  t.inter_socket_gbps_ = inter_socket_gbps;
+  return t;
+}
+
+namespace {
+
+// Directed channel resources for the bottleneck model.
+// Layout: [dev d out][dev d in] [host out per socket][host in per socket]
+//         [inter-socket a->b].
+struct ResourceMap {
+  int num_devices;
+  int num_sockets;
+
+  [[nodiscard]] int dev_out(int d) const { return 2 * d; }
+  [[nodiscard]] int dev_in(int d) const { return 2 * d + 1; }
+  [[nodiscard]] int host_out(int s) const { return 2 * num_devices + 2 * s; }
+  [[nodiscard]] int host_in(int s) const { return 2 * num_devices + 2 * s + 1; }
+  [[nodiscard]] int inter(int a, int b) const {
+    return 2 * num_devices + 2 * num_sockets + a * num_sockets + b;
+  }
+  [[nodiscard]] int total() const {
+    return 2 * num_devices + 2 * num_sockets + num_sockets * num_sockets;
+  }
+};
+
+}  // namespace
+
+double PcieTopology::transfer_seconds(const Transfer& t) const {
+  if (t.bytes == 0) return 0.0;
+  double bw = pcie_gbps_;
+  if (t.src != kHost && t.dst != kHost &&
+      socket_of(t.src) != socket_of(t.dst)) {
+    bw = std::min(bw, inter_socket_gbps_);
+  }
+  return static_cast<double>(t.bytes) / (bw * 1e9);
+}
+
+double PcieTopology::makespan_seconds(std::span<const Transfer> batch) const {
+  const ResourceMap rm{num_devices(), num_sockets_};
+  std::vector<double> busy(static_cast<std::size_t>(rm.total()), 0.0);
+
+  auto add = [&busy](int resource, double seconds) {
+    busy[static_cast<std::size_t>(resource)] += seconds;
+  };
+
+  for (const Transfer& t : batch) {
+    if (t.bytes == 0) continue;
+    const double pcie_s = static_cast<double>(t.bytes) / (pcie_gbps_ * 1e9);
+    const double inter_s =
+        static_cast<double>(t.bytes) / (inter_socket_gbps_ * 1e9);
+
+    if (t.src == kHost && t.dst == kHost) continue;
+    if (t.src == kHost) {
+      add(rm.host_out(socket_of(t.dst)), pcie_s);
+      add(rm.dev_in(t.dst), pcie_s);
+    } else if (t.dst == kHost) {
+      add(rm.dev_out(t.src), pcie_s);
+      add(rm.host_in(socket_of(t.src)), pcie_s);
+    } else {
+      add(rm.dev_out(t.src), pcie_s);
+      add(rm.dev_in(t.dst), pcie_s);
+      const int sa = socket_of(t.src);
+      const int sb = socket_of(t.dst);
+      if (sa != sb) add(rm.inter(sa, sb), inter_s);
+    }
+  }
+  return *std::max_element(busy.begin(), busy.end());
+}
+
+}  // namespace cumf::gpusim

@@ -1,0 +1,71 @@
+#pragma once
+
+// PCIe interconnect model (§4.2 of the paper).
+//
+// Devices hang off sockets; each device has a full-duplex PCIe channel (one
+// resource per direction), and traffic between sockets additionally crosses a
+// shared inter-socket link (also full-duplex, lower bandwidth). The host has
+// its own channel pair.
+//
+// A batch of concurrent transfers is scored with a bottleneck (makespan)
+// model: every directed resource serializes the bytes routed through it, and
+// the batch takes as long as its busiest resource. This captures exactly the
+// paper's two claims: the one-phase parallel reduction wins because it
+// spreads bytes over every device's in- AND out-channel (full duplex), and
+// the two-phase scheme wins again because it minimizes bytes crossing the
+// slow inter-socket link.
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cumf::gpusim {
+
+/// Endpoint id: 0..p-1 are devices, kHost is the host.
+inline constexpr int kHost = -1;
+
+struct Transfer {
+  int src = kHost;
+  int dst = kHost;
+  bytes_t bytes = 0;
+};
+
+class PcieTopology {
+ public:
+  /// All `p` devices on a single PCIe root (Fig. 5a's assumption).
+  static PcieTopology flat(int p, double pcie_gbps = 12.0);
+
+  /// Devices split evenly across two sockets (Fig. 5b's machine: every two
+  /// GPUs connect to one socket).
+  static PcieTopology two_socket(int p, double pcie_gbps = 12.0,
+                                 double inter_socket_gbps = 6.0);
+
+  [[nodiscard]] int num_devices() const {
+    return static_cast<int>(socket_of_.size());
+  }
+  [[nodiscard]] int socket_of(int device) const {
+    return device == kHost ? host_socket_ : socket_of_[static_cast<std::size_t>(device)];
+  }
+  [[nodiscard]] int num_sockets() const { return num_sockets_; }
+  [[nodiscard]] double pcie_gbps() const { return pcie_gbps_; }
+  [[nodiscard]] double inter_socket_gbps() const { return inter_socket_gbps_; }
+
+  /// Modeled seconds for one isolated transfer.
+  [[nodiscard]] double transfer_seconds(const Transfer& t) const;
+
+  /// Modeled seconds for a batch of transfers that all start together
+  /// (bottleneck model over directed channel resources).
+  [[nodiscard]] double makespan_seconds(std::span<const Transfer> batch) const;
+
+ private:
+  PcieTopology() = default;
+
+  std::vector<int> socket_of_;
+  int num_sockets_ = 1;
+  int host_socket_ = 0;
+  double pcie_gbps_ = 12.0;
+  double inter_socket_gbps_ = 6.0;
+};
+
+}  // namespace cumf::gpusim

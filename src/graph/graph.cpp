@@ -1,0 +1,90 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace cumf::graph {
+
+namespace {
+Graph from_coo(sparse::CooMatrix&& coo) {
+  Graph g;
+  g.adj = sparse::coo_to_csr(coo);
+  return g;
+}
+}  // namespace
+
+Graph ring_graph(idx_t n) {
+  if (n <= 0) throw std::invalid_argument("ring_graph: n must be > 0");
+  sparse::CooMatrix coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(n);
+  for (idx_t u = 0; u < n; ++u) {
+    coo.push_back(u, (u + 1) % n, 1.0f);
+  }
+  return from_coo(std::move(coo));
+}
+
+Graph star_graph(idx_t n) {
+  if (n < 2) throw std::invalid_argument("star_graph: n must be >= 2");
+  sparse::CooMatrix coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(n);
+  for (idx_t u = 1; u < n; ++u) {
+    coo.push_back(u, 0, 1.0f);
+  }
+  coo.push_back(0, 1, 1.0f);  // keep the hub non-dangling
+  return from_coo(std::move(coo));
+}
+
+Graph random_graph(idx_t n, int out_degree, util::Rng& rng) {
+  if (n <= 1 || out_degree <= 0) {
+    throw std::invalid_argument("random_graph: bad arguments");
+  }
+  sparse::CooMatrix coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<nnz_t>(n) * out_degree);
+  std::unordered_set<idx_t> seen;
+  for (idx_t u = 0; u < n; ++u) {
+    seen.clear();
+    const int want = std::min<int>(out_degree, n - 1);
+    while (static_cast<int>(seen.size()) < want) {
+      const auto v = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (v != u && seen.insert(v).second) {
+        coo.push_back(u, v, 1.0f);
+      }
+    }
+  }
+  return from_coo(std::move(coo));
+}
+
+Graph preferential_attachment(idx_t n, int links, util::Rng& rng) {
+  if (n < 2 || links <= 0) {
+    throw std::invalid_argument("preferential_attachment: bad arguments");
+  }
+  sparse::CooMatrix coo;
+  coo.rows = coo.cols = n;
+  // Repeated-targets list: node v appears once per in-edge (+ once base),
+  // so sampling uniformly from it is proportional to in-degree + 1.
+  std::vector<idx_t> targets;
+  targets.reserve(static_cast<std::size_t>(n) * (1 + links));
+  targets.push_back(0);
+  std::unordered_set<idx_t> seen;
+  for (idx_t u = 1; u < n; ++u) {
+    seen.clear();
+    const int want = std::min<int>(links, u);
+    int guard = 0;
+    while (static_cast<int>(seen.size()) < want && guard++ < 50 * links) {
+      const idx_t v = targets[rng.next_below(targets.size())];
+      if (v != u && seen.insert(v).second) {
+        coo.push_back(u, v, 1.0f);
+        targets.push_back(v);
+      }
+    }
+    targets.push_back(u);
+  }
+  return from_coo(std::move(coo));
+}
+
+}  // namespace cumf::graph

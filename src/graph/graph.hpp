@@ -1,0 +1,40 @@
+#pragma once
+
+// Graph substrate — the paper's §7 future work: "we plan to extend cuMF to
+// deal with other sparse problems such as graph algorithms [CuSha]". The
+// same CSR structures, device simulator, and gathered-access kernels that
+// power ALS carry over directly; this module adds graph construction and a
+// PageRank engine on top, and examples/graph_analytics.cpp does MF-based
+// link prediction with the implicit-ALS solver.
+
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace cumf::graph {
+
+/// A directed graph stored as a CSR adjacency matrix (row u lists u's
+/// out-neighbours; edge weights default to 1).
+struct Graph {
+  sparse::CsrMatrix adj;  // rows == cols == node count
+
+  [[nodiscard]] idx_t nodes() const { return adj.rows; }
+  [[nodiscard]] nnz_t edges() const { return adj.nnz(); }
+};
+
+/// Directed ring 0→1→…→n-1→0.
+Graph ring_graph(idx_t n);
+
+/// Star: spokes 1..n-1 each point at the hub (node 0), hub points back at
+/// node 1 so it is not dangling.
+Graph star_graph(idx_t n);
+
+/// G(n, deg): each node draws `deg` random out-neighbours (no self loops,
+/// duplicates removed).
+Graph random_graph(idx_t n, int out_degree, util::Rng& rng);
+
+/// Preferential attachment: nodes arrive one at a time and attach `links`
+/// out-edges to existing nodes with probability proportional to current
+/// in-degree (+1). Produces the heavy-tailed in-degree of real webs/socials.
+Graph preferential_attachment(idx_t n, int links, util::Rng& rng);
+
+}  // namespace cumf::graph

@@ -1,0 +1,34 @@
+#pragma once
+
+// PageRank on the simulated device — the flagship "other sparse problem"
+// of the paper's future-work section. The pull-style SpMV iteration has the
+// exact memory profile the cuMF kernels optimize for: gathered reads of
+// source scores (θ-column-style discontiguous access) against a CSR of
+// in-edges, with per-launch traffic accounted on the device clock.
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf::graph {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iters = 100;
+  double tolerance = 1e-9;  // L1 change per node between iterations
+};
+
+struct PageRankResult {
+  std::vector<double> scores;  // sums to 1
+  int iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+/// Runs PageRank over the out-edge adjacency `adj` (rows = source nodes).
+/// Dangling-node mass is redistributed uniformly each iteration.
+PageRankResult pagerank(gpusim::Device& dev, const sparse::CsrMatrix& adj,
+                        const PageRankOptions& opt = {});
+
+}  // namespace cumf::graph

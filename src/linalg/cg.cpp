@@ -1,0 +1,74 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/hermitian.hpp"
+
+namespace cumf::linalg {
+
+namespace {
+void symv(const real_t* A, const real_t* x, real_t* y, int f) {
+  for (int i = 0; i < f; ++i) {
+    const real_t* row = A + static_cast<std::size_t>(i) * f;
+    double s = 0.0;
+    for (int j = 0; j < f; ++j) s += static_cast<double>(row[j]) * x[j];
+    y[i] = static_cast<real_t>(s);
+  }
+}
+}  // namespace
+
+CgResult cg_solve(const real_t* A, const real_t* b, real_t* x, int f,
+                  const CgOptions& opt) {
+  CgResult res;
+  std::vector<real_t> r(static_cast<std::size_t>(f));
+  std::vector<real_t> p(static_cast<std::size_t>(f));
+  std::vector<real_t> ap(static_cast<std::size_t>(f));
+
+  // r = b - A·x (x is the warm start), p = r.
+  symv(A, x, ap.data(), f);
+  double rr = 0.0, bnorm = 0.0;
+  for (int i = 0; i < f; ++i) {
+    r[static_cast<std::size_t>(i)] = b[i] - ap[static_cast<std::size_t>(i)];
+    p[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)];
+    rr += static_cast<double>(r[static_cast<std::size_t>(i)]) *
+          r[static_cast<std::size_t>(i)];
+    bnorm += static_cast<double>(b[i]) * b[i];
+  }
+  bnorm = std::sqrt(bnorm);
+  if (bnorm == 0.0) {
+    for (int i = 0; i < f; ++i) x[i] = 0.0f;
+    res.converged = true;
+    return res;
+  }
+  const double tol = opt.tolerance * bnorm;
+
+  for (int k = 0; k < opt.max_iters; ++k) {
+    if (std::sqrt(rr) <= tol) break;
+    symv(A, p.data(), ap.data(), f);
+    const double pap = dot(p.data(), ap.data(), f);
+    if (pap <= 0.0) break;  // lost positive-definiteness numerically
+    const double alpha = rr / pap;
+    double rr_next = 0.0;
+    for (int i = 0; i < f; ++i) {
+      x[i] += static_cast<real_t>(alpha * p[static_cast<std::size_t>(i)]);
+      r[static_cast<std::size_t>(i)] -=
+          static_cast<real_t>(alpha * ap[static_cast<std::size_t>(i)]);
+      rr_next += static_cast<double>(r[static_cast<std::size_t>(i)]) *
+                 r[static_cast<std::size_t>(i)];
+    }
+    const double beta = rr_next / rr;
+    for (int i = 0; i < f; ++i) {
+      p[static_cast<std::size_t>(i)] =
+          r[static_cast<std::size_t>(i)] +
+          static_cast<real_t>(beta) * p[static_cast<std::size_t>(i)];
+    }
+    rr = rr_next;
+    ++res.iterations;
+  }
+  res.residual = std::sqrt(rr) / bnorm;
+  res.converged = res.residual <= opt.tolerance;
+  return res;
+}
+
+}  // namespace cumf::linalg

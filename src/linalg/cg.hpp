@@ -1,0 +1,33 @@
+#pragma once
+
+// Conjugate-gradient solver for the SPD systems of batch_solve.
+//
+// The published cuMF line later replaced the exact Cholesky batch solver
+// with an approximate CG solver (als_cg): for well-conditioned A_u a handful
+// of CG iterations reaches ALS-useful accuracy at O(k·f²) cost instead of
+// O(f³), and needs no triangular factor storage. We implement it as an
+// alternative backend for batch_solve and compare the two in
+// bench/ablation_solvers.
+
+#include "util/types.hpp"
+
+namespace cumf::linalg {
+
+struct CgOptions {
+  int max_iters = 20;      // k; cuMF-CG style defaults
+  double tolerance = 1e-6; // on the residual norm relative to ‖b‖
+};
+
+struct CgResult {
+  int iterations = 0;      // iterations actually taken
+  double residual = 0.0;   // final ‖Ax-b‖ / ‖b‖
+  bool converged = false;
+};
+
+/// Solves A·x = b for a dense row-major SPD f×f matrix A. `x` is both the
+/// initial guess and the output (warm starts matter in ALS: the previous
+/// iteration's x_u is an excellent starting point).
+CgResult cg_solve(const real_t* A, const real_t* b, real_t* x, int f,
+                  const CgOptions& opt = {});
+
+}  // namespace cumf::linalg

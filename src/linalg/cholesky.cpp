@@ -1,0 +1,62 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace cumf::linalg {
+
+CholeskyResult cholesky_factor(real_t* A, int f) {
+  CholeskyResult result;
+  constexpr double kEps = 1e-10;
+  for (int j = 0; j < f; ++j) {
+    real_t* colj = A + static_cast<std::size_t>(j) * f;
+    double diag = static_cast<double>(colj[j]);
+    for (int k = 0; k < j; ++k) {
+      diag -= static_cast<double>(colj[k]) * colj[k];
+    }
+    if (diag <= kEps) {
+      diag = kEps;
+      ++result.clamped_pivots;
+    }
+    const double ljj = std::sqrt(diag);
+    colj[j] = static_cast<real_t>(ljj);
+    const double inv = 1.0 / ljj;
+    for (int i = j + 1; i < f; ++i) {
+      real_t* rowi = A + static_cast<std::size_t>(i) * f;
+      double s = static_cast<double>(rowi[j]);
+      for (int k = 0; k < j; ++k) {
+        s -= static_cast<double>(rowi[k]) * colj[k];
+      }
+      rowi[j] = static_cast<real_t>(s * inv);
+    }
+  }
+  result.ok = (result.clamped_pivots == 0);
+  return result;
+}
+
+void cholesky_solve_inplace(const real_t* L, real_t* b, int f) {
+  // Forward substitution: L·y = b.
+  for (int i = 0; i < f; ++i) {
+    const real_t* rowi = L + static_cast<std::size_t>(i) * f;
+    double s = static_cast<double>(b[i]);
+    for (int k = 0; k < i; ++k) {
+      s -= static_cast<double>(rowi[k]) * b[k];
+    }
+    b[i] = static_cast<real_t>(s / rowi[i]);
+  }
+  // Back substitution: Lᵀ·x = y.
+  for (int i = f - 1; i >= 0; --i) {
+    double s = static_cast<double>(b[i]);
+    for (int k = i + 1; k < f; ++k) {
+      s -= static_cast<double>(L[static_cast<std::size_t>(k) * f + i]) * b[k];
+    }
+    b[i] = static_cast<real_t>(s / L[static_cast<std::size_t>(i) * f + i]);
+  }
+}
+
+CholeskyResult solve_spd_inplace(real_t* A, real_t* b, int f) {
+  const CholeskyResult r = cholesky_factor(A, f);
+  cholesky_solve_inplace(A, b, f);
+  return r;
+}
+
+}  // namespace cumf::linalg

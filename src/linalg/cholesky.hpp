@@ -1,0 +1,33 @@
+#pragma once
+
+// In-place Cholesky factorization and solve for the batch_solve phase.
+//
+// Each A_u = Σ θθᵀ + n_{x_u}λI is symmetric positive definite whenever the
+// row has at least one rating, so LLᵀ is the natural batched solver (the
+// paper defers this phase to cuBLAS's batched dense solvers; we implement it
+// directly). Solving is in-place: no extra storage per system, matching the
+// paper's "in-place solvers" note in §2.2.
+
+#include "util/types.hpp"
+
+namespace cumf::linalg {
+
+struct CholeskyResult {
+  bool ok = false;        // false => matrix was not numerically SPD
+  int clamped_pivots = 0; // diagonal entries nudged to epsilon to proceed
+};
+
+/// Factors row-major f×f SPD matrix A into L (lower triangle of A, in
+/// place; the strict upper triangle is left untouched). Non-positive pivots
+/// are clamped to a tiny epsilon and counted, so a near-singular system
+/// still produces a usable (regularized) solution.
+CholeskyResult cholesky_factor(real_t* A, int f);
+
+/// Solves L·Lᵀ·x = b given the factor from cholesky_factor. b is overwritten
+/// with the solution.
+void cholesky_solve_inplace(const real_t* L, real_t* b, int f);
+
+/// Convenience: factor + solve; A and b are both clobbered.
+CholeskyResult solve_spd_inplace(real_t* A, real_t* b, int f);
+
+}  // namespace cumf::linalg

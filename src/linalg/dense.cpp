@@ -1,0 +1,63 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/binary_io.hpp"
+
+namespace cumf::linalg {
+
+void FactorMatrix::randomize(util::Rng& rng, real_t scale) {
+  for (auto& v : data_) v = rng.next_real() * scale;
+}
+
+double FactorMatrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (const real_t v : data_) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+namespace {
+constexpr std::uint32_t kFactorTag = 0x464d4154;  // "FMAT"
+
+struct FactorHeader {
+  idx_t rows;
+  std::int32_t f;
+};
+}  // namespace
+
+std::vector<std::byte> serialize_factors(const FactorMatrix& mat) {
+  std::vector<std::byte> payload(sizeof(FactorHeader) +
+                                 mat.data().size() * sizeof(real_t));
+  const FactorHeader hdr{mat.rows(), mat.f()};
+  std::memcpy(payload.data(), &hdr, sizeof(hdr));
+  std::memcpy(payload.data() + sizeof(hdr), mat.data().data(),
+              mat.data().size() * sizeof(real_t));
+  return payload;
+}
+
+FactorMatrix deserialize_factors(const std::byte* data, std::size_t size) {
+  if (size < sizeof(FactorHeader)) {
+    throw std::runtime_error("deserialize_factors: truncated payload");
+  }
+  FactorHeader hdr{};
+  std::memcpy(&hdr, data, sizeof(hdr));
+  FactorMatrix mat(hdr.rows, hdr.f);
+  const std::size_t expect = mat.data().size() * sizeof(real_t);
+  if (size != sizeof(hdr) + expect) {
+    throw std::runtime_error("deserialize_factors: size mismatch");
+  }
+  std::memcpy(mat.data().data(), data + sizeof(hdr), expect);
+  return mat;
+}
+
+void save_factors(const std::string& path, const FactorMatrix& mat) {
+  util::write_blob(path, kFactorTag, serialize_factors(mat));
+}
+
+FactorMatrix load_factors(const std::string& path) {
+  const std::vector<std::byte> payload = util::read_blob(path, kFactorTag);
+  return deserialize_factors(payload.data(), payload.size());
+}
+
+}  // namespace cumf::linalg

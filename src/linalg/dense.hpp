@@ -1,0 +1,65 @@
+#pragma once
+
+// Dense row-major matrices for the factor matrices X (m×f) and Θ (n×f).
+//
+// The solvers address Θ as Θᵀ (f×n, column θ_v contiguous) exactly like the
+// paper's kernels do; FactorMatrix provides both views: rows are contiguous,
+// and `col_major_copy` materializes the f×n transposed layout when a kernel
+// wants θ_v as a contiguous f-vector.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace cumf::linalg {
+
+class FactorMatrix {
+ public:
+  FactorMatrix() = default;
+  FactorMatrix(idx_t rows, int f)
+      : rows_(rows), f_(f),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(f),
+              real_t{0}) {}
+
+  [[nodiscard]] idx_t rows() const { return rows_; }
+  [[nodiscard]] int f() const { return f_; }
+
+  [[nodiscard]] real_t* row(idx_t r) {
+    return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(f_);
+  }
+  [[nodiscard]] const real_t* row(idx_t r) const {
+    return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(f_);
+  }
+
+  [[nodiscard]] std::vector<real_t>& data() { return data_; }
+  [[nodiscard]] const std::vector<real_t>& data() const { return data_; }
+
+  /// Uniform entries in [0, scale). The paper initializes in [0, 1]; the
+  /// benches use scale = 1/sqrt(f) so the initial predictions are O(1).
+  void randomize(util::Rng& rng, real_t scale = real_t{1});
+
+  [[nodiscard]] bytes_t footprint_bytes() const {
+    return static_cast<bytes_t>(data_.size()) * sizeof(real_t);
+  }
+
+  /// Frobenius norm (double accumulation).
+  [[nodiscard]] double frobenius_norm() const;
+
+ private:
+  idx_t rows_ = 0;
+  int f_ = 0;
+  std::vector<real_t> data_;
+};
+
+/// Checkpoint support (§4.4 fault tolerance): blob round-trip with checksum.
+void save_factors(const std::string& path, const FactorMatrix& mat);
+FactorMatrix load_factors(const std::string& path);
+
+/// In-memory (de)serialization used by the checkpoint manager, which wraps
+/// the payload with its own iteration stamp.
+std::vector<std::byte> serialize_factors(const FactorMatrix& mat);
+FactorMatrix deserialize_factors(const std::byte* data, std::size_t size);
+
+}  // namespace cumf::linalg

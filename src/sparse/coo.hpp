@@ -1,0 +1,34 @@
+#pragma once
+
+// Coordinate-format sparse matrix. This is the ingestion format: generators
+// emit COO triples, which are then compiled into CSR/CSC for the solvers.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cumf::sparse {
+
+struct CooMatrix {
+  idx_t rows = 0;
+  idx_t cols = 0;
+  std::vector<idx_t> row;
+  std::vector<idx_t> col;
+  std::vector<real_t> val;
+
+  [[nodiscard]] nnz_t nnz() const { return static_cast<nnz_t>(val.size()); }
+
+  void reserve(nnz_t n) {
+    row.reserve(static_cast<std::size_t>(n));
+    col.reserve(static_cast<std::size_t>(n));
+    val.reserve(static_cast<std::size_t>(n));
+  }
+
+  void push_back(idx_t r, idx_t c, real_t v) {
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+};
+
+}  // namespace cumf::sparse

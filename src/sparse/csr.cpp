@@ -1,0 +1,90 @@
+#include "sparse/csr.hpp"
+
+#include <cassert>
+
+namespace cumf::sparse {
+
+CsrMatrix coo_to_csr(const CooMatrix& coo) {
+  CsrMatrix csr;
+  csr.rows = coo.rows;
+  csr.cols = coo.cols;
+  csr.row_ptr.assign(static_cast<std::size_t>(coo.rows) + 1, 0);
+  csr.col_ind.resize(coo.val.size());
+  csr.vals.resize(coo.val.size());
+
+  for (const idx_t r : coo.row) {
+    assert(r >= 0 && r < coo.rows);
+    ++csr.row_ptr[static_cast<std::size_t>(r) + 1];
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(coo.rows); ++r) {
+    csr.row_ptr[r + 1] += csr.row_ptr[r];
+  }
+  std::vector<nnz_t> cursor(csr.row_ptr.begin(), csr.row_ptr.end() - 1);
+  for (std::size_t k = 0; k < coo.val.size(); ++k) {
+    const auto r = static_cast<std::size_t>(coo.row[k]);
+    const auto at = static_cast<std::size_t>(cursor[r]++);
+    csr.col_ind[at] = coo.col[k];
+    csr.vals[at] = coo.val[k];
+  }
+  return csr;
+}
+
+CscMatrix csr_to_csc(const CsrMatrix& csr) {
+  CscMatrix csc;
+  csc.rows = csr.rows;
+  csc.cols = csr.cols;
+  csc.col_ptr.assign(static_cast<std::size_t>(csr.cols) + 1, 0);
+  csc.row_ind.resize(csr.vals.size());
+  csc.vals.resize(csr.vals.size());
+
+  for (const idx_t c : csr.col_ind) {
+    assert(c >= 0 && c < csr.cols);
+    ++csc.col_ptr[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(csr.cols); ++c) {
+    csc.col_ptr[c + 1] += csc.col_ptr[c];
+  }
+  std::vector<nnz_t> cursor(csc.col_ptr.begin(), csc.col_ptr.end() - 1);
+  for (idx_t r = 0; r < csr.rows; ++r) {
+    const auto lo = csr.row_ptr[static_cast<std::size_t>(r)];
+    const auto hi = csr.row_ptr[static_cast<std::size_t>(r) + 1];
+    for (nnz_t k = lo; k < hi; ++k) {
+      const auto c = static_cast<std::size_t>(csr.col_ind[static_cast<std::size_t>(k)]);
+      const auto at = static_cast<std::size_t>(cursor[c]++);
+      csc.row_ind[at] = r;
+      csc.vals[at] = csr.vals[static_cast<std::size_t>(k)];
+    }
+  }
+  return csc;
+}
+
+CsrMatrix transpose(const CsrMatrix& csr) {
+  return csc_as_csr_of_transpose(csr_to_csc(csr));
+}
+
+CsrMatrix csc_as_csr_of_transpose(CscMatrix&& csc) {
+  CsrMatrix out;
+  out.rows = csc.cols;
+  out.cols = csc.rows;
+  out.row_ptr = std::move(csc.col_ptr);
+  out.col_ind = std::move(csc.row_ind);
+  out.vals = std::move(csc.vals);
+  return out;
+}
+
+std::vector<real_t> to_dense(const CsrMatrix& csr) {
+  std::vector<real_t> dense(static_cast<std::size_t>(csr.rows) *
+                                static_cast<std::size_t>(csr.cols),
+                            real_t{0});
+  for (idx_t r = 0; r < csr.rows; ++r) {
+    const auto cols = csr.row_cols(r);
+    const auto vals = csr.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      dense[static_cast<std::size_t>(r) * static_cast<std::size_t>(csr.cols) +
+            static_cast<std::size_t>(cols[k])] += vals[k];
+    }
+  }
+  return dense;
+}
+
+}  // namespace cumf::sparse

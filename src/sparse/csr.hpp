@@ -1,0 +1,99 @@
+#pragma once
+
+// Compressed Sparse Row / Compressed Sparse Column matrices.
+//
+// The paper stores R in CSR for update-X (row u's ratings drive A_u, B_u) and
+// needs column access for update-Θ; we keep an explicit CSC mirror (CscMatrix
+// is CSR of Rᵀ with the same index conventions). Memory layout matches the
+// paper's accounting: a CSR of R costs 2·Nz + m + 1 words (Table 3).
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "util/types.hpp"
+
+namespace cumf::sparse {
+
+struct CsrMatrix {
+  idx_t rows = 0;
+  idx_t cols = 0;
+  std::vector<nnz_t> row_ptr;   // size rows + 1
+  std::vector<idx_t> col_ind;   // size nnz
+  std::vector<real_t> vals;     // size nnz
+
+  [[nodiscard]] nnz_t nnz() const { return static_cast<nnz_t>(vals.size()); }
+
+  [[nodiscard]] nnz_t row_nnz(idx_t r) const {
+    return row_ptr[static_cast<std::size_t>(r) + 1] -
+           row_ptr[static_cast<std::size_t>(r)];
+  }
+
+  [[nodiscard]] std::span<const idx_t> row_cols(idx_t r) const {
+    const auto lo = static_cast<std::size_t>(row_ptr[r]);
+    const auto hi = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(r) + 1]);
+    return {col_ind.data() + lo, hi - lo};
+  }
+
+  [[nodiscard]] std::span<const real_t> row_vals(idx_t r) const {
+    const auto lo = static_cast<std::size_t>(row_ptr[r]);
+    const auto hi = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(r) + 1]);
+    return {vals.data() + lo, hi - lo};
+  }
+
+  /// Storage footprint in bytes (row_ptr + col_ind + vals), as counted by the
+  /// partition planner against device capacity.
+  [[nodiscard]] bytes_t footprint_bytes() const {
+    return static_cast<bytes_t>(row_ptr.size()) * sizeof(nnz_t) +
+           static_cast<bytes_t>(col_ind.size()) * sizeof(idx_t) +
+           static_cast<bytes_t>(vals.size()) * sizeof(real_t);
+  }
+};
+
+/// CSC of R == CSR of Rᵀ. Kept as a distinct type so interfaces say which
+/// orientation they require.
+struct CscMatrix {
+  idx_t rows = 0;  // rows of the logical R
+  idx_t cols = 0;
+  std::vector<nnz_t> col_ptr;   // size cols + 1
+  std::vector<idx_t> row_ind;   // size nnz
+  std::vector<real_t> vals;
+
+  [[nodiscard]] nnz_t nnz() const { return static_cast<nnz_t>(vals.size()); }
+
+  [[nodiscard]] nnz_t col_nnz(idx_t c) const {
+    return col_ptr[static_cast<std::size_t>(c) + 1] -
+           col_ptr[static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] std::span<const idx_t> col_rows(idx_t c) const {
+    const auto lo = static_cast<std::size_t>(col_ptr[c]);
+    const auto hi = static_cast<std::size_t>(col_ptr[static_cast<std::size_t>(c) + 1]);
+    return {row_ind.data() + lo, hi - lo};
+  }
+
+  [[nodiscard]] std::span<const real_t> col_vals(idx_t c) const {
+    const auto lo = static_cast<std::size_t>(col_ptr[c]);
+    const auto hi = static_cast<std::size_t>(col_ptr[static_cast<std::size_t>(c) + 1]);
+    return {vals.data() + lo, hi - lo};
+  }
+};
+
+/// Builds CSR from COO triples (stable counting sort by row; column order
+/// within a row follows the input order).
+CsrMatrix coo_to_csr(const CooMatrix& coo);
+
+/// Builds the CSC mirror of a CSR matrix (i.e. transposes the index
+/// structure; values are shared semantics, copied storage).
+CscMatrix csr_to_csc(const CsrMatrix& csr);
+
+/// Transpose: CSR of Rᵀ from CSR of R.
+CsrMatrix transpose(const CsrMatrix& csr);
+
+/// Re-interpret a CSC as the CSR of the transposed matrix (cheap move).
+CsrMatrix csc_as_csr_of_transpose(CscMatrix&& csc);
+
+/// Dense reconstruction for tests (rows*cols must be small).
+std::vector<real_t> to_dense(const CsrMatrix& csr);
+
+}  // namespace cumf::sparse

@@ -1,0 +1,66 @@
+#include "sparse/io.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/binary_io.hpp"
+
+namespace cumf::sparse {
+
+namespace {
+constexpr std::uint32_t kCsrTag = 0x43535231;  // "CSR1"
+
+struct CsrHeader {
+  idx_t rows;
+  idx_t cols;
+  nnz_t nnz;
+};
+}  // namespace
+
+void save_csr(const std::string& path, const CsrMatrix& csr) {
+  const std::size_t rp_bytes = csr.row_ptr.size() * sizeof(nnz_t);
+  const std::size_t ci_bytes = csr.col_ind.size() * sizeof(idx_t);
+  const std::size_t va_bytes = csr.vals.size() * sizeof(real_t);
+  std::vector<std::byte> payload(sizeof(CsrHeader) + rp_bytes + ci_bytes +
+                                 va_bytes);
+  const CsrHeader hdr{csr.rows, csr.cols, csr.nnz()};
+  std::byte* at = payload.data();
+  std::memcpy(at, &hdr, sizeof(hdr));
+  at += sizeof(hdr);
+  std::memcpy(at, csr.row_ptr.data(), rp_bytes);
+  at += rp_bytes;
+  std::memcpy(at, csr.col_ind.data(), ci_bytes);
+  at += ci_bytes;
+  std::memcpy(at, csr.vals.data(), va_bytes);
+  util::write_blob(path, kCsrTag, payload);
+}
+
+CsrMatrix load_csr(const std::string& path) {
+  const std::vector<std::byte> payload = util::read_blob(path, kCsrTag);
+  if (payload.size() < sizeof(CsrHeader)) {
+    throw std::runtime_error("load_csr: truncated " + path);
+  }
+  CsrHeader hdr{};
+  std::memcpy(&hdr, payload.data(), sizeof(hdr));
+  CsrMatrix csr;
+  csr.rows = hdr.rows;
+  csr.cols = hdr.cols;
+  csr.row_ptr.resize(static_cast<std::size_t>(hdr.rows) + 1);
+  csr.col_ind.resize(static_cast<std::size_t>(hdr.nnz));
+  csr.vals.resize(static_cast<std::size_t>(hdr.nnz));
+  const std::size_t rp_bytes = csr.row_ptr.size() * sizeof(nnz_t);
+  const std::size_t ci_bytes = csr.col_ind.size() * sizeof(idx_t);
+  const std::size_t va_bytes = csr.vals.size() * sizeof(real_t);
+  if (payload.size() != sizeof(hdr) + rp_bytes + ci_bytes + va_bytes) {
+    throw std::runtime_error("load_csr: size mismatch in " + path);
+  }
+  const std::byte* at = payload.data() + sizeof(hdr);
+  std::memcpy(csr.row_ptr.data(), at, rp_bytes);
+  at += rp_bytes;
+  std::memcpy(csr.col_ind.data(), at, ci_bytes);
+  at += ci_bytes;
+  std::memcpy(csr.vals.data(), at, va_bytes);
+  return csr;
+}
+
+}  // namespace cumf::sparse

@@ -1,0 +1,15 @@
+#pragma once
+
+// Disk (de)serialization of CSR matrices, used by the out-of-core block
+// store and anyone persisting generated workloads.
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace cumf::sparse {
+
+void save_csr(const std::string& path, const CsrMatrix& csr);
+CsrMatrix load_csr(const std::string& path);
+
+}  // namespace cumf::sparse

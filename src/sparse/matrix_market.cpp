@@ -1,0 +1,103 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cumf::sparse {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+}  // namespace
+
+CooMatrix load_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_matrix_market: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_matrix_market: empty file " + path);
+  }
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || lower(object) != "matrix" ||
+      lower(format) != "coordinate") {
+    throw std::runtime_error("load_matrix_market: unsupported header in " +
+                             path);
+  }
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    throw std::runtime_error("load_matrix_market: unsupported field " + field);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    throw std::runtime_error("load_matrix_market: unsupported symmetry " +
+                             symmetry);
+  }
+
+  // Skip comments, read the size line.
+  do {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("load_matrix_market: missing size line");
+    }
+  } while (!line.empty() && line[0] == '%');
+
+  long long rows = 0, cols = 0, nnz = 0;
+  {
+    std::istringstream size_line(line);
+    if (!(size_line >> rows >> cols >> nnz) || rows < 0 || cols < 0 ||
+        nnz < 0) {
+      throw std::runtime_error("load_matrix_market: bad size line");
+    }
+  }
+
+  CooMatrix coo;
+  coo.rows = static_cast<idx_t>(rows);
+  coo.cols = static_cast<idx_t>(cols);
+  coo.reserve(symmetric ? 2 * nnz : nnz);
+  for (long long k = 0; k < nnz; ++k) {
+    long long i = 0, j = 0;
+    double v = 1.0;
+    if (!(in >> i >> j)) {
+      throw std::runtime_error("load_matrix_market: truncated entries");
+    }
+    if (!pattern && !(in >> v)) {
+      throw std::runtime_error("load_matrix_market: missing value");
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      throw std::runtime_error("load_matrix_market: index out of range");
+    }
+    coo.push_back(static_cast<idx_t>(i - 1), static_cast<idx_t>(j - 1),
+                  static_cast<real_t>(v));
+    if (symmetric && i != j) {
+      coo.push_back(static_cast<idx_t>(j - 1), static_cast<idx_t>(i - 1),
+                    static_cast<real_t>(v));
+    }
+  }
+  return coo;
+}
+
+void save_matrix_market(const std::string& path, const CooMatrix& coo) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_matrix_market: cannot open " + path);
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by cumf\n";
+  out << coo.rows << ' ' << coo.cols << ' ' << coo.nnz() << '\n';
+  out.precision(9);
+  for (std::size_t k = 0; k < coo.val.size(); ++k) {
+    out << (coo.row[k] + 1) << ' ' << (coo.col[k] + 1) << ' ' << coo.val[k]
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("save_matrix_market: write failed");
+}
+
+}  // namespace cumf::sparse

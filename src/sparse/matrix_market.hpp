@@ -1,0 +1,20 @@
+#pragma once
+
+// Matrix Market (.mtx) interchange I/O — the format the public MF data sets
+// (Netflix dumps, Hugewiki, SNAP exports) ship in. Supports the coordinate
+// variants cuMF consumes: real / integer / pattern, general symmetry.
+
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace cumf::sparse {
+
+/// Parses a MatrixMarket coordinate file (1-based indices; `pattern` entries
+/// get value 1). Throws std::runtime_error on malformed input.
+CooMatrix load_matrix_market(const std::string& path);
+
+/// Writes `coo` as "%%MatrixMarket matrix coordinate real general".
+void save_matrix_market(const std::string& path, const CooMatrix& coo);
+
+}  // namespace cumf::sparse

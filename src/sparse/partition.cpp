@@ -1,0 +1,142 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace cumf::sparse {
+
+std::vector<Range> split_even(idx_t extent, int parts) {
+  if (parts <= 0) throw std::invalid_argument("split_even: parts must be > 0");
+  std::vector<Range> out(static_cast<std::size_t>(parts));
+  const idx_t base = extent / parts;
+  const idx_t rem = extent % parts;
+  idx_t at = 0;
+  for (int i = 0; i < parts; ++i) {
+    const idx_t len = base + (i < rem ? 1 : 0);
+    out[static_cast<std::size_t>(i)] = Range{at, at + len};
+    at += len;
+  }
+  return out;
+}
+
+namespace {
+/// Locates the partition owning global column c given even split ranges.
+int owner_of(const std::vector<Range>& ranges, idx_t c) {
+  // Even split: sizes differ by at most 1, so direct arithmetic beats a
+  // binary search. Derive from the first range's size pattern.
+  const auto parts = static_cast<int>(ranges.size());
+  const idx_t extent = ranges.back().end;
+  const idx_t base = extent / parts;
+  const idx_t rem = extent % parts;
+  const idx_t fat_span = (base + 1) * rem;  // region covered by the +1 ranges
+  int guess;
+  if (base == 0) {
+    guess = (c < fat_span) ? static_cast<int>(c) : parts - 1;
+  } else if (c < fat_span) {
+    guess = static_cast<int>(c / (base + 1));
+  } else {
+    guess = static_cast<int>(rem + (c - fat_span) / base);
+  }
+  guess = std::clamp(guess, 0, parts - 1);
+  assert(ranges[static_cast<std::size_t>(guess)].contains(c));
+  return guess;
+}
+}  // namespace
+
+GridPartition grid_partition(const CsrMatrix& R, int p, int q) {
+  if (p <= 0 || q <= 0) {
+    throw std::invalid_argument("grid_partition: p and q must be > 0");
+  }
+  GridPartition part;
+  part.p = p;
+  part.q = q;
+  part.col_ranges = split_even(R.cols, p);
+  part.row_ranges = split_even(R.rows, q);
+  part.blocks.resize(static_cast<std::size_t>(p) * static_cast<std::size_t>(q));
+
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < q; ++j) {
+      auto& blk = part.blocks[static_cast<std::size_t>(i) * q + j];
+      blk.row_range = part.row_ranges[static_cast<std::size_t>(j)];
+      blk.col_range = part.col_ranges[static_cast<std::size_t>(i)];
+      blk.local.rows = blk.row_range.size();
+      blk.local.cols = blk.col_range.size();
+      blk.local.row_ptr.assign(static_cast<std::size_t>(blk.local.rows) + 1, 0);
+    }
+  }
+
+  // Pass 1: count nonzeros per (block, local row).
+  for (int j = 0; j < q; ++j) {
+    const Range rows = part.row_ranges[static_cast<std::size_t>(j)];
+    for (idx_t r = rows.begin; r < rows.end; ++r) {
+      for (const idx_t c : R.row_cols(r)) {
+        const int i = owner_of(part.col_ranges, c);
+        auto& blk = part.blocks[static_cast<std::size_t>(i) * q + j];
+        ++blk.local.row_ptr[static_cast<std::size_t>(r - rows.begin) + 1];
+      }
+    }
+  }
+  for (auto& blk : part.blocks) {
+    for (std::size_t r = 0; r < static_cast<std::size_t>(blk.local.rows); ++r) {
+      blk.local.row_ptr[r + 1] += blk.local.row_ptr[r];
+    }
+    blk.local.col_ind.resize(static_cast<std::size_t>(blk.local.row_ptr.back()));
+    blk.local.vals.resize(static_cast<std::size_t>(blk.local.row_ptr.back()));
+  }
+
+  // Pass 2: scatter values with per-block cursors.
+  std::vector<std::vector<nnz_t>> cursors(part.blocks.size());
+  for (std::size_t b = 0; b < part.blocks.size(); ++b) {
+    const auto& rp = part.blocks[b].local.row_ptr;
+    cursors[b].assign(rp.begin(), rp.end() - 1);
+  }
+  for (int j = 0; j < q; ++j) {
+    const Range rows = part.row_ranges[static_cast<std::size_t>(j)];
+    for (idx_t r = rows.begin; r < rows.end; ++r) {
+      const auto cols = R.row_cols(r);
+      const auto vals = R.row_vals(r);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const int i = owner_of(part.col_ranges, cols[k]);
+        const std::size_t b = static_cast<std::size_t>(i) * q + j;
+        auto& blk = part.blocks[b];
+        const auto at = static_cast<std::size_t>(
+            cursors[b][static_cast<std::size_t>(r - rows.begin)]++);
+        blk.local.col_ind[at] = cols[k] - blk.col_range.begin;
+        blk.local.vals[at] = vals[k];
+      }
+    }
+  }
+  return part;
+}
+
+bool partition_covers(const CsrMatrix& R, const GridPartition& part) {
+  nnz_t total = 0;
+  for (const auto& blk : part.blocks) total += blk.local.nnz();
+  if (total != R.nnz()) return false;
+
+  // Spot-check: reconstruct every nonzero through the block it landed in.
+  for (const auto& blk : part.blocks) {
+    for (idx_t lr = 0; lr < blk.local.rows; ++lr) {
+      const idx_t gr = blk.row_range.begin + lr;
+      const auto lcols = blk.local.row_cols(lr);
+      const auto lvals = blk.local.row_vals(lr);
+      const auto gcols = R.row_cols(gr);
+      const auto gvals = R.row_vals(gr);
+      for (std::size_t k = 0; k < lcols.size(); ++k) {
+        const idx_t gc = blk.col_range.begin + lcols[k];
+        bool found = false;
+        for (std::size_t g = 0; g < gcols.size(); ++g) {
+          if (gcols[g] == gc && gvals[g] == lvals[k]) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cumf::sparse

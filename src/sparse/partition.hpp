@@ -1,0 +1,62 @@
+#pragma once
+
+// Partitioners for SU-ALS (Algorithm 3, lines 2-4):
+//   VerticalPartition(Θᵀ, p)  — Θᵀ split evenly by columns across p devices;
+//   HorizontalPartition(X, q) — X split evenly by rows into q batches;
+//   GridPartition(R, p, q)    — R split into p×q blocks following the two.
+//
+// A grid block R(ij) holds the ratings of X-batch j restricted to the column
+// range owned by device i, with *local* indices so device kernels never see
+// global coordinates. Offsets are retained for reassembly.
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cumf::sparse {
+
+/// Contiguous [begin, end) range of global row or column indices.
+struct Range {
+  idx_t begin = 0;
+  idx_t end = 0;
+  [[nodiscard]] idx_t size() const { return end - begin; }
+  [[nodiscard]] bool contains(idx_t v) const { return v >= begin && v < end; }
+};
+
+/// Splits [0, extent) into `parts` near-equal contiguous ranges.
+/// Earlier ranges get the remainder (sizes differ by at most one).
+std::vector<Range> split_even(idx_t extent, int parts);
+
+/// One block of the p×q grid. Ratings are stored as a CSR with local row
+/// indices in [0, row_range.size()) and local column indices in
+/// [0, col_range.size()).
+struct GridBlock {
+  Range row_range;   // global rows covered (an X batch)
+  Range col_range;   // global cols covered (a Θ partition)
+  CsrMatrix local;   // local-index CSR of the covered ratings
+};
+
+/// Full grid partition of R. Blocks are indexed [i*q + j] for Θ-partition i
+/// (0-based, i < p) and X-batch j (j < q), mirroring R(ij) in the paper.
+struct GridPartition {
+  int p = 1;
+  int q = 1;
+  std::vector<Range> col_ranges;  // size p, over R's columns
+  std::vector<Range> row_ranges;  // size q, over R's rows
+  std::vector<GridBlock> blocks;  // size p*q
+
+  [[nodiscard]] const GridBlock& block(int i, int j) const {
+    return blocks[static_cast<std::size_t>(i) * static_cast<std::size_t>(q) +
+                  static_cast<std::size_t>(j)];
+  }
+};
+
+/// Builds the p×q grid partition of `R` (one pass over the nonzeros per
+/// block row, two passes total).
+GridPartition grid_partition(const CsrMatrix& R, int p, int q);
+
+/// Sanity check used by tests: the blocks exactly tile R's nonzeros.
+bool partition_covers(const CsrMatrix& R, const GridPartition& part);
+
+}  // namespace cumf::sparse

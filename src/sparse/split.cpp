@@ -1,0 +1,33 @@
+#include "sparse/split.hpp"
+
+#include <vector>
+
+namespace cumf::sparse {
+
+TrainTestSplit split_ratings(const CooMatrix& all, double test_fraction,
+                             util::Rng& rng) {
+  TrainTestSplit out;
+  out.train.rows = out.test.rows = all.rows;
+  out.train.cols = out.test.cols = all.cols;
+
+  // Count entries per row so we can cap the held-out share at degree - 1.
+  std::vector<nnz_t> degree(static_cast<std::size_t>(all.rows), 0);
+  for (const idx_t r : all.row) ++degree[static_cast<std::size_t>(r)];
+  std::vector<nnz_t> held(static_cast<std::size_t>(all.rows), 0);
+
+  const auto n = all.val.size();
+  out.train.reserve(static_cast<nnz_t>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto r = static_cast<std::size_t>(all.row[k]);
+    const bool can_hold = held[r] + 1 < degree[r];
+    if (can_hold && rng.next_double() < test_fraction) {
+      out.test.push_back(all.row[k], all.col[k], all.val[k]);
+      ++held[r];
+    } else {
+      out.train.push_back(all.row[k], all.col[k], all.val[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cumf::sparse

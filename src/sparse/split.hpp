@@ -1,0 +1,24 @@
+#pragma once
+
+// Train/test split of rating data, used by the convergence experiments
+// (Figures 6-10 evaluate test RMSE on a held-out set).
+
+#include <utility>
+
+#include "sparse/coo.hpp"
+#include "util/rng.hpp"
+
+namespace cumf::sparse {
+
+struct TrainTestSplit {
+  CooMatrix train;
+  CooMatrix test;
+};
+
+/// Holds out ~`test_fraction` of each row's ratings uniformly at random,
+/// never removing a row's last remaining training rating (a user with no
+/// training ratings would make its x_u unconstrained).
+TrainTestSplit split_ratings(const CooMatrix& all, double test_fraction,
+                             util::Rng& rng);
+
+}  // namespace cumf::sparse

@@ -1,0 +1,51 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cumf::sparse {
+
+namespace {
+DegreeStats stats_of(const std::vector<nnz_t>& degrees) {
+  DegreeStats s;
+  if (degrees.empty()) return s;
+  s.min = *std::min_element(degrees.begin(), degrees.end());
+  s.max = *std::max_element(degrees.begin(), degrees.end());
+  double sum = 0.0, sum2 = 0.0;
+  std::size_t empty = 0;
+  for (const nnz_t d : degrees) {
+    sum += static_cast<double>(d);
+    sum2 += static_cast<double>(d) * static_cast<double>(d);
+    if (d == 0) ++empty;
+  }
+  const double n = static_cast<double>(degrees.size());
+  s.mean = sum / n;
+  s.stddev = std::sqrt(std::max(0.0, sum2 / n - s.mean * s.mean));
+  s.empty_fraction = static_cast<double>(empty) / n;
+  return s;
+}
+}  // namespace
+
+std::vector<nnz_t> row_degrees(const CsrMatrix& R) {
+  std::vector<nnz_t> d(static_cast<std::size_t>(R.rows));
+  for (idx_t r = 0; r < R.rows; ++r) d[static_cast<std::size_t>(r)] = R.row_nnz(r);
+  return d;
+}
+
+std::vector<nnz_t> col_degrees(const CsrMatrix& R) {
+  std::vector<nnz_t> d(static_cast<std::size_t>(R.cols), 0);
+  for (const idx_t c : R.col_ind) ++d[static_cast<std::size_t>(c)];
+  return d;
+}
+
+DegreeStats row_degree_stats(const CsrMatrix& R) { return stats_of(row_degrees(R)); }
+
+DegreeStats col_degree_stats(const CsrMatrix& R) { return stats_of(col_degrees(R)); }
+
+double density(const CsrMatrix& R) {
+  if (R.rows == 0 || R.cols == 0) return 0.0;
+  return static_cast<double>(R.nnz()) /
+         (static_cast<double>(R.rows) * static_cast<double>(R.cols));
+}
+
+}  // namespace cumf::sparse

@@ -1,0 +1,36 @@
+#pragma once
+
+// Degree statistics of a rating matrix. The paper leans on these repeatedly:
+// n_{x_u} (ratings per user) sizes the weighted-λ regularization and the
+// get_hermitian cost; sparsity skew explains why YahooMusic gains less from
+// the register/texture optimizations than Netflix (§5.3).
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cumf::sparse {
+
+struct DegreeStats {
+  nnz_t min = 0;
+  nnz_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Fraction of rows (or cols) with zero entries.
+  double empty_fraction = 0.0;
+};
+
+DegreeStats row_degree_stats(const CsrMatrix& R);
+DegreeStats col_degree_stats(const CsrMatrix& R);
+
+/// Per-row nonzero counts n_{x_u}.
+std::vector<nnz_t> row_degrees(const CsrMatrix& R);
+
+/// Per-column nonzero counts n_{θ_v}.
+std::vector<nnz_t> col_degrees(const CsrMatrix& R);
+
+/// Density Nz / (m·n).
+double density(const CsrMatrix& R);
+
+}  // namespace cumf::sparse

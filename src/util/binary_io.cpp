@@ -1,0 +1,65 @@
+#include "util/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace cumf::util {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x43554d46;  // "CUMF"
+
+struct BlobHeader {
+  std::uint32_t magic;
+  std::uint32_t tag;
+  std::uint64_t payload_bytes;
+};
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void write_blob(const std::string& path, std::uint32_t tag,
+                std::span<const std::byte> payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_blob: cannot open " + path);
+  const BlobHeader hdr{kMagic, tag, payload.size()};
+  const std::uint64_t checksum = fnv1a(payload.data(), payload.size());
+  out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) throw std::runtime_error("write_blob: short write to " + path);
+}
+
+std::vector<std::byte> read_blob(const std::string& path, std::uint32_t tag) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_blob: cannot open " + path);
+  BlobHeader hdr{};
+  in.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  if (!in || hdr.magic != kMagic) {
+    throw std::runtime_error("read_blob: bad magic in " + path);
+  }
+  if (hdr.tag != tag) {
+    throw std::runtime_error("read_blob: tag mismatch in " + path);
+  }
+  std::vector<std::byte> payload(hdr.payload_bytes);
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in) throw std::runtime_error("read_blob: truncated file " + path);
+  if (checksum != fnv1a(payload.data(), payload.size())) {
+    throw std::runtime_error("read_blob: checksum mismatch in " + path);
+  }
+  return payload;
+}
+
+}  // namespace cumf::util

@@ -1,0 +1,52 @@
+#pragma once
+
+// Checksummed binary blob I/O.
+//
+// Used by (a) the checkpoint/restore fault-tolerance path (§4.4 of the paper:
+// X and Θ are asynchronously checkpointed to a parallel file system) and
+// (b) the out-of-core pipeline, which stages R partitions on disk and
+// prefetches them ahead of the compute.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cumf::util {
+
+/// FNV-1a 64-bit over a byte range.
+std::uint64_t fnv1a(const void* data, std::size_t bytes);
+
+/// Writes {magic, tag, element count, payload, checksum}. Throws
+/// std::runtime_error on I/O failure.
+void write_blob(const std::string& path, std::uint32_t tag,
+                std::span<const std::byte> payload);
+
+/// Reads a blob written by write_blob, verifying magic, tag and checksum.
+/// Throws std::runtime_error on mismatch or I/O failure.
+std::vector<std::byte> read_blob(const std::string& path, std::uint32_t tag);
+
+/// Typed helpers for trivially copyable element types.
+template <typename T>
+void write_vector(const std::string& path, std::uint32_t tag,
+                  const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_blob(path, tag,
+             std::span(reinterpret_cast<const std::byte*>(v.data()),
+                       v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(const std::string& path, std::uint32_t tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::vector<std::byte> raw = read_blob(path, tag);
+  std::vector<T> out(raw.size() / sizeof(T));
+  std::memcpy(out.data(), raw.data(), out.size() * sizeof(T));
+  return out;
+}
+
+}  // namespace cumf::util

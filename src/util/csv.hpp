@@ -1,0 +1,44 @@
+#pragma once
+
+// CSV emission for bench outputs. Every table/figure bench writes its series
+// both to stdout (human-readable) and to a CSV file for plotting.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cumf::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error when the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; values are stringified with operator<<.
+  template <typename... Args>
+  void row(const Args&... args) {
+    std::ostringstream os;
+    os.precision(10);
+    append_cells(os, args...);
+    out_ << os.str() << '\n';
+  }
+
+  void flush() { out_.flush(); }
+
+ private:
+  template <typename T>
+  void append_cells(std::ostringstream& os, const T& v) {
+    os << v;
+  }
+  template <typename T, typename... Rest>
+  void append_cells(std::ostringstream& os, const T& v, const Rest&... rest) {
+    os << v << ',';
+    append_cells(os, rest...);
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace cumf::util

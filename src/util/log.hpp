@@ -1,0 +1,42 @@
+#pragma once
+
+// Minimal leveled logging to stderr. Benches use Info, tests keep Warn.
+
+#include <sstream>
+#include <string>
+
+namespace cumf::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(level, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) { log(LogLevel::Info, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(LogLevel::Warn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(LogLevel::Error, args...); }
+template <typename... Args>
+void log_debug(const Args&... args) { log(LogLevel::Debug, args...); }
+
+}  // namespace cumf::util

@@ -1,0 +1,120 @@
+#pragma once
+
+// Deterministic random number generation for all experiments.
+//
+// Every workload generator and solver initialization draws from a seeded Rng
+// so that tests and benches are reproducible run to run. The core generator
+// is xoshiro256**, seeded via splitmix64 as its authors recommend.
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace cumf::util {
+
+/// xoshiro256** pseudo-random generator with derived distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+    have_gauss_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [0, 1) as real_t.
+  real_t next_real() { return static_cast<real_t>(next_double()); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free variant is fine here; the tiny
+    // modulo bias of a plain multiply-shift is irrelevant for workloads.
+    const __uint128_t wide = static_cast<__uint128_t>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * next_double() - 1.0;
+      v = 2.0 * next_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * mul;
+    have_gauss_ = true;
+    return u * mul;
+  }
+
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  /// Log-normal: exp(N(mu, sigma)). Used for per-row rating counts.
+  double lognormal(double mu, double sigma) { return std::exp(gaussian(mu, sigma)); }
+
+  /// Zipf-like rank sampling over [0, n): P(k) ~ 1/(k+1)^s via inverse-CDF
+  /// approximation on the continuous bounded Pareto. Good enough to induce
+  /// realistic popularity skew; exactness is not required.
+  std::uint64_t zipf(std::uint64_t n, double s) {
+    if (n <= 1) return 0;
+    if (s <= 0.0) return next_below(n);
+    const double u = next_double();
+    double k;
+    if (std::abs(s - 1.0) < 1e-9) {
+      k = std::pow(static_cast<double>(n), u) - 1.0;
+    } else {
+      const double one_minus_s = 1.0 - s;
+      const double hi = std::pow(static_cast<double>(n), one_minus_s);
+      k = std::pow(u * (hi - 1.0) + 1.0, 1.0 / one_minus_s) - 1.0;
+    }
+    auto r = static_cast<std::uint64_t>(k);
+    return r >= n ? n - 1 : r;
+  }
+
+  /// Split off an independent stream (for per-thread generators).
+  Rng split() { return Rng(next_u64() ^ 0xd2b74407b1ce6e93ull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_gauss_ = 0.0;
+  bool have_gauss_ = false;
+};
+
+}  // namespace cumf::util

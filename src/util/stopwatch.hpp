@@ -1,0 +1,27 @@
+#pragma once
+
+// Wall-clock timing. All wall times in cuMF are reported in seconds as double.
+
+#include <chrono>
+
+namespace cumf::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace cumf::util

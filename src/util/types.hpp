@@ -1,0 +1,30 @@
+#pragma once
+
+// Fundamental scalar and index types shared across all cuMF modules.
+//
+// The paper (Table 2) works with m, n up to 1e9 and Nz up to 1e11, in single
+// precision. We keep row/column identifiers at 32 bits (per-partition ids in
+// SU-ALS always fit) and anything counting nonzeros at 64 bits.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cumf {
+
+/// Value type of ratings and factors. The paper uses single precision.
+using real_t = float;
+
+/// Row/column index within a matrix or partition.
+using idx_t = std::int32_t;
+
+/// Count of nonzeros / offsets into nonzero arrays (Nz can exceed 2^31).
+using nnz_t = std::int64_t;
+
+/// Bytes, for device-capacity accounting.
+using bytes_t = std::uint64_t;
+
+inline constexpr bytes_t operator""_KiB(unsigned long long v) { return v << 10; }
+inline constexpr bytes_t operator""_MiB(unsigned long long v) { return v << 20; }
+inline constexpr bytes_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+}  // namespace cumf

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "costmodel/machines.hpp"
+#include "costmodel/projection.hpp"
+#include "costmodel/roofline.hpp"
+#include "costmodel/table3.hpp"
+#include "core/kernels.hpp"
+#include "data/datasets.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace cumf::costmodel {
+namespace {
+
+// -------------------------------------------------------------- table3 -----
+
+TEST(Table3, NetflixCapacityArgument) {
+  // §2.2: Netflix at f=100 needs m·f² = 4.8e9 floats for the Hermitians
+  // alone — more than the 3e9 floats a 12 GB device can hold.
+  Table3Model model{480'189, 17'770, 99'000'000, 100};
+  const auto all = model.all_items();
+  EXPECT_NEAR(all.a_mem_floats, 4.80189e9, 1e7);
+  EXPECT_GT(all.a_mem_floats * sizeof(real_t),
+            static_cast<double>(12_GiB));
+}
+
+TEST(Table3, OneItemFormulas) {
+  Table3Model model{1000, 500, 100'000, 10};
+  const auto one = model.one_item();
+  // Nz/m = 100 ratings per row; A: 100·10·11/2 = 5500 multiplies.
+  EXPECT_NEAR(one.a_compute, 5500.0, 1e-9);
+  // B: (Nz + Nz·f)/m + 2f = (100000 + 1000000)/1000 + 20 = 1120.
+  EXPECT_NEAR(one.b_compute, 1120.0, 1e-9);
+  EXPECT_NEAR(one.solve_compute, 1000.0, 1e-9);
+  EXPECT_NEAR(one.a_mem_floats, 100.0, 1e-9);
+  // n·f + f + (2Nz+m+1)/m = 5000 + 10 + 201.001 = 5211.001.
+  EXPECT_NEAR(one.b_mem_floats, 5211.001, 1e-3);
+}
+
+TEST(Table3, BatchScalesLinearly) {
+  Table3Model model{1000, 500, 100'000, 10};
+  const auto one = model.one_item();
+  const auto batch = model.batch(50);
+  EXPECT_NEAR(batch.a_compute, 50 * one.a_compute, 1e-6);
+  EXPECT_NEAR(batch.solve_compute, 50 * one.solve_compute, 1e-6);
+  EXPECT_NEAR(batch.a_mem_floats, 50 * one.a_mem_floats, 1e-6);
+}
+
+TEST(Table3, CountersMatchModel) {
+  // The simulator's analytic kernel stats must agree with Table 3's compute
+  // model (flops ≈ 2× multiplies for the A term, plus the B term).
+  const nnz_t nz = 100'000;
+  const idx_t rows = 1000;
+  const int f = 10;
+  Table3Model model{rows, 500, nz, f};
+  const auto row3 = model.all_items();
+  const auto stats = core::hermitian_kernel_stats(nz, rows, f, {});
+  const double expect_flops = 2.0 * row3.a_compute + row3.b_compute;
+  EXPECT_NEAR(stats.flops / expect_flops, 1.0, 0.1);
+}
+
+// ------------------------------------------------------------ machines -----
+
+TEST(Machines, LibmfStopsScalingAt16) {
+  const double eff16 = libmf_efficiency(16);
+  const double eff32 = libmf_efficiency(32);
+  // Throughput = threads × efficiency: must plateau, not double.
+  EXPECT_LT(32 * eff32, 16 * eff16 * 1.15);
+  EXPECT_GT(16 * eff16, 8 * libmf_efficiency(8));
+}
+
+TEST(Machines, NomadKeepsScaling) {
+  EXPECT_GT(30 * nomad_efficiency(30), 16 * nomad_efficiency(16));
+}
+
+TEST(Machines, SgdEpochScalesWithWork) {
+  const CpuSpec cpu = xeon_30core();
+  const double t1 = sgd_epoch_seconds(cpu, 30, 0.7, 1e8, 32);
+  const double t2 = sgd_epoch_seconds(cpu, 30, 0.7, 2e8, 32);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-6);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST(Machines, ClusterEpochIncludesCommunication) {
+  const ClusterSpec aws = nomad_aws32();
+  const double no_comm = cluster_sgd_epoch_seconds(aws, 3.1e9, 100, 0.0);
+  const double comm = cluster_sgd_epoch_seconds(
+      aws, 3.1e9, 100, (50e6 + 40e3) * 100.0);
+  EXPECT_GE(comm, no_comm);
+}
+
+TEST(Machines, HpcClusterFasterThanAws) {
+  // Fig. 10: NOMAD on 64 HPC nodes ≈ 10× NOMAD on 32 AWS nodes.
+  const double model_floats = (50'082'603.0 + 39'780.0) * 100.0;
+  const double hpc = cluster_sgd_epoch_seconds(nomad_hpc64(), 3.1e9, 100,
+                                               model_floats);
+  const double aws = cluster_sgd_epoch_seconds(nomad_aws32(), 3.1e9, 100,
+                                               model_floats);
+  EXPECT_GT(aws / hpc, 3.0);
+}
+
+TEST(Machines, CostFormula) {
+  // Table 1: cost = price × nodes × hours. 50 nodes at $0.53 for 240 s.
+  EXPECT_NEAR(run_cost_dollars(0.53, 50, 240.0), 0.53 * 50 * 240 / 3600.0,
+              1e-12);
+}
+
+// ------------------------------------------------------------ roofline -----
+
+TEST(Roofline, BandwidthBoundBelowRidge) {
+  const auto spec = gpusim::titan_x();
+  const double ridge = roofline_ridge(spec);
+  EXPECT_LT(roofline_gflops(spec, ridge / 2), spec.peak_sp_gflops * 0.51);
+  EXPECT_NEAR(roofline_gflops(spec, ridge * 10), spec.peak_sp_gflops, 1e-6);
+}
+
+TEST(Roofline, MoKernelHasHigherIntensityThanBase) {
+  // The entire point of §3: MO-ALS raises arithmetic intensity by moving
+  // reuse into shared/registers, climbing the roofline.
+  const double mo = hermitian_intensity_mo(99e6, 480189, 100);
+  const double base = hermitian_intensity_base(99e6, 480189, 100);
+  EXPECT_GT(mo / base, 5.0);
+}
+
+// ---------------------------------------------------------- projection -----
+
+TEST(Projection, SparkAlsIterationInPaperRange) {
+  // The paper measures 24 s/iteration for the SparkALS workload on 4 GK210s.
+  // The projection must land in that neighbourhood (same order, ±4×).
+  const auto topo = gpusim::PcieTopology::two_socket(4);
+  const auto proj = project_cumf_iteration(data::sparkals(), gpusim::gk210(),
+                                           4, topo, core::ReduceScheme::TwoPhase);
+  EXPECT_GT(proj.iteration_seconds(), kSparkAlsCumfSecPerIter / 4.0);
+  EXPECT_LT(proj.iteration_seconds(), kSparkAlsCumfSecPerIter * 4.0);
+  // And it must beat SparkALS's published 240 s by a wide margin.
+  EXPECT_LT(proj.iteration_seconds(), kSparkAlsSecPerIter / 2.0);
+}
+
+TEST(Projection, FacebookUsesDataParallelismForTheta) {
+  // §5.5: solving Θ against the 1B-row X requires data parallelism; X cannot
+  // be replicated.
+  const auto topo = gpusim::PcieTopology::two_socket(4);
+  const auto proj = project_cumf_iteration(data::facebook(), gpusim::gk210(),
+                                           4, topo, core::ReduceScheme::TwoPhase);
+  EXPECT_EQ(proj.plan_theta.mode, core::ParallelMode::DataParallel);
+}
+
+TEST(Projection, LargerFIsSlower) {
+  // §5.5: f=100 on the Facebook shape takes hours vs 746 s at f=16.
+  const auto topo = gpusim::PcieTopology::two_socket(4);
+  const auto f16 = project_cumf_iteration(data::facebook(), gpusim::gk210(), 4,
+                                          topo, core::ReduceScheme::TwoPhase);
+  const auto f100 = project_cumf_iteration(data::cumf_largest(),
+                                           gpusim::gk210(), 4, topo,
+                                           core::ReduceScheme::TwoPhase);
+  EXPECT_GT(f100.iteration_seconds() / f16.iteration_seconds(), 5.0);
+}
+
+TEST(Projection, MoreDevicesAreFaster) {
+  const auto topo1 = gpusim::PcieTopology::flat(1);
+  const auto topo4 = gpusim::PcieTopology::two_socket(4);
+  const auto p1 = project_cumf_iteration(data::hugewiki(), gpusim::titan_x(),
+                                         1, topo1, core::ReduceScheme::OnePhase);
+  const auto p4 = project_cumf_iteration(data::hugewiki(), gpusim::titan_x(),
+                                         4, topo4, core::ReduceScheme::TwoPhase);
+  EXPECT_GT(p1.iteration_seconds() / p4.iteration_seconds(), 1.8);
+}
+
+}  // namespace
+}  // namespace cumf::costmodel

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf::eval {
+namespace {
+
+TEST(Rmse, PerfectFactorsGiveZero) {
+  // X (2x2) * Θᵀ with Θ (3x2); ratings exactly X·Θᵀ.
+  linalg::FactorMatrix X(2, 2), T(3, 2);
+  X.row(0)[0] = 1;  X.row(0)[1] = 2;
+  X.row(1)[0] = -1; X.row(1)[1] = 0.5f;
+  T.row(0)[0] = 0.5f; T.row(0)[1] = 1;
+  T.row(1)[0] = 2;    T.row(1)[1] = -1;
+  T.row(2)[0] = 0;    T.row(2)[1] = 3;
+
+  sparse::CooMatrix r;
+  r.rows = 2;
+  r.cols = 3;
+  r.push_back(0, 0, 2.5f);   // 1*0.5 + 2*1
+  r.push_back(0, 2, 6.0f);   // 2*3
+  r.push_back(1, 1, -2.5f);  // -1*2 + 0.5*-1
+  EXPECT_NEAR(rmse(r, X, T), 0.0, 1e-6);
+}
+
+TEST(Rmse, KnownError) {
+  linalg::FactorMatrix X(1, 1), T(1, 1);
+  X.row(0)[0] = 1.0f;
+  T.row(0)[0] = 1.0f;
+  sparse::CooMatrix r;
+  r.rows = r.cols = 1;
+  r.push_back(0, 0, 4.0f);  // prediction 1, error 3
+  EXPECT_NEAR(rmse(r, X, T), 3.0, 1e-6);
+}
+
+TEST(Rmse, EmptySetIsZero) {
+  linalg::FactorMatrix X(1, 1), T(1, 1);
+  sparse::CooMatrix r;
+  r.rows = r.cols = 1;
+  EXPECT_DOUBLE_EQ(rmse(r, X, T), 0.0);
+}
+
+TEST(Objective, MatchesHandComputation) {
+  // Single rating r_00 = 2, f = 1, x = 1, θ = 3, λ = 0.5.
+  // J = (2 - 3)² + 0.5·(1·1² + 1·3²) = 1 + 5 = 6.
+  linalg::FactorMatrix X(1, 1), T(1, 1);
+  X.row(0)[0] = 1.0f;
+  T.row(0)[0] = 3.0f;
+  sparse::CooMatrix r;
+  r.rows = r.cols = 1;
+  r.push_back(0, 0, 2.0f);
+  const auto csr = sparse::coo_to_csr(r);
+  EXPECT_NEAR(objective(csr, X, T, 0.5), 6.0, 1e-6);
+}
+
+TEST(Objective, WeightedLambdaUsesDegrees) {
+  // Two ratings on row 0 → n_{x_0} = 2 weights ‖x_0‖².
+  linalg::FactorMatrix X(1, 1), T(2, 1);
+  X.row(0)[0] = 2.0f;
+  T.row(0)[0] = 1.0f;
+  T.row(1)[0] = 1.0f;
+  sparse::CooMatrix r;
+  r.rows = 1;
+  r.cols = 2;
+  r.push_back(0, 0, 2.0f);  // exact
+  r.push_back(0, 1, 2.0f);  // exact
+  const auto csr = sparse::coo_to_csr(r);
+  // J = 0 + λ(2·4 + 1·1 + 1·1) = 10λ.
+  EXPECT_NEAR(objective(csr, X, T, 0.1), 1.0, 1e-6);
+}
+
+TEST(History, TimeToRmseInterpolates) {
+  ConvergenceHistory h;
+  h.add({0, 0.0, 0.0, 2.0, 2.0});
+  h.add({1, 1.0, 10.0, 1.5, 1.5});
+  h.add({2, 2.0, 20.0, 0.9, 1.0});
+  // target 1.25 lies halfway between samples 1 (1.5) and 2 (1.0).
+  EXPECT_NEAR(h.modeled_time_to_rmse(1.25), 15.0, 1e-9);
+  EXPECT_NEAR(h.wall_time_to_rmse(1.25), 1.5, 1e-9);
+  // Already satisfied at the first sample.
+  EXPECT_NEAR(h.modeled_time_to_rmse(2.5), 0.0, 1e-9);
+  // Never reached.
+  EXPECT_LT(h.modeled_time_to_rmse(0.5), 0.0);
+  EXPECT_NEAR(h.best_test_rmse(), 1.0, 1e-12);
+}
+
+TEST(History, ExactHitReturnsSampleTime) {
+  ConvergenceHistory h;
+  h.add({0, 0.0, 0.0, 3.0, 3.0});
+  h.add({1, 4.0, 40.0, 1.0, 1.0});
+  EXPECT_NEAR(h.modeled_time_to_rmse(1.0), 40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cumf::eval

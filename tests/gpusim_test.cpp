@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/topology.hpp"
+
+namespace cumf::gpusim {
+namespace {
+
+// -------------------------------------------------------------- device -----
+
+TEST(Device, SpecPresetsMatchPaper) {
+  const DeviceSpec tx = titan_x();
+  EXPECT_EQ(tx.num_sms * tx.cores_per_sm, 3072);  // §5.1
+  EXPECT_EQ(tx.global_bytes, 12_GiB);
+  const DeviceSpec gk = gk210();
+  EXPECT_EQ(gk.num_sms * gk.cores_per_sm, 2496);  // §5.5
+  EXPECT_EQ(gk.global_bytes, 12_GiB);
+}
+
+TEST(Device, ChargeAndRelease) {
+  Device dev(0, tiny_device(1000));
+  dev.charge(400);
+  EXPECT_EQ(dev.used_bytes(), 400u);
+  EXPECT_EQ(dev.free_bytes(), 600u);
+  dev.release(400);
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, OomThrowsAndRollsBack) {
+  Device dev(0, tiny_device(1000));
+  dev.charge(800);
+  EXPECT_THROW(dev.charge(300), DeviceOomError);
+  EXPECT_EQ(dev.used_bytes(), 800u);  // failed charge rolled back
+  dev.charge(200);                    // exactly fits
+  EXPECT_EQ(dev.free_bytes(), 0u);
+}
+
+TEST(Device, BufferRaii) {
+  Device dev(0, tiny_device(1_MiB));
+  {
+    DeviceBuffer<float> buf(dev, 1000);
+    EXPECT_EQ(dev.used_bytes(), 4000u);
+    EXPECT_EQ(buf.size(), 1000u);
+    buf[5] = 2.5f;
+    EXPECT_FLOAT_EQ(buf[5], 2.5f);
+  }
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, BufferMoveTransfersOwnership) {
+  Device dev(0, tiny_device(1_MiB));
+  DeviceBuffer<float> a(dev, 100);
+  DeviceBuffer<float> b = std::move(a);
+  EXPECT_EQ(dev.used_bytes(), 400u);
+  b.reset();
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+TEST(Device, BufferOomThrows) {
+  Device dev(0, tiny_device(100));
+  EXPECT_THROW(DeviceBuffer<double>(dev, 1000), DeviceOomError);
+  EXPECT_EQ(dev.used_bytes(), 0u);
+}
+
+// ------------------------------------------------------- kernel model ------
+
+TEST(KernelModel, ComputeBoundKernel) {
+  Device dev(0, titan_x());
+  KernelStats s;
+  s.flops = 6.144e12;  // exactly one second at peak
+  const double t = dev.model_kernel_seconds(s);
+  EXPECT_NEAR(t, 1.0, 1e-3);
+}
+
+TEST(KernelModel, MemoryBoundKernel) {
+  Device dev(0, titan_x());
+  KernelStats s;
+  s.global_read = static_cast<bytes_t>(336e9);  // one second of contiguous bw
+  EXPECT_NEAR(dev.model_kernel_seconds(s), 1.0, 1e-3);
+}
+
+TEST(KernelModel, GatheredReadsSlowerThanContiguous) {
+  Device dev(0, titan_x());
+  KernelStats contiguous;
+  contiguous.global_read = static_cast<bytes_t>(1e9);
+  KernelStats gathered;
+  gathered.gathered_read = static_cast<bytes_t>(1e9);
+  EXPECT_GT(dev.model_kernel_seconds(gathered),
+            dev.model_kernel_seconds(contiguous));
+}
+
+TEST(KernelModel, TextureSpeedsUpGatheredReads) {
+  // The Fig. 8 mechanism: identical traffic, texture routing is faster.
+  Device dev(0, titan_x());
+  KernelStats off;
+  off.gathered_read = static_cast<bytes_t>(1e9);
+  KernelStats on = off;
+  on.gathered_via_texture = true;
+  EXPECT_GT(dev.model_kernel_seconds(off), dev.model_kernel_seconds(on));
+}
+
+TEST(KernelModel, AccountingAdvancesClockAndCounters) {
+  Device dev(0, titan_x());
+  KernelStats s;
+  s.flops = 1e9;
+  s.global_write = 1000;
+  dev.account_kernel(s);
+  dev.account_kernel(s);
+  EXPECT_EQ(dev.counters().kernels_launched, 2u);
+  EXPECT_DOUBLE_EQ(dev.counters().flops, 2e9);
+  EXPECT_EQ(dev.counters().global_write, 2000u);
+  EXPECT_GT(dev.clock_seconds(), 0.0);
+}
+
+TEST(KernelModel, SyncDevicesAlignsClocks) {
+  Device a(0, titan_x()), b(1, titan_x());
+  a.advance_clock(2.0);
+  b.advance_clock(5.0);
+  std::vector<Device*> devs{&a, &b};
+  sync_devices(devs);
+  EXPECT_DOUBLE_EQ(a.clock_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(b.clock_seconds(), 5.0);
+}
+
+// ------------------------------------------------------------ topology -----
+
+TEST(Topology, FlatSingleTransfer) {
+  const PcieTopology topo = PcieTopology::flat(4);
+  const Transfer t{0, 1, static_cast<bytes_t>(12e9)};  // 1 s at 12 GB/s
+  EXPECT_NEAR(topo.transfer_seconds(t), 1.0, 1e-6);
+}
+
+TEST(Topology, InterSocketIsSlower) {
+  const PcieTopology topo = PcieTopology::two_socket(4);
+  // Devices 0,1 on socket 0; devices 2,3 on socket 1.
+  EXPECT_EQ(topo.socket_of(0), 0);
+  EXPECT_EQ(topo.socket_of(3), 1);
+  const Transfer intra{0, 1, static_cast<bytes_t>(6e9)};
+  const Transfer inter{0, 2, static_cast<bytes_t>(6e9)};
+  EXPECT_LT(topo.transfer_seconds(intra), topo.transfer_seconds(inter));
+  EXPECT_NEAR(topo.transfer_seconds(inter), 1.0, 1e-6);  // 6 GB at 6 GB/s
+}
+
+TEST(Topology, FullDuplexOverlapsDirections) {
+  const PcieTopology topo = PcieTopology::flat(2);
+  const bytes_t b = static_cast<bytes_t>(12e9);
+  // 0->1 and 1->0 simultaneously: different channels, fully overlapped.
+  const std::vector<Transfer> duplex{{0, 1, b}, {1, 0, b}};
+  EXPECT_NEAR(topo.makespan_seconds(duplex), 1.0, 1e-6);
+  // Two transfers into the same device serialize on its in-channel.
+  const std::vector<Transfer> fan_in{{0, 1, b}, {0, 1, b}};
+  EXPECT_NEAR(topo.makespan_seconds(fan_in), 2.0, 1e-6);
+}
+
+TEST(Topology, SliceParallelReductionBeatsReduceAtOne) {
+  // The §4.2 claim behind Fig. 5(a): with p=4 and buffer size B per device,
+  // reduce-at-one funnels 3B into one in-channel while the slice-parallel
+  // scheme moves 3B/4 per channel.
+  const PcieTopology topo = PcieTopology::flat(4);
+  const bytes_t B = static_cast<bytes_t>(4e9);
+
+  std::vector<Transfer> reduce_at_one;
+  for (int src = 1; src < 4; ++src) reduce_at_one.push_back({src, 0, B});
+
+  std::vector<Transfer> slice_parallel;
+  for (int owner = 0; owner < 4; ++owner) {
+    for (int src = 0; src < 4; ++src) {
+      if (src != owner) slice_parallel.push_back({src, owner, B / 4});
+    }
+  }
+  const double t_one = topo.makespan_seconds(reduce_at_one);
+  const double t_par = topo.makespan_seconds(slice_parallel);
+  EXPECT_GT(t_one / t_par, 2.0);
+}
+
+TEST(Topology, HostTransfersUseHostChannels) {
+  const PcieTopology topo = PcieTopology::flat(2);
+  const bytes_t b = static_cast<bytes_t>(12e9);
+  // Host broadcast to both devices serializes on the host out-channel.
+  const std::vector<Transfer> bcast{{kHost, 0, b}, {kHost, 1, b}};
+  EXPECT_NEAR(topo.makespan_seconds(bcast), 2.0, 1e-6);
+  // One H2D and one D2H overlap (full duplex).
+  const std::vector<Transfer> duplex{{kHost, 0, b}, {1, kHost, b}};
+  EXPECT_NEAR(topo.makespan_seconds(duplex), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cumf::gpusim

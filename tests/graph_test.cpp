@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "gpusim/device_spec.hpp"
+#include "graph/graph.hpp"
+#include "graph/pagerank.hpp"
+#include "sparse/stats.hpp"
+
+namespace cumf::graph {
+namespace {
+
+using gpusim::Device;
+
+double score_sum(const PageRankResult& r) {
+  return std::accumulate(r.scores.begin(), r.scores.end(), 0.0);
+}
+
+// ---------------------------------------------------------- generators -----
+
+TEST(GraphGen, RingShape) {
+  const Graph g = ring_graph(6);
+  EXPECT_EQ(g.nodes(), 6);
+  EXPECT_EQ(g.edges(), 6);
+  for (idx_t u = 0; u < 6; ++u) {
+    const auto nbrs = g.adj.row_cols(u);
+    ASSERT_EQ(nbrs.size(), 1u);
+    EXPECT_EQ(nbrs[0], (u + 1) % 6);
+  }
+}
+
+TEST(GraphGen, StarShape) {
+  const Graph g = star_graph(5);
+  EXPECT_EQ(g.edges(), 5);  // 4 spokes + hub return edge
+  const auto cd = sparse::col_degrees(g.adj);
+  EXPECT_EQ(cd[0], 4);  // everyone points at the hub
+}
+
+TEST(GraphGen, RandomGraphDegreesAndNoSelfLoops) {
+  util::Rng rng(5);
+  const Graph g = random_graph(100, 4, rng);
+  EXPECT_EQ(g.edges(), 400);
+  for (idx_t u = 0; u < g.nodes(); ++u) {
+    for (const idx_t v : g.adj.row_cols(u)) {
+      EXPECT_NE(v, u);
+    }
+  }
+}
+
+TEST(GraphGen, PreferentialAttachmentIsSkewed) {
+  util::Rng rng(7);
+  const Graph g = preferential_attachment(500, 3, rng);
+  auto in_deg = sparse::col_degrees(g.adj);
+  std::sort(in_deg.begin(), in_deg.end(), std::greater<>());
+  // Early nodes accumulate a disproportionate share of in-edges.
+  nnz_t top10 = 0, total = 0;
+  for (std::size_t i = 0; i < in_deg.size(); ++i) {
+    total += in_deg[i];
+    if (i < 50) top10 += in_deg[i];
+  }
+  EXPECT_GT(static_cast<double>(top10) / static_cast<double>(total), 0.3);
+}
+
+TEST(GraphGen, RejectsBadArguments) {
+  util::Rng rng(1);
+  EXPECT_THROW(ring_graph(0), std::invalid_argument);
+  EXPECT_THROW(star_graph(1), std::invalid_argument);
+  EXPECT_THROW(random_graph(1, 2, rng), std::invalid_argument);
+  EXPECT_THROW(preferential_attachment(10, 0, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ pagerank -----
+
+TEST(PageRank, UniformOnRing) {
+  Device dev(0, gpusim::titan_x());
+  const Graph g = ring_graph(8);
+  const auto res = pagerank(dev, g.adj);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(score_sum(res), 1.0, 1e-9);
+  for (const double s : res.scores) {
+    EXPECT_NEAR(s, 1.0 / 8.0, 1e-6);
+  }
+}
+
+TEST(PageRank, HubDominatesStar) {
+  Device dev(0, gpusim::titan_x());
+  const Graph g = star_graph(20);
+  // The hub<->spoke structure is near-periodic: the error contracts by only
+  // ~d per step, so give the power iteration room to converge.
+  PageRankOptions opt;
+  opt.max_iters = 500;
+  const auto res = pagerank(dev, g.adj, opt);
+  EXPECT_TRUE(res.converged);
+  const double hub = res.scores[0];
+  for (std::size_t v = 2; v < res.scores.size(); ++v) {
+    EXPECT_GT(hub, 3.0 * res.scores[v]);
+  }
+  EXPECT_NEAR(score_sum(res), 1.0, 1e-9);
+}
+
+TEST(PageRank, DanglingNodesPreserveMass) {
+  // 0→1, 1→2, 2 dangling.
+  sparse::CooMatrix coo;
+  coo.rows = coo.cols = 3;
+  coo.push_back(0, 1, 1.0f);
+  coo.push_back(1, 2, 1.0f);
+  Device dev(0, gpusim::titan_x());
+  const auto res = pagerank(dev, sparse::coo_to_csr(coo));
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(score_sum(res), 1.0, 1e-9);
+  EXPECT_GT(res.scores[2], res.scores[0]);  // sink collects score
+}
+
+TEST(PageRank, MatchesDensePowerIteration) {
+  util::Rng rng(11);
+  const Graph g = random_graph(30, 3, rng);
+  Device dev(0, gpusim::titan_x());
+  const auto res = pagerank(dev, g.adj);
+
+  // Dense reference.
+  const idx_t n = g.nodes();
+  const auto out_deg = sparse::row_degrees(g.adj);
+  std::vector<double> ref(static_cast<std::size_t>(n), 1.0 / n);
+  for (int it = 0; it < 200; ++it) {
+    std::vector<double> next(static_cast<std::size_t>(n), 0.15 / n);
+    for (idx_t u = 0; u < n; ++u) {
+      const auto nbrs = g.adj.row_cols(u);
+      for (const idx_t v : nbrs) {
+        next[static_cast<std::size_t>(v)] +=
+            0.85 * ref[static_cast<std::size_t>(u)] /
+            static_cast<double>(out_deg[static_cast<std::size_t>(u)]);
+      }
+    }
+    ref.swap(next);
+  }
+  for (idx_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(res.scores[static_cast<std::size_t>(v)],
+                ref[static_cast<std::size_t>(v)], 1e-6);
+  }
+}
+
+TEST(PageRank, AccountsDeviceTraffic) {
+  Device dev(0, gpusim::titan_x());
+  const Graph g = ring_graph(100);
+  const auto res = pagerank(dev, g.adj);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(dev.counters().kernels_launched, 0u);
+  EXPECT_GT(dev.counters().gathered_read, 0u);
+  EXPECT_GT(dev.clock_seconds(), 0.0);
+}
+
+TEST(PageRank, IterationCapRespected) {
+  Device dev(0, gpusim::titan_x());
+  util::Rng rng(13);
+  const Graph g = preferential_attachment(200, 2, rng);
+  PageRankOptions opt;
+  opt.max_iters = 3;
+  opt.tolerance = 0.0;
+  const auto res = pagerank(dev, g.adj, opt);
+  EXPECT_EQ(res.iterations, 3);
+  EXPECT_FALSE(res.converged);
+}
+
+TEST(PageRank, RejectsNonSquare) {
+  sparse::CooMatrix coo;
+  coo.rows = 3;
+  coo.cols = 4;
+  Device dev(0, gpusim::titan_x());
+  EXPECT_THROW(pagerank(dev, sparse::coo_to_csr(coo)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cumf::graph

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/partition.hpp"
+#include "sparse/split.hpp"
+#include "sparse/stats.hpp"
+#include "util/rng.hpp"
+
+namespace cumf::sparse {
+namespace {
+
+CooMatrix small_fixture() {
+  // 4x5 matrix:
+  //   [ 1 . 2 . . ]
+  //   [ . 3 . . 4 ]
+  //   [ . . . . . ]
+  //   [ 5 . . 6 . ]
+  CooMatrix coo;
+  coo.rows = 4;
+  coo.cols = 5;
+  coo.push_back(0, 0, 1);
+  coo.push_back(0, 2, 2);
+  coo.push_back(1, 1, 3);
+  coo.push_back(1, 4, 4);
+  coo.push_back(3, 0, 5);
+  coo.push_back(3, 3, 6);
+  return coo;
+}
+
+CooMatrix random_coo(idx_t rows, idx_t cols, nnz_t nnz, std::uint64_t seed) {
+  util::Rng rng(seed);
+  CooMatrix coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  coo.reserve(nnz);
+  for (nnz_t k = 0; k < nnz; ++k) {
+    coo.push_back(static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(rows))),
+                  static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(cols))),
+                  rng.next_real() * 5.0f);
+  }
+  return coo;
+}
+
+// ---------------------------------------------------------------- CSR ------
+
+TEST(Csr, CooToCsrSmall) {
+  const CsrMatrix csr = coo_to_csr(small_fixture());
+  EXPECT_EQ(csr.rows, 4);
+  EXPECT_EQ(csr.cols, 5);
+  EXPECT_EQ(csr.nnz(), 6);
+  EXPECT_EQ(csr.row_nnz(0), 2);
+  EXPECT_EQ(csr.row_nnz(1), 2);
+  EXPECT_EQ(csr.row_nnz(2), 0);
+  EXPECT_EQ(csr.row_nnz(3), 2);
+  const auto cols0 = csr.row_cols(0);
+  ASSERT_EQ(cols0.size(), 2u);
+  EXPECT_EQ(cols0[0], 0);
+  EXPECT_EQ(cols0[1], 2);
+  const auto vals3 = csr.row_vals(3);
+  EXPECT_FLOAT_EQ(vals3[0], 5.0f);
+  EXPECT_FLOAT_EQ(vals3[1], 6.0f);
+}
+
+TEST(Csr, DenseReconstruction) {
+  const CsrMatrix csr = coo_to_csr(small_fixture());
+  const auto dense = to_dense(csr);
+  ASSERT_EQ(dense.size(), 20u);
+  EXPECT_FLOAT_EQ(dense[0 * 5 + 0], 1.0f);
+  EXPECT_FLOAT_EQ(dense[0 * 5 + 2], 2.0f);
+  EXPECT_FLOAT_EQ(dense[1 * 5 + 1], 3.0f);
+  EXPECT_FLOAT_EQ(dense[1 * 5 + 4], 4.0f);
+  EXPECT_FLOAT_EQ(dense[3 * 5 + 0], 5.0f);
+  EXPECT_FLOAT_EQ(dense[3 * 5 + 3], 6.0f);
+  EXPECT_FLOAT_EQ(dense[2 * 5 + 2], 0.0f);
+}
+
+TEST(Csr, CscMirrorsColumns) {
+  const CsrMatrix csr = coo_to_csr(small_fixture());
+  const CscMatrix csc = csr_to_csc(csr);
+  EXPECT_EQ(csc.nnz(), csr.nnz());
+  EXPECT_EQ(csc.col_nnz(0), 2);  // rows 0 and 3
+  const auto rows0 = csc.col_rows(0);
+  EXPECT_EQ(rows0[0], 0);
+  EXPECT_EQ(rows0[1], 3);
+  const auto vals0 = csc.col_vals(0);
+  EXPECT_FLOAT_EQ(vals0[0], 1.0f);
+  EXPECT_FLOAT_EQ(vals0[1], 5.0f);
+}
+
+TEST(Csr, DoubleTransposeIsIdentity) {
+  const CsrMatrix csr = coo_to_csr(random_coo(40, 30, 300, 5));
+  const CsrMatrix back = transpose(transpose(csr));
+  EXPECT_EQ(to_dense(back), to_dense(csr));
+  EXPECT_EQ(back.rows, csr.rows);
+  EXPECT_EQ(back.cols, csr.cols);
+}
+
+TEST(Csr, TransposeMatchesDense) {
+  const CsrMatrix csr = coo_to_csr(random_coo(12, 9, 50, 6));
+  const CsrMatrix t = transpose(csr);
+  const auto d = to_dense(csr);
+  const auto dt = to_dense(t);
+  for (idx_t r = 0; r < csr.rows; ++r) {
+    for (idx_t c = 0; c < csr.cols; ++c) {
+      EXPECT_FLOAT_EQ(dt[static_cast<std::size_t>(c) * csr.rows + r],
+                      d[static_cast<std::size_t>(r) * csr.cols + c]);
+    }
+  }
+}
+
+TEST(Csr, FootprintMatchesTable3Formula) {
+  // Table 3: a CSR of R costs 2*Nz + m + 1 words (4-byte values/indices,
+  // 8-byte row pointers in our implementation).
+  const CsrMatrix csr = coo_to_csr(random_coo(100, 50, 1000, 7));
+  const bytes_t expect = (static_cast<bytes_t>(csr.rows) + 1) * sizeof(nnz_t) +
+                         2ull * 1000 * 4;
+  EXPECT_EQ(csr.footprint_bytes(), expect);
+}
+
+// ---------------------------------------------------------- partition ------
+
+TEST(Partition, SplitEvenCoversWithoutOverlap) {
+  for (const idx_t extent : {0, 1, 7, 100, 101}) {
+    for (const int parts : {1, 2, 3, 8}) {
+      const auto ranges = split_even(extent, parts);
+      ASSERT_EQ(ranges.size(), static_cast<std::size_t>(parts));
+      idx_t at = 0;
+      idx_t min_size = extent, max_size = 0;
+      for (const Range& r : ranges) {
+        EXPECT_EQ(r.begin, at);
+        at = r.end;
+        min_size = std::min(min_size, r.size());
+        max_size = std::max(max_size, r.size());
+      }
+      EXPECT_EQ(at, extent);
+      EXPECT_LE(max_size - min_size, 1);  // even split
+    }
+  }
+}
+
+class GridPartitionTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GridPartitionTest, TilesAllNonzeros) {
+  const auto [p, q] = GetParam();
+  const CsrMatrix csr = coo_to_csr(random_coo(97, 53, 1500, 11));
+  const GridPartition part = grid_partition(csr, p, q);
+  EXPECT_EQ(part.blocks.size(), static_cast<std::size_t>(p * q));
+  EXPECT_TRUE(partition_covers(csr, part));
+}
+
+TEST_P(GridPartitionTest, LocalIndicesInRange) {
+  const auto [p, q] = GetParam();
+  const CsrMatrix csr = coo_to_csr(random_coo(64, 40, 800, 13));
+  const GridPartition part = grid_partition(csr, p, q);
+  for (const auto& blk : part.blocks) {
+    EXPECT_EQ(blk.local.rows, blk.row_range.size());
+    EXPECT_EQ(blk.local.cols, blk.col_range.size());
+    for (const idx_t c : blk.local.col_ind) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, blk.local.cols);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridPartitionTest,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{2, 2},
+                                           std::tuple{4, 1}, std::tuple{1, 4},
+                                           std::tuple{3, 5}, std::tuple{4, 4}));
+
+TEST(Partition, SingleBlockEqualsWhole) {
+  const CsrMatrix csr = coo_to_csr(random_coo(20, 15, 100, 17));
+  const GridPartition part = grid_partition(csr, 1, 1);
+  EXPECT_EQ(to_dense(part.block(0, 0).local), to_dense(csr));
+}
+
+TEST(Partition, RejectsBadArguments) {
+  const CsrMatrix csr = coo_to_csr(small_fixture());
+  EXPECT_THROW(grid_partition(csr, 0, 1), std::invalid_argument);
+  EXPECT_THROW(grid_partition(csr, 1, -1), std::invalid_argument);
+  EXPECT_THROW(split_even(10, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- stats -----
+
+TEST(Stats, RowAndColDegrees) {
+  const CsrMatrix csr = coo_to_csr(small_fixture());
+  const auto rd = row_degrees(csr);
+  EXPECT_EQ(rd, (std::vector<nnz_t>{2, 2, 0, 2}));
+  const auto cd = col_degrees(csr);
+  EXPECT_EQ(cd, (std::vector<nnz_t>{2, 1, 1, 1, 1}));
+  const auto rs = row_degree_stats(csr);
+  EXPECT_EQ(rs.min, 0);
+  EXPECT_EQ(rs.max, 2);
+  EXPECT_DOUBLE_EQ(rs.mean, 1.5);
+  EXPECT_DOUBLE_EQ(rs.empty_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(density(csr), 6.0 / 20.0);
+}
+
+// ------------------------------------------------------- matrix market -----
+
+class MatrixMarketTest : public ::testing::Test {
+ protected:
+  std::string path_ = testing::TempDir() + "/cumf_mm_test.mtx";
+  void TearDown() override { std::remove(path_.c_str()); }
+  void write_file(const std::string& content) {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+};
+
+TEST_F(MatrixMarketTest, RoundTrip) {
+  const CooMatrix original = random_coo(20, 30, 150, 71);
+  save_matrix_market(path_, original);
+  const CooMatrix back = load_matrix_market(path_);
+  EXPECT_EQ(back.rows, original.rows);
+  EXPECT_EQ(back.cols, original.cols);
+  ASSERT_EQ(back.nnz(), original.nnz());
+  EXPECT_EQ(to_dense(coo_to_csr(back)), to_dense(coo_to_csr(original)));
+}
+
+TEST_F(MatrixMarketTest, ParsesCommentsAndOneBasedIndices) {
+  write_file(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "% another\n"
+      "3 4 2\n"
+      "1 1 2.5\n"
+      "3 4 -1.0\n");
+  const CooMatrix m = load_matrix_market(path_);
+  EXPECT_EQ(m.rows, 3);
+  EXPECT_EQ(m.cols, 4);
+  ASSERT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.row[0], 0);
+  EXPECT_EQ(m.col[0], 0);
+  EXPECT_FLOAT_EQ(m.val[0], 2.5f);
+  EXPECT_EQ(m.row[1], 2);
+  EXPECT_EQ(m.col[1], 3);
+}
+
+TEST_F(MatrixMarketTest, PatternEntriesDefaultToOne) {
+  write_file(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const CooMatrix m = load_matrix_market(path_);
+  ASSERT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.val[0], 1.0f);
+  EXPECT_FLOAT_EQ(m.val[1], 1.0f);
+}
+
+TEST_F(MatrixMarketTest, SymmetricMirrorsEntries) {
+  write_file(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n");
+  const CooMatrix m = load_matrix_market(path_);
+  // Off-diagonal mirrored, diagonal not duplicated.
+  EXPECT_EQ(m.nnz(), 3);
+  const auto dense = to_dense(coo_to_csr(m));
+  EXPECT_FLOAT_EQ(dense[1 * 3 + 0], 5.0f);
+  EXPECT_FLOAT_EQ(dense[0 * 3 + 1], 5.0f);
+  EXPECT_FLOAT_EQ(dense[2 * 3 + 2], 7.0f);
+}
+
+TEST_F(MatrixMarketTest, RejectsMalformedInput) {
+  write_file("not a matrix market file\n1 2 3\n");
+  EXPECT_THROW(load_matrix_market(path_), std::runtime_error);
+  write_file("%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n");
+  EXPECT_THROW(load_matrix_market(path_), std::runtime_error);  // out of range
+  write_file("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n");
+  EXPECT_THROW(load_matrix_market(path_), std::runtime_error);  // truncated
+  EXPECT_THROW(load_matrix_market("/nonexistent/x.mtx"), std::runtime_error);
+}
+
+// --------------------------------------------------------------- split -----
+
+TEST(Split, PreservesAllRatings) {
+  util::Rng rng(23);
+  const CooMatrix all = random_coo(200, 100, 4000, 19);
+  const TrainTestSplit s = split_ratings(all, 0.2, rng);
+  EXPECT_EQ(s.train.nnz() + s.test.nnz(), all.nnz());
+  EXPECT_NEAR(static_cast<double>(s.test.nnz()) / static_cast<double>(all.nnz()),
+              0.2, 0.05);
+}
+
+TEST(Split, EveryRatedRowKeepsATrainingEntry) {
+  util::Rng rng(29);
+  const CooMatrix all = random_coo(50, 30, 400, 31);
+  // Aggressive holdout to stress the degree guard.
+  const TrainTestSplit s = split_ratings(all, 0.95, rng);
+  std::vector<nnz_t> total(50, 0), train(50, 0);
+  for (const idx_t r : all.row) ++total[static_cast<std::size_t>(r)];
+  for (const idx_t r : s.train.row) ++train[static_cast<std::size_t>(r)];
+  for (std::size_t r = 0; r < 50; ++r) {
+    if (total[r] > 0) {
+      EXPECT_GE(train[r], 1) << "row " << r;
+    }
+  }
+}
+
+TEST(Split, ZeroFractionKeepsEverything) {
+  util::Rng rng(37);
+  const CooMatrix all = random_coo(30, 30, 200, 41);
+  const TrainTestSplit s = split_ratings(all, 0.0, rng);
+  EXPECT_EQ(s.train.nnz(), all.nnz());
+  EXPECT_EQ(s.test.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace cumf::sparse

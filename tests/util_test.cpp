@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/binary_io.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cumf {
+namespace {
+
+// ---------------------------------------------------------------- Rng ------
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(7);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  util::Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  util::Rng rng(11);
+  constexpr int kN = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.05);
+}
+
+TEST(Rng, ZipfSkewsTowardSmallRanks) {
+  util::Rng rng(13);
+  constexpr std::uint64_t kN = 1000;
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = rng.zipf(kN, 1.1);
+    ASSERT_LT(k, kN);
+    if (k < kN / 10) ++low;
+    if (k >= 9 * kN / 10) ++high;
+  }
+  EXPECT_GT(low, 5 * high);  // heavy head, light tail
+}
+
+TEST(Rng, ZipfZeroExponentIsUniformish) {
+  util::Rng rng(15);
+  constexpr std::uint64_t kN = 10;
+  std::vector<int> hist(kN, 0);
+  for (int i = 0; i < 20000; ++i) ++hist[rng.zipf(kN, 0.0)];
+  for (const int h : hist) {
+    EXPECT_GT(h, 1000);  // each bucket near 2000
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  util::Rng base(21);
+  util::Rng a = base.split();
+  util::Rng b = base.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// --------------------------------------------------------- ThreadPool ------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr nnz_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  util::parallel_for(pool, 0, kN, [&hits](nnz_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  util::ThreadPool pool(2);
+  bool ran = false;
+  util::parallel_for(pool, 5, 5, [&ran](nnz_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  util::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  util::parallel_for_chunks(pool, 0, 8, [&](nnz_t lo, nnz_t hi) {
+    for (nnz_t i = lo; i < hi; ++i) {
+      util::parallel_for_chunks(pool, 0, 16, [&](nnz_t a, nnz_t b) {
+        total.fetch_add(static_cast<int>(b - a));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, ChunksPartitionRange) {
+  util::ThreadPool pool(3);
+  std::atomic<nnz_t> sum{0};
+  util::parallel_for_chunks(pool, 100, 1100, [&](nnz_t lo, nnz_t hi) {
+    nnz_t local = 0;
+    for (nnz_t i = lo; i < hi; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  nnz_t expect = 0;
+  for (nnz_t i = 100; i < 1100; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+// ---------------------------------------------------------- binary io ------
+
+TEST(BinaryIo, VectorRoundTrip) {
+  const std::string path = testing::TempDir() + "/cumf_blob_test.bin";
+  std::vector<float> payload(1000);
+  std::iota(payload.begin(), payload.end(), 0.5f);
+  util::write_vector(path, 0xABCD, payload);
+  const auto back = util::read_vector<float>(path, 0xABCD);
+  EXPECT_EQ(back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, TagMismatchThrows) {
+  const std::string path = testing::TempDir() + "/cumf_blob_tag.bin";
+  util::write_vector<int>(path, 1, {1, 2, 3});
+  EXPECT_THROW(util::read_vector<int>(path, 2), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, CorruptionDetected) {
+  const std::string path = testing::TempDir() + "/cumf_blob_corrupt.bin";
+  util::write_vector<int>(path, 7, {10, 20, 30, 40});
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 20, SEEK_SET);  // inside the payload
+    const char junk = 0x5A;
+    std::fwrite(&junk, 1, 1, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(util::read_vector<int>(path, 7), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(util::read_blob("/nonexistent/cumf.bin", 0),
+               std::runtime_error);
+}
+
+TEST(BinaryIo, Fnv1aStableAndSensitive) {
+  const char a[] = "hello world";
+  const char b[] = "hello worle";
+  EXPECT_EQ(util::fnv1a(a, sizeof(a)), util::fnv1a(a, sizeof(a)));
+  EXPECT_NE(util::fnv1a(a, sizeof(a)), util::fnv1a(b, sizeof(b)));
+}
+
+// ----------------------------------------------------------------- csv -----
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/cumf_csv_test.csv";
+  {
+    util::CsvWriter csv(path, {"a", "b", "c"});
+    csv.row(1, 2.5, "x");
+    csv.row(3, 4.5, "y");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  const std::string content(buf, n);
+  EXPECT_NE(content.find("a,b,c\n"), std::string::npos);
+  EXPECT_NE(content.find("1,2.5,x\n"), std::string::npos);
+  EXPECT_NE(content.find("3,4.5,y\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(util::CsvWriter("/nonexistent_dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cumf
