@@ -1,0 +1,146 @@
+// Serving throughput: queries/sec vs micro-batch size and shard count.
+//
+// The serving analogue of the paper's batching story — MO-ALS batches row
+// solves so Θᵀ is swept once per batch instead of once per row; the top-k
+// engine batches user queries so each Θ shard row is read once per user
+// block. This bench quantifies that lever on a synthetic model: batch size 1
+// (naive online serving) vs micro-batches, across shard counts, plus the
+// RequestBatcher + LRU cache on Zipf-skewed traffic.
+//
+// CSV: bench_results/serve_throughput.csv
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <span>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/batcher.hpp"
+#include "serve/factor_store.hpp"
+#include "serve/topk.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace cumf;
+
+linalg::FactorMatrix random_factors(idx_t rows, int f, std::uint64_t seed) {
+  linalg::FactorMatrix m(rows, f);
+  util::Rng rng(seed);
+  m.randomize_uniform(rng, -1.0f, 1.0f);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  constexpr idx_t kUsers = 2000;
+  constexpr idx_t kItems = 4000;
+  constexpr int kF = 32;
+  constexpr int kTopK = 10;
+  constexpr int kQueries = 2000;
+
+  bench::print_header("serve_throughput",
+                      "online top-k serving: queries/sec vs batch and shards");
+
+  const auto x = random_factors(kUsers, kF, 101);
+  const auto theta = random_factors(kItems, kF, 102);
+
+  // Zipf-skewed query stream: hot users repeat, like production traffic.
+  std::vector<idx_t> stream(kQueries);
+  util::Rng traffic(103);
+  for (auto& u : stream) {
+    u = static_cast<idx_t>(traffic.zipf(static_cast<std::uint64_t>(kUsers), 1.1));
+  }
+
+  util::CsvWriter csv(bench::results_dir() + "/serve_throughput.csv",
+                      {"mode", "shards", "batch", "queries", "seconds", "qps",
+                       "items_scored", "items_pruned", "cache_hits"});
+
+  std::printf("  model: %d users x %d items, f=%d, top-%d\n\n", kUsers, kItems,
+              kF, kTopK);
+  std::printf("  %-10s %7s %6s %9s %11s %13s %13s\n", "mode", "shards",
+              "batch", "wall(s)", "qps", "scored", "pruned");
+
+  double qps_batch1 = 0.0;
+  double qps_batched_best = 0.0;
+
+  for (const int shards : {1, 2, 4}) {
+    const serve::FactorStore store(x, theta, shards);
+    for (const int batch : {1, 8, 32, 128}) {
+      serve::TopKOptions opt;
+      opt.user_block = batch;
+      const serve::TopKEngine engine(store, opt);
+
+      const std::uint64_t scored0 = engine.items_scored();
+      const std::uint64_t pruned0 = engine.items_pruned();
+      util::Stopwatch watch;
+      for (int q = 0; q < kQueries; q += batch) {
+        const int take = std::min(batch, kQueries - q);
+        (void)engine.recommend(
+            std::span<const idx_t>(stream.data() + q,
+                                   static_cast<std::size_t>(take)),
+            kTopK);
+      }
+      const double secs = watch.seconds();
+      const double qps = static_cast<double>(kQueries) / secs;
+      const std::uint64_t scored = engine.items_scored() - scored0;
+      const std::uint64_t pruned = engine.items_pruned() - pruned0;
+
+      if (batch == 1) {
+        qps_batch1 = std::max(qps_batch1, qps);
+      } else {
+        qps_batched_best = std::max(qps_batched_best, qps);
+      }
+
+      std::printf("  %-10s %7d %6d %9.3f %11.0f %13llu %13llu\n", "direct",
+                  shards, batch, secs, qps,
+                  static_cast<unsigned long long>(scored),
+                  static_cast<unsigned long long>(pruned));
+      csv.row("direct", shards, batch, kQueries, secs, qps, scored, pruned, 0);
+    }
+  }
+
+  // RequestBatcher + hot-user LRU cache on the same Zipf stream.
+  {
+    const serve::FactorStore store(x, theta, 2);
+    const serve::TopKEngine engine(store);
+    serve::BatcherOptions opt;
+    opt.k = kTopK;
+    opt.max_batch = 32;
+    opt.cache_capacity = 256;
+    serve::RequestBatcher batcher(engine, opt);
+
+    // Closed-loop waves: each wave's queries resolve before the next wave
+    // arrives, so hot users from earlier waves hit the LRU cache.
+    constexpr int kWave = 100;
+    util::Stopwatch watch;
+    std::vector<std::future<std::vector<serve::Recommendation>>> futures;
+    futures.reserve(kWave);
+    for (int q = 0; q < kQueries; q += kWave) {
+      futures.clear();
+      const int take = std::min(kWave, kQueries - q);
+      for (int i = 0; i < take; ++i) futures.push_back(batcher.submit(stream[q + i]));
+      for (auto& fut : futures) (void)fut.get();
+    }
+    const double secs = watch.seconds();
+    const double qps = static_cast<double>(kQueries) / secs;
+
+    const auto stats = batcher.stats();
+    std::printf("  %-10s %7d %6d %9.3f %11.0f %13llu %13llu  (%.0f%% cache hits)\n",
+                "batcher", 2, 32, secs, qps,
+                static_cast<unsigned long long>(stats.items_scored),
+                static_cast<unsigned long long>(stats.items_pruned),
+                100.0 * static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(stats.queries));
+    csv.row("batcher", 2, 32, kQueries, secs, qps, stats.items_scored,
+            stats.items_pruned, stats.cache_hits);
+  }
+
+  std::printf("\n  micro-batched best %.0f qps vs batch-1 best %.0f qps: %s\n",
+              qps_batched_best, qps_batch1,
+              qps_batched_best > qps_batch1 ? "batching wins" : "REGRESSION");
+  return qps_batched_best > qps_batch1 ? 0 : 1;
+}

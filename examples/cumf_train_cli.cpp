@@ -11,7 +11,7 @@
 //              [--test-fraction 0.1] [--seed 42] [--out prefix]
 //
 // Example:
-//   ./build/examples/cumf_train --synthetic 20000,2000,1000000 --f 32 \
+//   ./build/examples/cumf_train --synthetic 20000,2000,1000000 --f 32
 //       --gpus 4 --two-socket --reduce two-phase --iters 8
 
 #include <cstdio>

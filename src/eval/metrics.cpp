@@ -51,8 +51,55 @@ double objective(const sparse::CsrMatrix& R, const linalg::FactorMatrix& X,
 }
 
 namespace {
+// Consumes `item` from the sorted pool on first match, so duplicates in a
+// recommendation list can never credit the same relevant item twice.
+bool take_hit(std::vector<idx_t>& pool, idx_t item) {
+  const auto it = std::lower_bound(pool.begin(), pool.end(), item);
+  if (it == pool.end() || *it != item) return false;
+  pool.erase(it);
+  return true;
+}
+}  // namespace
+
+double recall_at_k(std::span<const idx_t> recommended,
+                   std::span<const idx_t> relevant) {
+  if (relevant.empty()) return 0.0;
+  std::vector<idx_t> pool(relevant.begin(), relevant.end());
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  const std::size_t distinct = pool.size();
+  std::size_t hits = 0;
+  for (const idx_t item : recommended) {
+    if (take_hit(pool, item)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(distinct);
+}
+
+double ndcg_at_k(std::span<const idx_t> recommended,
+                 std::span<const idx_t> relevant) {
+  if (relevant.empty()) return 0.0;
+  std::vector<idx_t> pool(relevant.begin(), relevant.end());
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  const std::size_t distinct = pool.size();
+  double dcg = 0.0;
+  for (std::size_t i = 0; i < recommended.size(); ++i) {
+    if (take_hit(pool, recommended[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  const std::size_t ideal_hits = std::min(recommended.size(), distinct);
+  double idcg = 0.0;
+  for (std::size_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+namespace {
 double time_to_rmse(const std::vector<ConvergencePoint>& points, double target,
                     double ConvergencePoint::*axis) {
+  if (points.empty()) return ConvergenceHistory::kNeverReached;
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (points[i].test_rmse <= target) {
       if (i == 0) return points[i].*axis;
@@ -64,7 +111,7 @@ double time_to_rmse(const std::vector<ConvergencePoint>& points, double target,
       return a.*axis + frac * (b.*axis - a.*axis);
     }
   }
-  return -1.0;
+  return ConvergenceHistory::kNeverReached;
 }
 }  // namespace
 

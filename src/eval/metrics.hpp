@@ -6,6 +6,7 @@
 // regularized objective J of eq. (1). RMSE and J are accumulated in double to
 // keep them stable across summation orders and thread counts.
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,20 @@ double rmse(const sparse::CooMatrix& ratings, const linalg::FactorMatrix& X,
 double objective(const sparse::CsrMatrix& R, const linalg::FactorMatrix& X,
                  const linalg::FactorMatrix& Theta, double lambda);
 
+/// Fraction of distinct `relevant` items that appear in the ranked
+/// `recommended` list (recall@k with k = recommended.size()). Neither span
+/// need be sorted; duplicates never count a relevant item twice, so the
+/// result is always in [0, 1]. Returns 0 when `relevant` is empty.
+double recall_at_k(std::span<const idx_t> recommended,
+                   std::span<const idx_t> relevant);
+
+/// Normalized discounted cumulative gain with binary relevance: the first
+/// occurrence of a relevant item at rank i (0-based) contributes
+/// 1/log2(i+2), normalized by the ideal DCG of min(k, distinct |relevant|)
+/// leading hits. Always in [0, 1]; returns 0 when `relevant` is empty.
+double ndcg_at_k(std::span<const idx_t> recommended,
+                 std::span<const idx_t> relevant);
+
 /// One convergence sample.
 struct ConvergencePoint {
   int iteration = 0;
@@ -41,12 +56,20 @@ struct ConvergenceHistory {
 
   void add(const ConvergencePoint& p) { points.push_back(p); }
 
-  /// First modeled time at which test RMSE drops to `target`, or a negative
-  /// value if the run never reaches it. Linear interpolation between samples
-  /// (the paper quotes "time to RMSE 0.92" numbers this way).
+  /// Sentinel returned by the time-to-RMSE queries when the run never
+  /// reaches the target — including the empty-history case, which callers
+  /// must treat the same as "never converged". Always negative, so
+  /// `t >= 0` is the "did converge" test.
+  static constexpr double kNeverReached = -1.0;
+
+  /// First modeled time at which test RMSE drops to `target`, or
+  /// kNeverReached if the run never reaches it (an empty history returns
+  /// kNeverReached). Linear interpolation between samples (the paper quotes
+  /// "time to RMSE 0.92" numbers this way).
   [[nodiscard]] double modeled_time_to_rmse(double target) const;
   [[nodiscard]] double wall_time_to_rmse(double target) const;
 
+  /// Smallest test RMSE seen; +infinity on an empty history.
   [[nodiscard]] double best_test_rmse() const;
 };
 

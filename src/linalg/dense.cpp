@@ -11,6 +11,13 @@ void FactorMatrix::randomize(util::Rng& rng, real_t scale) {
   for (auto& v : data_) v = rng.next_real() * scale;
 }
 
+void FactorMatrix::randomize_uniform(util::Rng& rng, real_t lo, real_t hi) {
+  for (auto& v : data_) {
+    v = static_cast<real_t>(
+        rng.uniform(static_cast<double>(lo), static_cast<double>(hi)));
+  }
+}
+
 double FactorMatrix::frobenius_norm() const {
   double sum = 0.0;
   for (const real_t v : data_) sum += static_cast<double>(v) * v;

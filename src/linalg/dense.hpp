@@ -40,6 +40,10 @@ class FactorMatrix {
   /// benches use scale = 1/sqrt(f) so the initial predictions are O(1).
   void randomize(util::Rng& rng, real_t scale = real_t{1});
 
+  /// Uniform entries in [lo, hi). The serving tests and benches use signed
+  /// factors so top-k scores spread on both sides of zero.
+  void randomize_uniform(util::Rng& rng, real_t lo, real_t hi);
+
   [[nodiscard]] bytes_t footprint_bytes() const {
     return static_cast<bytes_t>(data_.size()) * sizeof(real_t);
   }

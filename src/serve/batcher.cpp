@@ -1,0 +1,155 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cumf::serve {
+
+RequestBatcher::RequestBatcher(const TopKEngine& engine, BatcherOptions opt)
+    : engine_(engine), opt_(opt), cache_(opt.cache_capacity) {
+  if (opt_.k < 1) opt_.k = 1;
+  if (opt_.max_batch < 1) opt_.max_batch = 1;
+  base_scored_ = engine_.items_scored();
+  base_pruned_ = engine_.items_pruned();
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+RequestBatcher::~RequestBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  flusher_.join();
+}
+
+std::future<std::vector<Recommendation>> RequestBatcher::submit(idx_t user) {
+  std::promise<std::vector<Recommendation>> promise;
+  auto fut = promise.get_future();
+
+  // Bad ids fail their own future without poisoning the micro-batch they
+  // would have ridden in.
+  if (user < 0 || user >= engine_.store().num_users()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++queries_;
+    }
+    promise.set_exception(std::make_exception_ptr(std::out_of_range(
+        "RequestBatcher: user id " + std::to_string(user) + " outside [0, " +
+        std::to_string(engine_.store().num_users()) + ")")));
+    return fut;
+  }
+
+  if (opt_.cache_capacity > 0) {
+    std::vector<Recommendation> cached;
+    if (cache_.get(user, opt_.k, &cached)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++queries_;
+      }
+      promise.set_value(std::move(cached));
+      return fut;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queries_;
+    pending_.push_back(
+        Pending{user, std::move(promise), std::chrono::steady_clock::now()});
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void RequestBatcher::flush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_now_ = true;
+  }
+  cv_.notify_one();
+}
+
+void RequestBatcher::flusher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (stop_) return;
+      cv_.wait(lock,
+               [this] { return stop_ || flush_now_ || !pending_.empty(); });
+      // Only a flush that found nothing pending is vacuous; one that raced
+      // with a submit must survive into the deadline wait below.
+      if (pending_.empty()) flush_now_ = false;
+      continue;
+    }
+
+    // Wait for a full micro-batch, but never past the oldest query's
+    // deadline — tail latency is bounded by max_delay even at low traffic.
+    const auto deadline = pending_.front().enqueued + opt_.max_delay;
+    cv_.wait_until(lock, deadline, [this] {
+      return stop_ || flush_now_ || pending_.size() >= opt_.max_batch;
+    });
+    flush_now_ = false;
+
+    const std::size_t take = std::min(pending_.size(), opt_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    std::move(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take),
+              std::back_inserter(batch));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(take));
+    ++batches_;
+
+    lock.unlock();
+    run_batch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void RequestBatcher::run_batch(std::vector<Pending> batch) {
+  // Duplicate users in one micro-batch are scored once.
+  std::vector<idx_t> unique_users;
+  std::vector<std::size_t> slot_of;  // batch index -> unique_users index
+  unique_users.reserve(batch.size());
+  slot_of.reserve(batch.size());
+  for (const auto& p : batch) {
+    const auto it =
+        std::find(unique_users.begin(), unique_users.end(), p.user);
+    if (it == unique_users.end()) {
+      slot_of.push_back(unique_users.size());
+      unique_users.push_back(p.user);
+    } else {
+      slot_of.push_back(
+          static_cast<std::size_t>(it - unique_users.begin()));
+    }
+  }
+
+  auto results = engine_.recommend(unique_users, opt_.k);
+
+  if (opt_.cache_capacity > 0) {
+    for (std::size_t i = 0; i < unique_users.size(); ++i) {
+      cache_.put(unique_users[i], opt_.k, results[i]);
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(results[slot_of[i]]);
+  }
+}
+
+ServeStats RequestBatcher::stats() const {
+  ServeStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queries = queries_;
+    s.batches = batches_;
+  }
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.items_scored = engine_.items_scored() - base_scored_;
+  s.items_pruned = engine_.items_pruned() - base_pruned_;
+  return s;
+}
+
+}  // namespace cumf::serve

@@ -1,0 +1,94 @@
+#pragma once
+
+// Request batcher: coalesces single-user queries into micro-batches.
+//
+// One-user-at-a-time serving re-reads every Θ shard per query; the engine's
+// blocked scorer amortizes that sweep across a block of users — the same
+// lever MO-ALS pulls by batching row solves. The batcher buys that
+// amortization for online traffic: submit() parks each query with a promise,
+// and a flusher thread hands the pending set to TopKEngine::recommend()
+// whenever `max_batch` queries accumulate or the oldest has waited
+// `max_delay`, whichever comes first.
+//
+// Hot users short-circuit: submit() consults the LRU ScoreCache and fulfills
+// hits immediately without waking the flusher. Duplicate users inside one
+// micro-batch are scored once.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/serve_stats.hpp"
+#include "serve/topk.hpp"
+
+namespace cumf::serve {
+
+struct BatcherOptions {
+  /// Recommendations returned per query.
+  int k = 10;
+  /// Flush as soon as this many queries are pending.
+  std::size_t max_batch = 32;
+  /// Flush when the oldest pending query has waited this long.
+  std::chrono::microseconds max_delay{2000};
+  /// LRU hot-user cache capacity; 0 disables caching.
+  std::size_t cache_capacity = 0;
+};
+
+class RequestBatcher {
+ public:
+  /// The engine (and everything it references) must outlive the batcher.
+  explicit RequestBatcher(const TopKEngine& engine, BatcherOptions opt = {});
+
+  /// Drains every pending query, then stops the flusher thread.
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Enqueue one user query; the future resolves with their top-k list.
+  std::future<std::vector<Recommendation>> submit(idx_t user);
+
+  /// Blocking convenience wrapper around submit().
+  std::vector<Recommendation> query(idx_t user) { return submit(user).get(); }
+
+  /// Force an immediate flush of whatever is pending (benches, shutdown).
+  void flush();
+
+  /// Merged snapshot of batcher + cache + engine counters.
+  [[nodiscard]] ServeStats stats() const;
+
+ private:
+  struct Pending {
+    idx_t user;
+    std::promise<std::vector<Recommendation>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void flusher_loop();
+  void run_batch(std::vector<Pending> batch);
+
+  const TopKEngine& engine_;
+  BatcherOptions opt_;
+  ScoreCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;  // FIFO; flushes pop from the front
+  bool stop_ = false;
+  bool flush_now_ = false;
+  std::uint64_t queries_ = 0;
+  std::uint64_t batches_ = 0;
+  // Engine counters at construction; stats() reports this batcher's share.
+  std::uint64_t base_scored_ = 0;
+  std::uint64_t base_pruned_ = 0;
+
+  std::thread flusher_;
+};
+
+}  // namespace cumf::serve

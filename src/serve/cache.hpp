@@ -1,0 +1,106 @@
+#pragma once
+
+// LRU cache of per-user recommendation lists.
+//
+// Recommendation traffic is Zipf-skewed (the same popularity skew the
+// synthetic generator plants in item degrees shows up in user queries), so a
+// small hot-user cache absorbs a large share of queries without touching the
+// factor shards. Entries are keyed by (user, k); any k change is a miss.
+// Thread-safe; hit/miss counters feed ServeStats.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/topk.hpp"
+#include "util/types.hpp"
+
+namespace cumf::serve {
+
+class ScoreCache {
+ public:
+  /// capacity == 0 disables the cache (every get() is a miss, put() drops).
+  explicit ScoreCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// On hit, copies the cached list into `out`, refreshes recency, and counts
+  /// a hit; otherwise counts a miss.
+  bool get(idx_t user, int k, std::vector<Recommendation>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key(user, k));
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);
+    *out = it->second->recs;
+    ++hits_;
+    return true;
+  }
+
+  void put(idx_t user, int k, std::vector<Recommendation> recs) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = key(user, k);
+    const auto it = index_.find(id);
+    if (it != index_.end()) {
+      it->second->recs = std::move(recs);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.push_front(Entry{id, std::move(recs)});
+    index_[id] = entries_.begin();
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().id);
+      entries_.pop_back();
+    }
+  }
+
+  void invalidate(idx_t user, int k) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key(user, k));
+    if (it == index_.end()) return;
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    index_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::vector<Recommendation> recs;
+  };
+
+  static std::uint64_t key(idx_t user, int k) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(user)) << 32) |
+           static_cast<std::uint32_t>(k);
+  }
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cumf::serve

@@ -1,0 +1,78 @@
+#include "serve/factor_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/checkpoint.hpp"
+#include "linalg/hermitian.hpp"
+
+namespace cumf::serve {
+
+namespace {
+
+std::vector<double> row_norms(const linalg::FactorMatrix& m) {
+  std::vector<double> norms(static_cast<std::size_t>(m.rows()));
+  for (idx_t r = 0; r < m.rows(); ++r) {
+    norms[static_cast<std::size_t>(r)] =
+        std::sqrt(linalg::dot(m.row(r), m.row(r), m.f()));
+  }
+  return norms;
+}
+
+}  // namespace
+
+FactorStore::FactorStore(linalg::FactorMatrix x,
+                         const linalg::FactorMatrix& theta, int shards)
+    : x_(std::move(x)), num_items_(theta.rows()) {
+  if (shards < 1) throw std::invalid_argument("FactorStore: shards must be >= 1");
+  user_norms_ = row_norms(x_);
+
+  const int parts = std::max(1, std::min<int>(shards, std::max<idx_t>(num_items_, 1)));
+  const auto ranges = sparse::split_even(num_items_, parts);
+  const auto item_norms = row_norms(theta);
+  const int f = theta.f();
+
+  shards_.reserve(ranges.size());
+  for (const auto& range : ranges) {
+    FactorShard shard;
+    shard.items = range;
+
+    // Order the shard's items by descending norm (ties by id for
+    // determinism) so scorers can break out once the bound drops below a
+    // user's current k-th best.
+    std::vector<idx_t> order(static_cast<std::size_t>(range.size()));
+    std::iota(order.begin(), order.end(), range.begin);
+    std::sort(order.begin(), order.end(), [&item_norms](idx_t a, idx_t b) {
+      const double na = item_norms[static_cast<std::size_t>(a)];
+      const double nb = item_norms[static_cast<std::size_t>(b)];
+      return na > nb || (na == nb && a < b);
+    });
+
+    shard.item_ids = std::move(order);
+    shard.theta = linalg::FactorMatrix(range.size(), f);
+    shard.norms.resize(shard.item_ids.size());
+    for (std::size_t slot = 0; slot < shard.item_ids.size(); ++slot) {
+      const idx_t gid = shard.item_ids[slot];
+      std::memcpy(shard.theta.row(static_cast<idx_t>(slot)), theta.row(gid),
+                  static_cast<std::size_t>(f) * sizeof(real_t));
+      shard.norms[slot] = item_norms[static_cast<std::size_t>(gid)];
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+FactorStore FactorStore::from_checkpoint(const std::string& dir, int shards) {
+  core::CheckpointManager manager(dir);
+  auto restored = manager.restore();
+  if (!restored) {
+    throw std::runtime_error("FactorStore: no valid checkpoint in " + dir);
+  }
+  FactorStore store(std::move(restored->x), restored->theta, shards);
+  store.restored_iteration_ = restored->resume_iteration();
+  return store;
+}
+
+}  // namespace cumf::serve

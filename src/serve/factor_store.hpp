@@ -1,0 +1,74 @@
+#pragma once
+
+// Read-only sharded factor store for online serving.
+//
+// Training produces (X, Θ); serving reads them. The store keeps X whole
+// (queries index it by user id) and row-partitions Θ into near-even shards
+// following the same split_even idiom the SU-ALS grid partitioner uses, so a
+// recommend() call can fan one scoring task per shard × user-block out over
+// the thread pool.
+//
+// Within a shard, items are re-ordered by descending ‖θ_v‖₂ and the norms are
+// kept alongside the rows. Scorers exploit the Cauchy–Schwarz bound
+// score(u,v) ≤ ‖x_u‖·‖θ_v‖: once the bound for the next item falls below a
+// user's current k-th best score, every remaining item in the shard can be
+// skipped.
+
+#include <string>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "sparse/partition.hpp"
+#include "util/types.hpp"
+
+namespace cumf::serve {
+
+/// One row-partition of Θ. Rows are stored in descending-norm order;
+/// `item_ids[slot]` maps a local slot back to the global item id.
+struct FactorShard {
+  sparse::Range items;          // global item-id range covered, [begin, end)
+  std::vector<idx_t> item_ids;  // local slot -> global item id
+  linalg::FactorMatrix theta;   // items.size() × f, rows follow item_ids
+  std::vector<double> norms;    // ‖θ_v‖₂ per slot, non-increasing
+};
+
+class FactorStore {
+ public:
+  /// Takes ownership of X and shards Θ row-wise into `shards` near-even
+  /// partitions. `shards` must be ≥ 1; it is clamped to the item count.
+  FactorStore(linalg::FactorMatrix x, const linalg::FactorMatrix& theta,
+              int shards);
+
+  /// Restores the freshest valid (X, Θ) snapshot from a core::CheckpointManager
+  /// directory and shards it. Throws std::runtime_error when no valid
+  /// snapshot exists.
+  static FactorStore from_checkpoint(const std::string& dir, int shards);
+
+  [[nodiscard]] int f() const { return x_.f(); }
+  [[nodiscard]] idx_t num_users() const { return x_.rows(); }
+  [[nodiscard]] idx_t num_items() const { return num_items_; }
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards_.size());
+  }
+
+  [[nodiscard]] const real_t* user(idx_t u) const { return x_.row(u); }
+  [[nodiscard]] double user_norm(idx_t u) const {
+    return user_norms_[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] const FactorShard& shard(int s) const {
+    return shards_[static_cast<std::size_t>(s)];
+  }
+
+  /// Completed training iteration of the restored snapshot; -1 when the store
+  /// was built from in-memory factors.
+  [[nodiscard]] int restored_iteration() const { return restored_iteration_; }
+
+ private:
+  linalg::FactorMatrix x_;
+  std::vector<double> user_norms_;  // ‖x_u‖₂ per user, for the prune bound
+  std::vector<FactorShard> shards_;
+  idx_t num_items_ = 0;
+  int restored_iteration_ = -1;
+};
+
+}  // namespace cumf::serve

@@ -1,0 +1,23 @@
+#pragma once
+
+// Counters surfaced by the serving layer.
+//
+// Each component owns its slice — the TopKEngine counts scored/pruned
+// candidates, the ScoreCache counts hits/misses, the RequestBatcher counts
+// queries and flushed micro-batches — and RequestBatcher::stats() merges them
+// into one snapshot for operators and the throughput bench.
+
+#include <cstdint>
+
+namespace cumf::serve {
+
+struct ServeStats {
+  std::uint64_t queries = 0;       // user queries answered (hit or miss)
+  std::uint64_t batches = 0;       // micro-batches flushed to the engine
+  std::uint64_t cache_hits = 0;    // answered straight from the LRU cache
+  std::uint64_t cache_misses = 0;  // had to be scored
+  std::uint64_t items_scored = 0;  // user×item dot products actually computed
+  std::uint64_t items_pruned = 0;  // candidates skipped via the norm bound
+};
+
+}  // namespace cumf::serve

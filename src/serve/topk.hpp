@@ -1,0 +1,96 @@
+#pragma once
+
+// Batched top-k recommendation engine over a sharded FactorStore.
+//
+// recommend(users, k) fans one scoring task per shard × user-block out over
+// the shared thread pool. Each task sweeps its shard's Θ rows item-major and
+// scores every user in the block against the row while it is hot — the same
+// amortization MO-ALS gets from batching row solves — maintaining a bounded
+// min-heap of the k best per user. Per-shard heaps are then merged per user.
+//
+// Two candidate filters run inside the sweep:
+//  - norm pruning: shards store items in descending-‖θ_v‖ order, so once
+//    ‖x_u‖·‖θ_v‖ (padded by a float-rounding guard) falls below user u's
+//    current k-th best score, the rest of the shard is skipped for u;
+//  - exclude-rated: with a training CSR attached, items the user already
+//    rated never enter the heap.
+//
+// Results are deterministic: ordering is by (score desc, item id asc), and
+// the pruning bound is strict, so output is identical to a brute-force scan.
+
+#include <atomic>
+#include <span>
+#include <vector>
+
+#include "serve/factor_store.hpp"
+#include "serve/serve_stats.hpp"
+#include "sparse/csr.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cumf::serve {
+
+struct Recommendation {
+  idx_t item = 0;
+  double score = 0.0;
+
+  friend bool operator==(const Recommendation&, const Recommendation&) = default;
+};
+
+/// Ranking order: higher score first, ties broken by ascending item id.
+[[nodiscard]] inline bool ranks_before(const Recommendation& a,
+                                       const Recommendation& b) {
+  return a.score > b.score || (a.score == b.score && a.item < b.item);
+}
+
+struct TopKOptions {
+  /// Users scored together per task; the throughput lever (Θ rows are read
+  /// once per block instead of once per user).
+  int user_block = 32;
+  /// Training ratings (m×n CSR). When set, items a user already rated are
+  /// excluded from their recommendations.
+  const sparse::CsrMatrix* exclude_rated = nullptr;
+  /// Pool for the shard × block fan-out; nullptr uses ThreadPool::global().
+  util::ThreadPool* pool = nullptr;
+  /// Cauchy–Schwarz norm pruning (on by default; off for A/B in benches).
+  bool prune = true;
+};
+
+class TopKEngine {
+ public:
+  /// The store (and the exclude CSR, when set) must outlive the engine.
+  explicit TopKEngine(const FactorStore& store, TopKOptions opt = {});
+
+  [[nodiscard]] const FactorStore& store() const { return store_; }
+  [[nodiscard]] const TopKOptions& options() const { return opt_; }
+
+  /// Top-k items for every user in `users`, ranked by ranks_before. Asking
+  /// for more items than exist (or than remain after exclusion) returns a
+  /// shorter list.
+  [[nodiscard]] std::vector<std::vector<Recommendation>> recommend(
+      std::span<const idx_t> users, int k) const;
+
+  /// Single-user convenience wrapper.
+  [[nodiscard]] std::vector<Recommendation> recommend_one(idx_t user,
+                                                          int k) const;
+
+  /// Cumulative scored/pruned candidate counts since construction.
+  [[nodiscard]] std::uint64_t items_scored() const {
+    return items_scored_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t items_pruned() const {
+    return items_pruned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void score_block(std::span<const idx_t> users,
+                   const std::vector<std::vector<idx_t>>& rated, int first,
+                   int last, const FactorShard& shard, int k,
+                   std::vector<std::vector<Recommendation>>& out) const;
+
+  const FactorStore& store_;
+  TopKOptions opt_;
+  mutable std::atomic<std::uint64_t> items_scored_{0};
+  mutable std::atomic<std::uint64_t> items_pruned_{0};
+};
+
+}  // namespace cumf::serve

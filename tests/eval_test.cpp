@@ -94,5 +94,47 @@ TEST(History, ExactHitReturnsSampleTime) {
   EXPECT_NEAR(h.modeled_time_to_rmse(1.0), 40.0, 1e-9);
 }
 
+TEST(History, EmptyHistoryReturnsNeverReachedSentinel) {
+  const ConvergenceHistory h;
+  EXPECT_DOUBLE_EQ(h.modeled_time_to_rmse(1.0), ConvergenceHistory::kNeverReached);
+  EXPECT_DOUBLE_EQ(h.wall_time_to_rmse(1.0), ConvergenceHistory::kNeverReached);
+  EXPECT_LT(ConvergenceHistory::kNeverReached, 0.0);
+  EXPECT_TRUE(std::isinf(h.best_test_rmse()));
+}
+
+TEST(History, NeverReachedUsesSentinel) {
+  ConvergenceHistory h;
+  h.add({0, 1.0, 10.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.modeled_time_to_rmse(0.5), ConvergenceHistory::kNeverReached);
+  EXPECT_DOUBLE_EQ(h.wall_time_to_rmse(0.5), ConvergenceHistory::kNeverReached);
+}
+
+TEST(Ranking, RecallAtK) {
+  const std::vector<idx_t> rec = {5, 3, 9, 1};
+  const std::vector<idx_t> rel = {3, 1, 7};
+  EXPECT_NEAR(recall_at_k(rec, rel), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(recall_at_k(rec, {}), 0.0);
+  EXPECT_DOUBLE_EQ(recall_at_k({}, rel), 0.0);
+  EXPECT_DOUBLE_EQ(recall_at_k(rel, rel), 1.0);
+  // Duplicates in the recommendation list never credit an item twice.
+  EXPECT_DOUBLE_EQ(recall_at_k(std::vector<idx_t>{3, 3, 3}, rel), 1.0 / 3.0);
+}
+
+TEST(Ranking, NdcgAtK) {
+  const std::vector<idx_t> rel = {10, 20};
+  // Perfect ranking: relevant items lead the list.
+  EXPECT_NEAR(ndcg_at_k(std::vector<idx_t>{10, 20, 30}, rel), 1.0, 1e-12);
+  // Hit at rank 2 (0-based) only: DCG = 1/log2(4); IDCG = 1 + 1/log2(3).
+  const double dcg = 1.0 / std::log2(4.0);
+  const double idcg = 1.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(ndcg_at_k(std::vector<idx_t>{1, 2, 10}, rel), dcg / idcg, 1e-12);
+  EXPECT_DOUBLE_EQ(ndcg_at_k(std::vector<idx_t>{1, 2}, rel), 0.0);
+  EXPECT_DOUBLE_EQ(ndcg_at_k(std::vector<idx_t>{1}, {}), 0.0);
+  // A duplicated hit counts once, at its first (best) rank.
+  EXPECT_NEAR(ndcg_at_k(std::vector<idx_t>{10, 10, 10}, rel),
+              1.0 / (1.0 + 1.0 / std::log2(3.0)), 1e-12);
+  EXPECT_LE(ndcg_at_k(std::vector<idx_t>{10, 10, 20, 20}, rel), 1.0);
+}
+
 }  // namespace
 }  // namespace cumf::eval

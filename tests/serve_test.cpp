@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <future>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "linalg/hermitian.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cache.hpp"
+#include "serve/factor_store.hpp"
+#include "serve/topk.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace cumf {
+namespace {
+
+linalg::FactorMatrix random_factors(idx_t rows, int f, std::uint64_t seed) {
+  linalg::FactorMatrix m(rows, f);
+  util::Rng rng(seed);
+  m.randomize_uniform(rng, -1.0f, 1.0f);
+  return m;
+}
+
+// Brute-force reference: score every item serially, rank by
+// (score desc, item asc), drop rated items when `exclude` is given.
+std::vector<serve::Recommendation> brute_force_topk(
+    const linalg::FactorMatrix& x, const linalg::FactorMatrix& theta,
+    idx_t user, int k, const sparse::CsrMatrix* exclude = nullptr) {
+  std::vector<idx_t> rated;
+  if (exclude != nullptr && user < exclude->rows) {
+    const auto cols = exclude->row_cols(user);
+    rated.assign(cols.begin(), cols.end());
+    std::sort(rated.begin(), rated.end());
+  }
+  std::vector<serve::Recommendation> all;
+  for (idx_t v = 0; v < theta.rows(); ++v) {
+    if (std::binary_search(rated.begin(), rated.end(), v)) continue;
+    all.push_back({v, linalg::dot(x.row(user), theta.row(v), x.f())});
+  }
+  std::sort(all.begin(), all.end(), serve::ranks_before);
+  if (all.size() > static_cast<std::size_t>(k)) {
+    all.resize(static_cast<std::size_t>(k));
+  }
+  return all;
+}
+
+sparse::CsrMatrix random_ratings(idx_t m, idx_t n, nnz_t nz,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  sparse::CooMatrix coo;
+  coo.rows = m;
+  coo.cols = n;
+  for (nnz_t i = 0; i < nz; ++i) {
+    coo.row.push_back(static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(m))));
+    coo.col.push_back(static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n))));
+    coo.val.push_back(rng.next_real());
+  }
+  return sparse::coo_to_csr(coo);
+}
+
+// ---------------------------------------------------------- FactorStore ----
+
+TEST(FactorStore, ShardsTileTheItemsWithDescendingNorms) {
+  const auto x = random_factors(20, 8, 1);
+  const auto theta = random_factors(103, 8, 2);
+  const serve::FactorStore store(x, theta, 4);
+
+  EXPECT_EQ(store.num_users(), 20);
+  EXPECT_EQ(store.num_items(), 103);
+  EXPECT_EQ(store.num_shards(), 4);
+
+  std::vector<bool> seen(103, false);
+  for (int s = 0; s < store.num_shards(); ++s) {
+    const auto& shard = store.shard(s);
+    ASSERT_EQ(shard.item_ids.size(), static_cast<std::size_t>(shard.items.size()));
+    for (std::size_t slot = 0; slot < shard.item_ids.size(); ++slot) {
+      const idx_t gid = shard.item_ids[slot];
+      EXPECT_TRUE(shard.items.contains(gid));
+      EXPECT_FALSE(seen[static_cast<std::size_t>(gid)]);
+      seen[static_cast<std::size_t>(gid)] = true;
+      // Shard rows hold the original factors, re-ordered.
+      for (int j = 0; j < store.f(); ++j) {
+        EXPECT_EQ(shard.theta.row(static_cast<idx_t>(slot))[j], theta.row(gid)[j]);
+      }
+      if (slot > 0) {
+        EXPECT_GE(shard.norms[slot - 1], shard.norms[slot]);
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(FactorStore, MoreShardsThanItemsClamps) {
+  const auto x = random_factors(4, 4, 3);
+  const auto theta = random_factors(3, 4, 4);
+  const serve::FactorStore store(x, theta, 16);
+  EXPECT_EQ(store.num_shards(), 3);
+  EXPECT_EQ(store.num_items(), 3);
+}
+
+TEST(FactorStore, CheckpointRoundTrip) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / "cumf_serve_ckpt";
+  std::filesystem::create_directories(dir);
+
+  const auto x = random_factors(12, 6, 5);
+  const auto theta = random_factors(31, 6, 6);
+  {
+    core::CheckpointManager manager(dir.string());
+    manager.save_x(x, 7);
+    manager.save_theta(theta, 7);
+  }
+
+  const auto store = serve::FactorStore::from_checkpoint(dir.string(), 3);
+  EXPECT_EQ(store.restored_iteration(), 7);
+  EXPECT_EQ(store.num_users(), 12);
+  EXPECT_EQ(store.num_items(), 31);
+
+  // Served recommendations from the restored store match the in-memory model.
+  const serve::FactorStore direct(x, theta, 3);
+  const serve::TopKEngine from_ckpt(store);
+  const serve::TopKEngine from_mem(direct);
+  for (idx_t u = 0; u < 12; ++u) {
+    EXPECT_EQ(from_ckpt.recommend_one(u, 5), from_mem.recommend_one(u, 5));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FactorStore, MissingCheckpointThrows) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / "cumf_serve_empty";
+  std::filesystem::create_directories(dir);
+  EXPECT_THROW(serve::FactorStore::from_checkpoint(dir.string(), 2),
+               std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------------- TopKEngine ----
+
+TEST(TopKEngine, MatchesBruteForceAcrossShardAndBlockShapes) {
+  const idx_t m = 40, n = 157;
+  const int f = 12;
+  const auto x = random_factors(m, f, 11);
+  const auto theta = random_factors(n, f, 12);
+
+  std::vector<idx_t> users(static_cast<std::size_t>(m));
+  for (idx_t u = 0; u < m; ++u) users[static_cast<std::size_t>(u)] = u;
+
+  for (const int shards : {1, 3, 5}) {
+    const serve::FactorStore store(x, theta, shards);
+    for (const int block : {1, 7, 64}) {
+      serve::TopKOptions opt;
+      opt.user_block = block;
+      const serve::TopKEngine engine(store, opt);
+      for (const int k : {1, 10, 200 /* > n: returns all items ranked */}) {
+        const auto got = engine.recommend(users, k);
+        ASSERT_EQ(got.size(), users.size());
+        for (std::size_t i = 0; i < users.size(); ++i) {
+          const auto want = brute_force_topk(x, theta, users[i], k);
+          ASSERT_EQ(got[i], want) << "shards=" << shards << " block=" << block
+                                  << " k=" << k << " user=" << users[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(TopKEngine, PruningDisabledGivesSameAnswer) {
+  const auto x = random_factors(16, 8, 21);
+  auto theta = random_factors(99, 8, 22);
+  // Spread the item norms (popularity-skewed catalogs look like this) so the
+  // Cauchy–Schwarz bound actually cuts off the long low-norm tail.
+  for (idx_t v = 0; v < theta.rows(); ++v) {
+    const real_t scale = real_t{1} / static_cast<real_t>(1 + v);
+    for (int j = 0; j < theta.f(); ++j) theta.row(v)[j] *= scale;
+  }
+  const serve::FactorStore store(x, theta, 4);
+
+  serve::TopKOptions no_prune;
+  no_prune.prune = false;
+  const serve::TopKEngine pruned(store);
+  const serve::TopKEngine exhaustive(store, no_prune);
+  for (idx_t u = 0; u < 16; ++u) {
+    EXPECT_EQ(pruned.recommend_one(u, 7), exhaustive.recommend_one(u, 7));
+  }
+  // The pruned engine must have skipped work the exhaustive one did.
+  EXPECT_GT(pruned.items_pruned(), 0u);
+  EXPECT_LT(pruned.items_scored(), exhaustive.items_scored());
+  EXPECT_EQ(exhaustive.items_pruned(), 0u);
+}
+
+TEST(TopKEngine, ExcludesRatedItems) {
+  const idx_t m = 25, n = 80;
+  const auto x = random_factors(m, 10, 31);
+  const auto theta = random_factors(n, 10, 32);
+  const auto R = random_ratings(m, n, 400, 33);
+
+  const serve::FactorStore store(x, theta, 3);
+  serve::TopKOptions opt;
+  opt.exclude_rated = &R;
+  opt.user_block = 8;
+  const serve::TopKEngine engine(store, opt);
+
+  std::vector<idx_t> users(static_cast<std::size_t>(m));
+  for (idx_t u = 0; u < m; ++u) users[static_cast<std::size_t>(u)] = u;
+  const auto got = engine.recommend(users, 12);
+  for (idx_t u = 0; u < m; ++u) {
+    const auto want = brute_force_topk(x, theta, u, 12, &R);
+    ASSERT_EQ(got[static_cast<std::size_t>(u)], want) << "user=" << u;
+    const auto rated = R.row_cols(u);
+    for (const auto& rec : got[static_cast<std::size_t>(u)]) {
+      EXPECT_EQ(std::count(rated.begin(), rated.end(), rec.item), 0)
+          << "user " << u << " was recommended already-rated item " << rec.item;
+    }
+  }
+}
+
+TEST(TopKEngine, OutOfRangeUserThrows) {
+  const auto x = random_factors(5, 4, 45);
+  const auto theta = random_factors(20, 4, 46);
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine engine(store);
+
+  EXPECT_THROW((void)engine.recommend_one(5, 3), std::out_of_range);
+  EXPECT_THROW((void)engine.recommend_one(-1, 3), std::out_of_range);
+  EXPECT_EQ(engine.recommend_one(4, 3).size(), 3u);
+}
+
+TEST(TopKEngine, EmptyQueryAndZeroK) {
+  const auto x = random_factors(4, 4, 41);
+  const auto theta = random_factors(9, 4, 42);
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine engine(store);
+
+  EXPECT_TRUE(engine.recommend({}, 5).empty());
+  EXPECT_TRUE(engine.recommend_one(0, 0).empty());
+}
+
+// ------------------------------------------------------------ ScoreCache ----
+
+TEST(ScoreCache, LruEvictionAndCounters) {
+  serve::ScoreCache cache(2);
+  std::vector<serve::Recommendation> out;
+
+  EXPECT_FALSE(cache.get(1, 5, &out));  // miss
+  cache.put(1, 5, {{10, 1.0}});
+  cache.put(2, 5, {{20, 2.0}});
+  EXPECT_TRUE(cache.get(1, 5, &out));  // hit; 1 becomes most recent
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].item, 10);
+
+  cache.put(3, 5, {{30, 3.0}});        // evicts 2 (LRU)
+  EXPECT_FALSE(cache.get(2, 5, &out));
+  EXPECT_TRUE(cache.get(1, 5, &out));
+  EXPECT_TRUE(cache.get(3, 5, &out));
+
+  // Same user, different k is a distinct entry.
+  EXPECT_FALSE(cache.get(1, 9, &out));
+
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ScoreCache, ZeroCapacityIsDisabled) {
+  serve::ScoreCache cache(0);
+  std::vector<serve::Recommendation> out;
+  cache.put(1, 5, {{10, 1.0}});
+  EXPECT_FALSE(cache.get(1, 5, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// -------------------------------------------------------- RequestBatcher ----
+
+TEST(RequestBatcher, AnswersMatchDirectEngine) {
+  const idx_t m = 30, n = 120;
+  const auto x = random_factors(m, 8, 51);
+  const auto theta = random_factors(n, 8, 52);
+  const serve::FactorStore store(x, theta, 3);
+  const serve::TopKEngine engine(store);
+
+  serve::BatcherOptions opt;
+  opt.k = 6;
+  opt.max_batch = 8;
+  serve::RequestBatcher batcher(engine, opt);
+
+  std::vector<std::future<std::vector<serve::Recommendation>>> futures;
+  futures.reserve(static_cast<std::size_t>(m));
+  for (idx_t u = 0; u < m; ++u) futures.push_back(batcher.submit(u));
+  for (idx_t u = 0; u < m; ++u) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(u)].get(),
+              engine.recommend_one(u, 6))
+        << "user=" << u;
+  }
+
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(m));
+  EXPECT_GE(stats.batches, (static_cast<std::uint64_t>(m) + 7) / 8);
+  EXPECT_GT(stats.items_scored, 0u);
+}
+
+TEST(RequestBatcher, HotUserCacheHits) {
+  const auto x = random_factors(10, 6, 61);
+  const auto theta = random_factors(50, 6, 62);
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine engine(store);
+
+  serve::BatcherOptions opt;
+  opt.k = 4;
+  opt.max_batch = 1;  // flush immediately so the second query sees the cache
+  opt.cache_capacity = 8;
+  serve::RequestBatcher batcher(engine, opt);
+
+  const auto first = batcher.query(3);
+  const auto second = batcher.query(3);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, engine.recommend_one(3, 4));
+
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.batches, 1u);  // the hit never reached the engine
+}
+
+TEST(RequestBatcher, DeadlineFlushesPartialBatch) {
+  const auto x = random_factors(8, 4, 71);
+  const auto theta = random_factors(30, 4, 72);
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine engine(store);
+
+  serve::BatcherOptions opt;
+  opt.k = 3;
+  opt.max_batch = 1000;  // never fills; only the deadline can flush
+  opt.max_delay = std::chrono::microseconds(500);
+  serve::RequestBatcher batcher(engine, opt);
+
+  auto fut = batcher.submit(2);
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+  EXPECT_EQ(fut.get(), engine.recommend_one(2, 3));
+}
+
+TEST(RequestBatcher, BadUserFailsItsOwnFutureOnly) {
+  const auto x = random_factors(5, 4, 91);
+  const auto theta = random_factors(20, 4, 92);
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine engine(store);
+
+  serve::BatcherOptions opt;
+  opt.k = 3;
+  opt.max_batch = 2;
+  serve::RequestBatcher batcher(engine, opt);
+
+  auto bad = batcher.submit(99);
+  auto good = batcher.submit(1);
+  batcher.flush();
+  EXPECT_THROW((void)bad.get(), std::out_of_range);
+  EXPECT_EQ(good.get(), engine.recommend_one(1, 3));
+}
+
+TEST(RequestBatcher, DuplicateUsersInOneBatchScoredOnce) {
+  const auto x = random_factors(6, 4, 81);
+  const auto theta = random_factors(40, 4, 82);
+  const serve::FactorStore store(x, theta, 1);
+  const serve::TopKEngine engine(store);
+
+  serve::BatcherOptions opt;
+  opt.k = 5;
+  opt.max_batch = 4;
+  // Deterministic: only the 4th submit (max_batch) can trigger the flush;
+  // the deadline is far beyond any scheduler jitter between submits.
+  opt.max_delay = std::chrono::seconds(30);
+  serve::RequestBatcher batcher(engine, opt);
+
+  const std::uint64_t scored_before = engine.items_scored();
+  auto a = batcher.submit(1);
+  auto b = batcher.submit(1);
+  auto c = batcher.submit(1);
+  auto d = batcher.submit(1);
+  const auto ra = a.get();
+  EXPECT_EQ(ra, b.get());
+  EXPECT_EQ(ra, c.get());
+  EXPECT_EQ(ra, d.get());
+  // One user scored once: at most one sweep of the 40 items.
+  EXPECT_LE(engine.items_scored() - scored_before, 40u);
+}
+
+}  // namespace
+}  // namespace cumf
