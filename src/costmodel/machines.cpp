@@ -73,4 +73,10 @@ double run_cost_dollars(double price_per_node_hr, int nodes, double seconds) {
   return price_per_node_hr * nodes * (seconds / 3600.0);
 }
 
+GpuPricing gk210_pricing() {
+  return {"GK210", kCumfMachinePricePerHr / 4.0};
+}
+
+GpuPricing titan_x_pricing() { return {"TitanX", 0.91}; }
+
 }  // namespace cumf::costmodel

@@ -84,4 +84,23 @@ inline constexpr double kCumfLargestSecPerIter = 3.8 * 3600;  // f = 100
 /// cost = price/node/hr × nodes × hours (the Table 1 formula).
 double run_cost_dollars(double price_per_node_hr, int nodes, double seconds);
 
+// --- GPU device pricing ------------------------------------------------------
+//
+// The serving-fleet projection (costmodel/serving_fleet.hpp) prices fleets
+// per *device*, so the node prices above are broken down to the simulated
+// device granularity of gpusim::DeviceSpec.
+
+struct GpuPricing {
+  std::string name;                 // matches the DeviceSpec preset name
+  double price_per_device_hr = 0.0;
+};
+
+/// One GK210: the paper's $2.44/hr SoftLayer node holds two K80s = four
+/// GK210 devices, so a device-hour costs $0.61.
+GpuPricing gk210_pricing();
+/// One Titan X: amortized workstation estimate — a $1,000 card plus a host
+/// share over three years of continuous use ≈ $0.91/device/hr (the paper
+/// prices only the K80 node; this keeps the two presets comparable).
+GpuPricing titan_x_pricing();
+
 }  // namespace cumf::costmodel

@@ -1,0 +1,93 @@
+#include "costmodel/serving_fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "gpusim/device.hpp"
+
+namespace cumf::costmodel {
+
+std::vector<PricedDevice> priced_serving_devices() {
+  return {{gpusim::titan_x(), titan_x_pricing()},
+          {gpusim::gk210(), gk210_pricing()}};
+}
+
+ServingProfile model_serving_profile(const gpusim::DeviceSpec& spec,
+                                     const gpusim::KernelStats& batch_traffic,
+                                     std::uint64_t launches, int batch_users) {
+  ServingProfile profile;
+  profile.batch_users = batch_users;
+  if (batch_users <= 0) return profile;
+  // model_kernel_seconds prices the aggregate traffic plus one launch
+  // overhead; the remaining launches add theirs on top (the simulated stream
+  // runs them back to back).
+  const gpusim::Device pricer(0, spec);
+  const double extra_launches =
+      launches > 0 ? static_cast<double>(launches - 1) : 0.0;
+  profile.batch_seconds = pricer.model_kernel_seconds(batch_traffic) +
+                          extra_launches * spec.kernel_launch_overhead_us * 1e-6;
+  return profile;
+}
+
+namespace {
+
+/// Modeled p99 for `devices` devices sharing the target load (see the header
+/// for the fill/queue/service decomposition). Returns +inf at ρ ≥ 1.
+double modeled_p99_ms(const FleetRequirement& req,
+                      const ServingProfile& profile, int devices) {
+  const double lambda = req.target_qps / devices;  // qps per device
+  const double rho = lambda / profile.device_qps();
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  const double fill_s =
+      std::min(profile.batch_users / lambda, req.max_fill_ms * 1e-3);
+  const double queue_s =
+      profile.batch_seconds * rho / (2.0 * (1.0 - rho));
+  return (fill_s + queue_s + profile.batch_seconds) * 1e3;
+}
+
+}  // namespace
+
+FleetPlan plan_serving_fleet(const FleetRequirement& req,
+                             const gpusim::DeviceSpec& spec,
+                             double price_per_device_hr,
+                             const ServingProfile& profile) {
+  FleetPlan plan;
+  plan.device = spec.name;
+  plan.device_qps = profile.device_qps();
+  if (req.target_qps <= 0.0 || plan.device_qps <= 0.0) return plan;
+
+  // Smallest fleet that can absorb the load at all (ρ < 1)...
+  const int n_min = std::max(
+      1, static_cast<int>(std::floor(req.target_qps / plan.device_qps)) + 1);
+  // ...scanned upward: more devices trade queueing for batch-fill latency,
+  // so p99 is not monotone and the first SLO-meeting size is the answer.
+  // Past ~32× the capacity floor fill time dominates and nothing improves.
+  const int n_max = std::max(n_min + 16, n_min * 32);
+
+  int best_n = n_min;
+  double best_p99 = std::numeric_limits<double>::infinity();
+  for (int n = n_min; n <= n_max; ++n) {
+    const double p99 = modeled_p99_ms(req, profile, n);
+    if (p99 < best_p99) {
+      best_p99 = p99;
+      best_n = n;
+    }
+    if (p99 <= req.p99_ms) {
+      plan.feasible = true;
+      best_n = n;
+      best_p99 = p99;
+      break;
+    }
+  }
+
+  plan.devices = best_n;
+  plan.modeled_p99_ms = best_p99;
+  plan.fleet_qps = best_n * plan.device_qps;
+  plan.dollars_per_hr = best_n * price_per_device_hr;
+  plan.qps_per_dollar_hr =
+      plan.dollars_per_hr > 0.0 ? req.target_qps / plan.dollars_per_hr : 0.0;
+  return plan;
+}
+
+}  // namespace cumf::costmodel

@@ -1,0 +1,94 @@
+#pragma once
+
+// Serving-fleet projection — the Table 3 cost treatment applied to serving.
+//
+// Training already answers "seconds and dollars per ALS iteration"
+// (projection.hpp, Table 1). This module answers the serving twin: *how many
+// GPUs, at what $/hour, to serve N qps at p99 ≤ L ms*. It combines
+//
+//  - a ServingProfile: per-micro-batch modeled kernel time on one device,
+//    taken from GpuSimScoringBackend's accounted launches (measured sweep
+//    counters priced on the device roofline) or built analytically from
+//    aggregate KernelStats;
+//  - machines.hpp pricing at device granularity (GpuPricing).
+//
+// The latency model, per device at arrival rate λ = target_qps / devices
+// (documented so the projection stays inspectable):
+//
+//   fill    = min(batch_users / λ, max_fill)   — a p99 query waits for its
+//             micro-batch to fill or for the batcher deadline;
+//   queue   = t_batch · ρ / (2(1−ρ))           — M/D/1 waiting time at
+//             utilization ρ = λ / device_qps;
+//   service = t_batch                          — its own batch's kernel time;
+//   p99 ≈ (fill + queue + service) · 1000 ms.
+//
+// Note the tension the plan search has to resolve: adding devices lowers ρ
+// (less queueing) but *raises* fill time (each device sees less traffic, so
+// micro-batches take longer to fill). plan_serving_fleet scans fleet sizes
+// and returns the smallest one meeting the SLO.
+
+#include <string>
+#include <vector>
+
+#include "costmodel/machines.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace cumf::costmodel {
+
+/// A device spec paired with its hourly price — the unit the fleet planner
+/// shops across.
+struct PricedDevice {
+  gpusim::DeviceSpec spec;
+  GpuPricing pricing;
+};
+
+/// The priced presets benches and examples size fleets over (Titan X, GK210).
+std::vector<PricedDevice> priced_serving_devices();
+
+/// Per-device serving capability: modeled kernel seconds to answer one
+/// micro-batch of `batch_users` queries.
+struct ServingProfile {
+  double batch_seconds = 0.0;
+  int batch_users = 0;
+
+  /// Throughput of one device running batches back to back.
+  [[nodiscard]] double device_qps() const {
+    return batch_seconds > 0.0 ? batch_users / batch_seconds : 0.0;
+  }
+};
+
+/// Analytic profile: price one micro-batch's aggregate kernel traffic on
+/// `spec`'s roofline. `launches` is the number of kernel launches the batch
+/// issued (one per shard × user-block sweep); each pays the launch overhead.
+ServingProfile model_serving_profile(const gpusim::DeviceSpec& spec,
+                                     const gpusim::KernelStats& batch_traffic,
+                                     std::uint64_t launches, int batch_users);
+
+struct FleetRequirement {
+  double target_qps = 0.0;
+  double p99_ms = 0.0;        // latency SLO
+  double max_fill_ms = 2.0;   // batcher deadline (BatcherOptions::max_delay)
+};
+
+struct FleetPlan {
+  std::string device;          // DeviceSpec preset name
+  bool feasible = false;       // SLO met at `devices`
+  int devices = 0;             // smallest fleet meeting the SLO; with
+                               // feasible=false, the fleet with the best p99
+  double device_qps = 0.0;     // modeled per-device throughput
+  double fleet_qps = 0.0;      // devices × device_qps (capacity headroom)
+  double modeled_p99_ms = 0.0;
+  double dollars_per_hr = 0.0;      // devices × price/device/hr
+  double qps_per_dollar_hr = 0.0;   // target_qps / dollars_per_hr
+};
+
+/// Sizes a fleet of `spec` devices for `req`. Returns feasible=false when no
+/// fleet size meets the SLO (e.g. p99 below one batch's kernel time); the
+/// returned plan then carries the best-achievable p99 and its fleet size.
+FleetPlan plan_serving_fleet(const FleetRequirement& req,
+                             const gpusim::DeviceSpec& spec,
+                             double price_per_device_hr,
+                             const ServingProfile& profile);
+
+}  // namespace cumf::costmodel

@@ -149,6 +149,8 @@ ServeStats RequestBatcher::stats() const {
   s.cache_misses = cache_.misses();
   s.items_scored = engine_.items_scored() - base_scored_;
   s.items_pruned = engine_.items_pruned() - base_pruned_;
+  s.batch_wall = engine_.batch_wall_summary();
+  s.batch_modeled = engine_.batch_modeled_summary();
   return s;
 }
 

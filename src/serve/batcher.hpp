@@ -60,7 +60,10 @@ class RequestBatcher {
   /// Force an immediate flush of whatever is pending (benches, shutdown).
   void flush();
 
-  /// Merged snapshot of batcher + cache + engine counters.
+  /// Merged snapshot of batcher + cache + engine counters. Scored/pruned are
+  /// baselined to this batcher's construction; the latency percentiles are
+  /// the engine's recent-window summaries, so when the engine also serves
+  /// traffic outside this batcher those samples are included too.
   [[nodiscard]] ServeStats stats() const;
 
  private:

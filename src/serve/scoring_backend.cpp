@@ -1,0 +1,197 @@
+#include "serve/scoring_backend.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "linalg/hermitian.hpp"
+#include "serve/topk.hpp"
+
+namespace cumf::serve {
+
+namespace {
+
+// Bounded-heap comparator: "less" = ranks earlier, so the std::heap max — its
+// front — is the *worst* kept entry, which a full heap evicts when a better
+// candidate arrives.
+bool heap_cmp(const Recommendation& a, const Recommendation& b) {
+  return ranks_before(a, b);
+}
+
+// Relative padding on the Cauchy–Schwarz bound. Norms and dots are both
+// accumulated in double from the same float inputs, so their rounding error
+// is far below this; the padding keeps pruning strictly conservative.
+constexpr double kBoundSlack = 1.0 + 1e-9;
+
+bool is_rated(const std::vector<idx_t>& rated, idx_t item) {
+  return std::binary_search(rated.begin(), rated.end(), item);
+}
+
+// Scores four users against one θ row in a single pass over f, keeping four
+// independent accumulator chains in flight. A lone double accumulator is
+// latency-bound on its add chain; four chains fill the pipeline — the serving
+// analogue of the paper's register-blocked update kernels (§3.1, Fig. 7).
+// Each chain accumulates in exactly linalg::dot's element order and widening,
+// so the results are bit-identical to the one-user path.
+void dot4(const real_t* x0, const real_t* x1, const real_t* x2,
+          const real_t* x3, const real_t* t, int f, double out[4]) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (int j = 0; j < f; ++j) {
+    const double tj = t[j];
+    s0 += static_cast<double>(x0[j]) * tj;
+    s1 += static_cast<double>(x1[j]) * tj;
+    s2 += static_cast<double>(x2[j]) * tj;
+    s3 += static_cast<double>(x3[j]) * tj;
+  }
+  out[0] = s0;
+  out[1] = s1;
+  out[2] = s2;
+  out[3] = s3;
+}
+
+}  // namespace
+
+SweepCounters reference_sweep(const SweepTask& task,
+                              std::vector<std::vector<Recommendation>>& out) {
+  const FactorStore& store = *task.store;
+  const FactorShard& shard = *task.shard;
+  const std::span<const idx_t> users = task.users;
+  const int first = task.first;
+  const int k = task.k;
+  const int f = store.f();
+  const std::size_t block = static_cast<std::size_t>(task.last - task.first);
+  const std::size_t shard_items = shard.item_ids.size();
+  std::vector<char> done(block, 0);
+  std::size_t active = block;
+  SweepCounters counters;
+
+  const auto offer = [k](std::vector<Recommendation>& heap,
+                         const Recommendation& cand) {
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), heap_cmp);
+    } else if (ranks_before(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), heap_cmp);
+    }
+  };
+
+  // Item-major sweep: each θ_v row is read once and scored against every
+  // still-active user in the block while it is hot. Users that survive the
+  // prune/exclude gates are scored four at a time (dot4) — the batching win.
+  std::vector<std::size_t> cand;  // block slots to score for the current item
+  cand.reserve(block);
+  for (std::size_t slot = 0; slot < shard_items && active > 0; ++slot) {
+    const idx_t gid = shard.item_ids[slot];
+    const real_t* tv = shard.theta.row(static_cast<idx_t>(slot));
+    const double item_norm = shard.norms[slot];
+    ++counters.rows_swept;
+
+    cand.clear();
+    for (std::size_t bi = 0; bi < block; ++bi) {
+      if (done[bi]) continue;
+      const idx_t user = users[static_cast<std::size_t>(first) + bi];
+      const auto& heap = out[bi];
+
+      if (task.prune && static_cast<int>(heap.size()) == k) {
+        const double bound = item_norm * store.user_norm(user) * kBoundSlack;
+        // Items are in descending-norm order, so once the bound drops below
+        // this user's k-th best the rest of the shard cannot place.
+        if (bound < heap.front().score) {
+          done[bi] = 1;
+          --active;
+          counters.pruned += shard_items - slot;
+          continue;
+        }
+      }
+
+      if (task.exclude &&
+          is_rated((*task.rated)[static_cast<std::size_t>(first) + bi], gid)) {
+        continue;
+      }
+      cand.push_back(bi);
+    }
+
+    counters.scored += cand.size();
+    std::size_t c = 0;
+    for (; c + 4 <= cand.size(); c += 4) {
+      double scores[4];
+      dot4(store.user(users[static_cast<std::size_t>(first) + cand[c]]),
+           store.user(users[static_cast<std::size_t>(first) + cand[c + 1]]),
+           store.user(users[static_cast<std::size_t>(first) + cand[c + 2]]),
+           store.user(users[static_cast<std::size_t>(first) + cand[c + 3]]),
+           tv, f, scores);
+      for (int r = 0; r < 4; ++r) {
+        offer(out[cand[c + static_cast<std::size_t>(r)]],
+              Recommendation{gid, scores[r]});
+      }
+    }
+    for (; c < cand.size(); ++c) {
+      const idx_t user = users[static_cast<std::size_t>(first) + cand[c]];
+      offer(out[cand[c]],
+            Recommendation{gid, linalg::dot(store.user(user), tv, f)});
+    }
+  }
+  return counters;
+}
+
+// ------------------------------------------------------ CpuScoringBackend --
+
+SweepCounters CpuScoringBackend::sweep(
+    const SweepTask& task, std::vector<std::vector<Recommendation>>& out) {
+  return reference_sweep(task, out);
+}
+
+// --------------------------------------------------- GpuSimScoringBackend --
+
+GpuSimScoringBackend::GpuSimScoringBackend(gpusim::Device& device,
+                                           const FactorStore& store,
+                                           Options opt)
+    : dev_(&device), opt_(opt) {
+  // Resident model: X (users·f) + Θ (items·f) + the per-row norms serving
+  // keeps alongside (double per item + double per user).
+  const auto users = static_cast<bytes_t>(store.num_users());
+  const auto items = static_cast<bytes_t>(store.num_items());
+  const auto f = static_cast<bytes_t>(store.f());
+  model_bytes_ = (users + items) * f * sizeof(real_t) +
+                 (users + items) * sizeof(double);
+  dev_->charge(model_bytes_);
+}
+
+GpuSimScoringBackend::~GpuSimScoringBackend() { dev_->release(model_bytes_); }
+
+SweepCounters GpuSimScoringBackend::sweep(
+    const SweepTask& task, std::vector<std::vector<Recommendation>>& out) {
+  const SweepCounters c = reference_sweep(task, out);
+
+  const auto f = static_cast<double>(task.store->f());
+  const auto fbytes = f * sizeof(real_t);
+  const auto block_users = static_cast<double>(task.last - task.first);
+  gpusim::KernelStats stats;
+  stats.flops = 2.0 * f * static_cast<double>(c.scored);
+  stats.global_read =
+      static_cast<bytes_t>(static_cast<double>(c.rows_swept) * fbytes);
+  stats.gathered_read = static_cast<bytes_t>(block_users * fbytes);
+  stats.gathered_via_texture = opt_.use_texture;
+  stats.shared_read =
+      static_cast<bytes_t>(static_cast<double>(c.scored) * fbytes);
+  stats.global_write =
+      static_cast<bytes_t>(block_users * static_cast<double>(task.k) * 8);
+
+  // Device accounting is not thread-safe and sweeps race on the pool; the
+  // lock also keeps the per-batch modeled sum consistent. Launches serialize
+  // on the simulated stream, so batch modeled time is the sum of launches.
+  std::lock_guard<std::mutex> lock(mu_);
+  dev_->account_kernel(stats);
+  batch_modeled_s_ += dev_->model_kernel_seconds(stats);
+  return c;
+}
+
+double GpuSimScoringBackend::finish_batch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double s = batch_modeled_s_;
+  batch_modeled_s_ = 0.0;
+  return s;
+}
+
+}  // namespace cumf::serve

@@ -1,0 +1,145 @@
+#pragma once
+
+// Pluggable scoring backends for the TopKEngine.
+//
+// The engine decides *what* to score — it fans one SweepTask per
+// shard × user-block out over the thread pool — and a ScoringBackend decides
+// *how*: where the arithmetic runs and on which time axis it is accounted.
+// Every backend is required to fill per-user heaps whose merged top-k is
+// bit-identical to the reference CPU sweep, so backends differ only in cost,
+// never in answers. That contract is what lets a real GPU, a SIMD-autotuned
+// sweep, or an approximate scorer slot in later without touching the engine.
+//
+// Two implementations ship today:
+//  - CpuScoringBackend  — the 4-chain item-major sweep on host threads
+//    (wall-clock only, no modeled-time axis);
+//  - GpuSimScoringBackend — the same arithmetic, but each sweep is accounted
+//    as a gpusim::Device kernel launch (flops/bytes derived analytically from
+//    shard size × factor rank), the resident model is charged against device
+//    capacity, and per-query-batch modeled seconds come off the device's
+//    roofline clock — which puts serving on the same modeled-time axis as
+//    training and lets the Table 3 cost model price serving fleets.
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "serve/factor_store.hpp"
+#include "util/types.hpp"
+
+namespace cumf::serve {
+
+struct Recommendation;  // serve/topk.hpp
+
+/// One shard × user-block sweep handed to a backend. Spans/pointers reference
+/// engine-owned state and are valid only for the duration of the sweep call.
+struct SweepTask {
+  const FactorStore* store = nullptr;
+  std::span<const idx_t> users;  // the whole query batch
+  /// Per-query sorted rated-item lists (parallel to `users`); only consulted
+  /// when `exclude` is set.
+  const std::vector<std::vector<idx_t>>* rated = nullptr;
+  int first = 0;  // user block [first, last) within `users`
+  int last = 0;
+  const FactorShard* shard = nullptr;
+  int k = 0;
+  bool prune = true;     // Cauchy–Schwarz norm pruning
+  bool exclude = false;  // drop items in rated[i]
+};
+
+/// What one sweep did — the engine aggregates these into its counters and
+/// backends derive kernel traffic from them.
+struct SweepCounters {
+  std::uint64_t scored = 0;      // user×item dots computed
+  std::uint64_t pruned = 0;      // candidates skipped via the norm bound
+  std::uint64_t rows_swept = 0;  // θ rows touched before every user pruned out
+};
+
+/// Reference sweep: item-major, 4-chain scoring, strict-bound pruning. All
+/// backends must reproduce its heaps bit-for-bit (GpuSimScoringBackend simply
+/// calls it). `out` is indexed by user-in-block and holds bounded min-heaps
+/// ordered by heap_cmp == ranks_before.
+SweepCounters reference_sweep(const SweepTask& task,
+                              std::vector<std::vector<Recommendation>>& out);
+
+class ScoringBackend {
+ public:
+  virtual ~ScoringBackend() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Execute one sweep, filling `out` with per-user top-k heaps. Called
+  /// concurrently from pool workers; implementations must be thread-safe.
+  virtual SweepCounters sweep(const SweepTask& task,
+                              std::vector<std::vector<Recommendation>>& out) = 0;
+
+  /// Called once per recommend() batch after every sweep completed. Returns
+  /// the backend's modeled seconds for the batch (0 = wall-clock-only
+  /// backend). Batches are assumed not to overlap (the RequestBatcher
+  /// serializes them through one flusher thread).
+  virtual double finish_batch() { return 0.0; }
+};
+
+/// Host backend: the sweep runs on pool threads and that is the whole story.
+class CpuScoringBackend final : public ScoringBackend {
+ public:
+  [[nodiscard]] const char* name() const override { return "cpu"; }
+  SweepCounters sweep(const SweepTask& task,
+                      std::vector<std::vector<Recommendation>>& out) override;
+};
+
+/// Simulated-GPU backend. Arithmetic is delegated to reference_sweep (so
+/// top-k lists are bit-identical to the CPU backend); each sweep is accounted
+/// on the device as one kernel launch with analytic traffic:
+///
+///   flops         2·f per scored dot
+///   global_read   rows_swept · f floats — θ rows streamed contiguously
+///                 (shards are slot-contiguous in descending-norm order)
+///   gathered_read block_users · f floats — x_u rows fetched once into
+///                 on-chip storage, discontiguous by user id (optionally via
+///                 the texture path; block reuse is high, quality 1)
+///   shared_read   scored · f floats — each dot replays the cached user row
+///   global_write  block_users · k · 8 B — (item, score) heap write-back
+///
+/// Construction charges the resident model (X + Θ + norms) against the
+/// device's capacity — a model that does not fit raises DeviceOomError, the
+/// same eq.-8 pressure that forces training to partition.
+struct GpuSimScoringOptions {
+  /// Route the x_u gathers through the read-only texture path.
+  bool use_texture = true;
+};
+
+class GpuSimScoringBackend final : public ScoringBackend {
+ public:
+  using Options = GpuSimScoringOptions;
+
+  /// The device and store must outlive the backend. The store must be the
+  /// one the owning TopKEngine serves.
+  GpuSimScoringBackend(gpusim::Device& device, const FactorStore& store,
+                       Options opt = {});
+  ~GpuSimScoringBackend() override;
+
+  GpuSimScoringBackend(const GpuSimScoringBackend&) = delete;
+  GpuSimScoringBackend& operator=(const GpuSimScoringBackend&) = delete;
+
+  [[nodiscard]] const char* name() const override { return "gpusim"; }
+  SweepCounters sweep(const SweepTask& task,
+                      std::vector<std::vector<Recommendation>>& out) override;
+  double finish_batch() override;
+
+  [[nodiscard]] gpusim::Device& device() const { return *dev_; }
+  /// Bytes charged for the resident model at construction.
+  [[nodiscard]] bytes_t model_bytes() const { return model_bytes_; }
+
+ private:
+  gpusim::Device* dev_;
+  Options opt_;
+  bytes_t model_bytes_ = 0;
+  std::mutex mu_;                 // Device accounting is not thread-safe
+  double batch_modeled_s_ = 0.0;  // modeled seconds accumulated this batch
+};
+
+}  // namespace cumf::serve

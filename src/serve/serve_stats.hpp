@@ -3,13 +3,76 @@
 // Counters surfaced by the serving layer.
 //
 // Each component owns its slice — the TopKEngine counts scored/pruned
-// candidates, the ScoreCache counts hits/misses, the RequestBatcher counts
-// queries and flushed micro-batches — and RequestBatcher::stats() merges them
-// into one snapshot for operators and the throughput bench.
+// candidates and per-batch wall/modeled latencies, the ScoreCache counts
+// hits/misses, the RequestBatcher counts queries and flushed micro-batches —
+// and RequestBatcher::stats() merges them into one snapshot for operators and
+// the throughput bench.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 namespace cumf::serve {
+
+/// Percentile snapshot of a latency distribution, in milliseconds.
+struct LatencySummary {
+  std::uint64_t samples = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Thread-safe latency recorder. Keeps a bounded window of the most recent
+/// samples (old ones are overwritten ring-buffer style), so long-lived
+/// servers report *current* tail behaviour, not lifetime averages.
+class LatencyTracker {
+ public:
+  explicit LatencyTracker(std::size_t window = 1 << 14) : window_(window) {}
+
+  void record(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.size() < window_) {
+      samples_.push_back(ms);
+    } else {
+      samples_[next_ % window_] = ms;
+    }
+    ++next_;
+  }
+
+  /// Nearest-rank percentiles over the retained window.
+  [[nodiscard]] LatencySummary summary() const {
+    std::vector<double> sorted;
+    std::uint64_t total = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sorted = samples_;
+      total = next_;
+    }
+    LatencySummary out;
+    out.samples = total;
+    if (sorted.empty()) return out;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = [&](double q) {
+      const auto n = static_cast<double>(sorted.size());
+      const auto i = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+      return sorted[std::min(i, sorted.size() - 1)];
+    };
+    out.p50_ms = rank(0.50);
+    out.p95_ms = rank(0.95);
+    out.p99_ms = rank(0.99);
+    out.max_ms = sorted.back();
+    return out;
+  }
+
+ private:
+  std::size_t window_;
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  std::uint64_t next_ = 0;  // total recorded; ring write cursor
+};
 
 struct ServeStats {
   std::uint64_t queries = 0;       // user queries answered (hit or miss)
@@ -18,6 +81,14 @@ struct ServeStats {
   std::uint64_t cache_misses = 0;  // had to be scored
   std::uint64_t items_scored = 0;  // user×item dot products actually computed
   std::uint64_t items_pruned = 0;  // candidates skipped via the norm bound
+
+  /// Wall-clock time per engine batch (TopKEngine::recommend call). Engine
+  /// recent-window summaries: they cover every caller of the engine, not
+  /// just the component whose counters ride alongside.
+  LatencySummary batch_wall;
+  /// Backend modeled time per batch; all-zero for wall-clock-only backends,
+  /// the simulated-GPU kernel time for GpuSimScoringBackend.
+  LatencySummary batch_modeled;
 };
 
 }  // namespace cumf::serve

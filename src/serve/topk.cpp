@@ -5,145 +5,30 @@
 #include <stdexcept>
 #include <string>
 
-#include "linalg/hermitian.hpp"
+#include "serve/scoring_backend.hpp"
+#include "util/stopwatch.hpp"
 
 namespace cumf::serve {
-
-namespace {
-
-// Bounded-heap comparator: "less" = ranks earlier, so the std::heap max — its
-// front — is the *worst* kept entry, which a full heap evicts when a better
-// candidate arrives.
-bool heap_cmp(const Recommendation& a, const Recommendation& b) {
-  return ranks_before(a, b);
-}
-
-// Relative padding on the Cauchy–Schwarz bound. Norms and dots are both
-// accumulated in double from the same float inputs, so their rounding error
-// is far below this; the padding keeps pruning strictly conservative.
-constexpr double kBoundSlack = 1.0 + 1e-9;
-
-bool is_rated(const std::vector<idx_t>& rated, idx_t item) {
-  return std::binary_search(rated.begin(), rated.end(), item);
-}
-
-// Scores four users against one θ row in a single pass over f, keeping four
-// independent accumulator chains in flight. A lone double accumulator is
-// latency-bound on its add chain; four chains fill the pipeline — the serving
-// analogue of the paper's register-blocked update kernels (§3.1, Fig. 7).
-// Each chain accumulates in exactly linalg::dot's element order and widening,
-// so the results are bit-identical to the one-user path.
-void dot4(const real_t* x0, const real_t* x1, const real_t* x2,
-          const real_t* x3, const real_t* t, int f, double out[4]) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  for (int j = 0; j < f; ++j) {
-    const double tj = t[j];
-    s0 += static_cast<double>(x0[j]) * tj;
-    s1 += static_cast<double>(x1[j]) * tj;
-    s2 += static_cast<double>(x2[j]) * tj;
-    s3 += static_cast<double>(x3[j]) * tj;
-  }
-  out[0] = s0;
-  out[1] = s1;
-  out[2] = s2;
-  out[3] = s3;
-}
-
-}  // namespace
 
 TopKEngine::TopKEngine(const FactorStore& store, TopKOptions opt)
     : store_(store), opt_(opt) {
   if (opt_.user_block < 1) opt_.user_block = 1;
-}
-
-void TopKEngine::score_block(std::span<const idx_t> users,
-                             const std::vector<std::vector<idx_t>>& rated,
-                             int first, int last, const FactorShard& shard,
-                             int k, std::vector<std::vector<Recommendation>>& out) const {
-  const int f = store_.f();
-  const std::size_t block = static_cast<std::size_t>(last - first);
-  const std::size_t shard_items = shard.item_ids.size();
-  std::vector<char> done(block, 0);
-  std::size_t active = block;
-  std::uint64_t scored = 0;
-  std::uint64_t pruned = 0;
-
-  const auto offer = [k](std::vector<Recommendation>& heap,
-                         const Recommendation& cand) {
-    if (static_cast<int>(heap.size()) < k) {
-      heap.push_back(cand);
-      std::push_heap(heap.begin(), heap.end(), heap_cmp);
-    } else if (ranks_before(cand, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
-      heap.back() = cand;
-      std::push_heap(heap.begin(), heap.end(), heap_cmp);
-    }
-  };
-
-  // Item-major sweep: each θ_v row is read once and scored against every
-  // still-active user in the block while it is hot. Users that survive the
-  // prune/exclude gates are scored four at a time (dot4) — the batching win.
-  std::vector<std::size_t> cand;  // block slots to score for the current item
-  cand.reserve(block);
-  for (std::size_t slot = 0; slot < shard_items && active > 0; ++slot) {
-    const idx_t gid = shard.item_ids[slot];
-    const real_t* tv = shard.theta.row(static_cast<idx_t>(slot));
-    const double item_norm = shard.norms[slot];
-
-    cand.clear();
-    for (std::size_t bi = 0; bi < block; ++bi) {
-      if (done[bi]) continue;
-      const idx_t user = users[static_cast<std::size_t>(first) + bi];
-      const auto& heap = out[bi];
-
-      if (opt_.prune && static_cast<int>(heap.size()) == k) {
-        const double bound = item_norm * store_.user_norm(user) * kBoundSlack;
-        // Items are in descending-norm order, so once the bound drops below
-        // this user's k-th best the rest of the shard cannot place.
-        if (bound < heap.front().score) {
-          done[bi] = 1;
-          --active;
-          pruned += shard_items - slot;
-          continue;
-        }
-      }
-
-      if (opt_.exclude_rated != nullptr &&
-          is_rated(rated[static_cast<std::size_t>(first) + bi], gid)) {
-        continue;
-      }
-      cand.push_back(bi);
-    }
-
-    scored += cand.size();
-    std::size_t c = 0;
-    for (; c + 4 <= cand.size(); c += 4) {
-      double scores[4];
-      dot4(store_.user(users[static_cast<std::size_t>(first) + cand[c]]),
-           store_.user(users[static_cast<std::size_t>(first) + cand[c + 1]]),
-           store_.user(users[static_cast<std::size_t>(first) + cand[c + 2]]),
-           store_.user(users[static_cast<std::size_t>(first) + cand[c + 3]]),
-           tv, f, scores);
-      for (int r = 0; r < 4; ++r) {
-        offer(out[cand[c + static_cast<std::size_t>(r)]],
-              Recommendation{gid, scores[r]});
-      }
-    }
-    for (; c < cand.size(); ++c) {
-      const idx_t user = users[static_cast<std::size_t>(first) + cand[c]];
-      offer(out[cand[c]], Recommendation{gid, linalg::dot(store_.user(user), tv, f)});
-    }
+  if (opt_.backend != nullptr) {
+    backend_ = opt_.backend;
+  } else {
+    owned_backend_ = std::make_unique<CpuScoringBackend>();
+    backend_ = owned_backend_.get();
   }
-
-  items_scored_.fetch_add(scored, std::memory_order_relaxed);
-  items_pruned_.fetch_add(pruned, std::memory_order_relaxed);
 }
+
+TopKEngine::~TopKEngine() = default;
 
 std::vector<std::vector<Recommendation>> TopKEngine::recommend(
     std::span<const idx_t> users, int k) const {
   const std::size_t n = users.size();
   std::vector<std::vector<Recommendation>> result(n);
   if (n == 0 || k <= 0) return result;
+  util::Stopwatch watch;
 
   // Reject out-of-range ids before any factor access — the store indexes X
   // unchecked, and the batcher is the front door for untrusted traffic.
@@ -185,12 +70,22 @@ std::vector<std::vector<Recommendation>> TopKEngine::recommend(
         const std::size_t t = static_cast<std::size_t>(task);
         const std::size_t b = t / static_cast<std::size_t>(num_shards);
         const int s = static_cast<int>(t % static_cast<std::size_t>(num_shards));
-        const int first = static_cast<int>(b * block);
-        const int last = static_cast<int>(std::min(n, (b + 1) * block));
         auto& slots = partial[t];
-        slots.resize(static_cast<std::size_t>(last - first));
+        SweepTask sweep;
+        sweep.store = &store_;
+        sweep.users = users;
+        sweep.rated = &rated;
+        sweep.first = static_cast<int>(b * block);
+        sweep.last = static_cast<int>(std::min(n, (b + 1) * block));
+        sweep.shard = &store_.shard(s);
+        sweep.k = k;
+        sweep.prune = opt_.prune;
+        sweep.exclude = opt_.exclude_rated != nullptr;
+        slots.resize(static_cast<std::size_t>(sweep.last - sweep.first));
         for (auto& heap : slots) heap.reserve(static_cast<std::size_t>(k));
-        score_block(users, rated, first, last, store_.shard(s), k, slots);
+        const SweepCounters c = backend_->sweep(sweep, slots);
+        items_scored_.fetch_add(c.scored, std::memory_order_relaxed);
+        items_pruned_.fetch_add(c.pruned, std::memory_order_relaxed);
       });
 
   // Merge the per-shard heaps per user and rank the union.
@@ -209,6 +104,10 @@ std::vector<std::vector<Recommendation>> TopKEngine::recommend(
       merged.resize(static_cast<std::size_t>(k));
     }
   }
+
+  const double modeled_s = backend_->finish_batch();
+  if (modeled_s > 0.0) batch_modeled_.record(modeled_s * 1e3);
+  batch_wall_.record(watch.milliseconds());
   return result;
 }
 

@@ -8,6 +8,13 @@
 // amortization MO-ALS gets from batching row solves — maintaining a bounded
 // min-heap of the k best per user. Per-shard heaps are then merged per user.
 //
+// The sweep itself is executed by a pluggable ScoringBackend
+// (serve/scoring_backend.hpp): the default CpuScoringBackend runs it on host
+// threads; GpuSimScoringBackend runs the identical arithmetic but accounts
+// every sweep as a gpusim::Device kernel launch, putting serving on the
+// modeled-time axis. Backends are required to return bit-identical top-k
+// lists, so the choice moves cost, never answers.
+//
 // Two candidate filters run inside the sweep:
 //  - norm pruning: shards store items in descending-‖θ_v‖ order, so once
 //    ‖x_u‖·‖θ_v‖ (padded by a float-rounding guard) falls below user u's
@@ -19,6 +26,7 @@
 // the pruning bound is strict, so output is identical to a brute-force scan.
 
 #include <atomic>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,6 +36,9 @@
 #include "util/thread_pool.hpp"
 
 namespace cumf::serve {
+
+class ScoringBackend;  // serve/scoring_backend.hpp
+class CpuScoringBackend;
 
 struct Recommendation {
   idx_t item = 0;
@@ -53,15 +64,22 @@ struct TopKOptions {
   util::ThreadPool* pool = nullptr;
   /// Cauchy–Schwarz norm pruning (on by default; off for A/B in benches).
   bool prune = true;
+  /// Scoring backend; nullptr uses an engine-owned CpuScoringBackend. The
+  /// backend must outlive the engine and, for GpuSimScoringBackend, must be
+  /// built over the same FactorStore.
+  ScoringBackend* backend = nullptr;
 };
 
 class TopKEngine {
  public:
-  /// The store (and the exclude CSR, when set) must outlive the engine.
+  /// The store (and the exclude CSR / backend, when set) must outlive the
+  /// engine.
   explicit TopKEngine(const FactorStore& store, TopKOptions opt = {});
+  ~TopKEngine();
 
   [[nodiscard]] const FactorStore& store() const { return store_; }
   [[nodiscard]] const TopKOptions& options() const { return opt_; }
+  [[nodiscard]] ScoringBackend& backend() const { return *backend_; }
 
   /// Top-k items for every user in `users`, ranked by ranks_before. Asking
   /// for more items than exist (or than remain after exclusion) returns a
@@ -81,16 +99,24 @@ class TopKEngine {
     return items_pruned_.load(std::memory_order_relaxed);
   }
 
- private:
-  void score_block(std::span<const idx_t> users,
-                   const std::vector<std::vector<idx_t>>& rated, int first,
-                   int last, const FactorShard& shard, int k,
-                   std::vector<std::vector<Recommendation>>& out) const;
+  /// Wall-clock latency per recommend() batch.
+  [[nodiscard]] LatencySummary batch_wall_summary() const {
+    return batch_wall_.summary();
+  }
+  /// Backend modeled time per batch (all-zero for wall-clock-only backends).
+  [[nodiscard]] LatencySummary batch_modeled_summary() const {
+    return batch_modeled_.summary();
+  }
 
+ private:
   const FactorStore& store_;
   TopKOptions opt_;
+  std::unique_ptr<CpuScoringBackend> owned_backend_;  // when opt_.backend null
+  ScoringBackend* backend_;
   mutable std::atomic<std::uint64_t> items_scored_{0};
   mutable std::atomic<std::uint64_t> items_pruned_{0};
+  mutable LatencyTracker batch_wall_;
+  mutable LatencyTracker batch_modeled_;
 };
 
 }  // namespace cumf::serve

@@ -3,6 +3,7 @@
 #include "costmodel/machines.hpp"
 #include "costmodel/projection.hpp"
 #include "costmodel/roofline.hpp"
+#include "costmodel/serving_fleet.hpp"
 #include "costmodel/table3.hpp"
 #include "core/kernels.hpp"
 #include "data/datasets.hpp"
@@ -163,6 +164,100 @@ TEST(Projection, MoreDevicesAreFaster) {
   const auto p4 = project_cumf_iteration(data::hugewiki(), gpusim::titan_x(),
                                          4, topo4, core::ReduceScheme::TwoPhase);
   EXPECT_GT(p1.iteration_seconds() / p4.iteration_seconds(), 1.8);
+}
+
+// ------------------------------------------------------- serving fleet -----
+
+TEST(ServingFleet, DeviceQpsFromProfile) {
+  ServingProfile p;
+  p.batch_seconds = 2e-3;
+  p.batch_users = 32;
+  EXPECT_DOUBLE_EQ(p.device_qps(), 16'000.0);
+  EXPECT_DOUBLE_EQ(ServingProfile{}.device_qps(), 0.0);
+}
+
+TEST(ServingFleet, ModeledProfilePaysPerLaunchOverhead) {
+  const auto spec = gpusim::titan_x();
+  gpusim::KernelStats traffic;
+  traffic.flops = 1e9;
+  traffic.global_read = 100'000'000;
+  const auto one = model_serving_profile(spec, traffic, 1, 32);
+  const auto eight = model_serving_profile(spec, traffic, 8, 32);
+  EXPECT_GT(one.batch_seconds, 0.0);
+  EXPECT_NEAR(eight.batch_seconds - one.batch_seconds,
+              7 * spec.kernel_launch_overhead_us * 1e-6, 1e-12);
+}
+
+TEST(ServingFleet, SizesFleetToCapacityAndPricesIt) {
+  ServingProfile p;
+  p.batch_seconds = 2e-3;  // 16k qps/device
+  p.batch_users = 32;
+  FleetRequirement req;
+  req.target_qps = 48'000.0;  // exactly 3 devices of capacity...
+  req.p99_ms = 50.0;          // generous SLO: capacity decides
+  const auto plan =
+      plan_serving_fleet(req, gpusim::titan_x(), 0.91, p);
+  ASSERT_TRUE(plan.feasible);
+  // ...but at ρ=1 the queue diverges, so the plan needs headroom: 4 devices.
+  EXPECT_EQ(plan.devices, 4);
+  EXPECT_DOUBLE_EQ(plan.dollars_per_hr, 4 * 0.91);
+  EXPECT_DOUBLE_EQ(plan.qps_per_dollar_hr, 48'000.0 / (4 * 0.91));
+  EXPECT_DOUBLE_EQ(plan.fleet_qps, 4 * 16'000.0);
+  EXPECT_LE(plan.modeled_p99_ms, req.p99_ms);
+}
+
+TEST(ServingFleet, MoreLoadNeedsMoreDevices) {
+  ServingProfile p;
+  p.batch_seconds = 2e-3;
+  p.batch_users = 32;
+  FleetRequirement req;
+  req.p99_ms = 50.0;
+  req.target_qps = 40'000.0;
+  const auto small = plan_serving_fleet(req, gpusim::gk210(), 0.61, p);
+  req.target_qps = 400'000.0;
+  const auto large = plan_serving_fleet(req, gpusim::gk210(), 0.61, p);
+  ASSERT_TRUE(small.feasible);
+  ASSERT_TRUE(large.feasible);
+  EXPECT_GT(large.devices, small.devices);
+  EXPECT_GT(large.dollars_per_hr, small.dollars_per_hr);
+}
+
+TEST(ServingFleet, SloBelowKernelTimeIsInfeasible) {
+  ServingProfile p;
+  p.batch_seconds = 10e-3;  // one batch alone takes 10 ms
+  p.batch_users = 32;
+  FleetRequirement req;
+  req.target_qps = 1000.0;
+  req.p99_ms = 5.0;  // < service time: no fleet size can meet it
+  const auto plan = plan_serving_fleet(req, gpusim::titan_x(), 0.91, p);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_GT(plan.devices, 0);  // still reports the best-achievable plan
+  EXPECT_GT(plan.modeled_p99_ms, req.p99_ms);
+}
+
+TEST(ServingFleet, TighterSloNeverCheapens) {
+  ServingProfile p;
+  p.batch_seconds = 1e-3;
+  p.batch_users = 32;
+  FleetRequirement req;
+  req.target_qps = 100'000.0;
+  req.p99_ms = 50.0;
+  const auto loose = plan_serving_fleet(req, gpusim::gk210(), 0.61, p);
+  // 4 devices model at p99 ≈ 4.07 ms; a 4.0 ms SLO forces a fifth.
+  req.p99_ms = 4.0;
+  const auto tight = plan_serving_fleet(req, gpusim::gk210(), 0.61, p);
+  ASSERT_TRUE(loose.feasible);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_GT(tight.devices, loose.devices);
+}
+
+TEST(ServingFleet, GpuPricingPresets) {
+  // Table 1: the $2.44/hr node holds four GK210 devices.
+  EXPECT_NEAR(gk210_pricing().price_per_device_hr,
+              kCumfMachinePricePerHr / 4.0, 1e-12);
+  EXPECT_EQ(gk210_pricing().name, "GK210");
+  EXPECT_EQ(titan_x_pricing().name, gpusim::titan_x().name);
+  EXPECT_GT(titan_x_pricing().price_per_device_hr, 0.0);
 }
 
 }  // namespace
