@@ -14,6 +14,12 @@
 // and from that, a fleet plan per device: how many GPUs, at what $/hr, to
 // serve the target load, and the qps-per-dollar each device spec buys.
 //
+// A refresh-under-load mode then exercises the live-serving path: query
+// threads keep hammering a LiveFactorStore-backed engine while freshly
+// "retrained" checkpoints are hot-swapped in, reporting qps before / during /
+// after each swap plus the swap-pause (pointer-swap critical section) — the
+// paper's retrain-often story measured at the serving edge.
+//
 // The batching-vs-batch-1 comparison is a *relative perf race* that can
 // flake on loaded shared runners; it is reported (with a WARNING on
 // regression) but never fails the run — exactness is gated in
@@ -22,18 +28,24 @@
 // CSV: bench_results/serve_throughput.csv
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <future>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/checkpoint.hpp"
 #include "costmodel/machines.hpp"
 #include "costmodel/serving_fleet.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/device_spec.hpp"
 #include "serve/batcher.hpp"
 #include "serve/factor_store.hpp"
+#include "serve/live_store.hpp"
 #include "serve/scoring_backend.hpp"
 #include "serve/topk.hpp"
 #include "util/rng.hpp"
@@ -106,7 +118,8 @@ int main() {
       bench::results_dir() + "/serve_throughput.csv",
       {"mode", "backend", "device", "shards", "batch", "queries", "seconds",
        "qps", "modeled_ms", "devices", "dollars_per_hr", "qps_per_dollar",
-       "items_scored", "items_pruned", "cache_hits"});
+       "items_scored", "items_pruned", "cache_hits", "generation",
+       "swap_pause_ms", "qps_before", "qps_during", "qps_after"});
 
   std::printf("  model: %d users x %d items, f=%d, top-%d\n\n", kUsers, kItems,
               kF, kTopK);
@@ -137,7 +150,8 @@ int main() {
                   "-", static_cast<unsigned long long>(r.scored),
                   static_cast<unsigned long long>(r.pruned));
       csv.row("direct", "cpu", "host", shards, batch, kQueries, r.seconds,
-              r.qps, 0.0, 0, 0.0, 0.0, r.scored, r.pruned, 0);
+              r.qps, 0.0, 0, 0.0, 0.0, r.scored, r.pruned, 0, 0, 0.0, 0.0,
+              0.0, 0.0);
     }
   }
 
@@ -191,7 +205,7 @@ int main() {
                 static_cast<unsigned long long>(r.pruned));
     csv.row("direct", "gpusim", run.device.spec.name, 2, kFleetBatch, kQueries,
             r.seconds, r.qps, r.modeled.p50_ms, 0, 0.0, 0.0, r.scored,
-            r.pruned, 0);
+            r.pruned, 0, 0, 0.0, 0.0, 0.0, 0.0);
   }
 
   // ---- RequestBatcher + hot-user LRU cache on the same Zipf stream -------
@@ -229,7 +243,107 @@ int main() {
             static_cast<double>(stats.queries),
         stats.batch_wall.p99_ms);
     csv.row("batcher", "cpu", "host", 2, 32, kQueries, secs, qps, 0.0, 0, 0.0,
-            0.0, stats.items_scored, stats.items_pruned, stats.cache_hits);
+            0.0, stats.items_scored, stats.items_pruned, stats.cache_hits, 0,
+            0.0, 0.0, 0.0, 0.0);
+  }
+
+  // ---- refresh under load: hot swaps while query threads stay hot --------
+  // Query threads run closed-loop micro-batches against a LiveFactorStore
+  // engine; the main thread "retrains" (fresh random factors), checkpoints,
+  // and hot-swaps. qps is sampled before each swap, across the refresh call
+  // (load + shard + pointer swap), and after — the drop to watch is the
+  // during column; swap_pause is the pointer-swap critical section alone.
+  {
+    constexpr int kLiveThreads = 4;
+    constexpr int kSwaps = 3;
+    serve::LiveFactorStore live(serve::FactorStore(x, theta, 2));
+    serve::TopKOptions opt;
+    opt.user_block = kFleetBatch;
+    const serve::TopKEngine engine(live, opt);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> answered{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kLiveThreads);
+    for (int t = 0; t < kLiveThreads; ++t) {
+      workers.emplace_back([&, t] {
+        // Each thread walks the Zipf stream from its own offset.
+        std::size_t pos = static_cast<std::size_t>(t) * 499;
+        while (!stop.load(std::memory_order_relaxed)) {
+          pos = (pos + kFleetBatch) %
+                (stream.size() - static_cast<std::size_t>(kFleetBatch));
+          (void)engine.recommend(
+              std::span<const idx_t>(stream.data() + pos, kFleetBatch), kTopK);
+          answered.fetch_add(kFleetBatch, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    const auto window_qps = [&answered](double seconds) {
+      const std::uint64_t start = answered.load();
+      util::Stopwatch w;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long>(seconds * 1e6)));
+      return static_cast<double>(answered.load() - start) / w.seconds();
+    };
+
+    const auto ckpt_dir =
+        std::filesystem::temp_directory_path() / "cumf_serve_bench_ckpt";
+    std::filesystem::create_directories(ckpt_dir);
+
+    std::printf("\n  refresh under load (%d query threads, batch %d):\n",
+                kLiveThreads, kFleetBatch);
+    std::printf("  %-4s %11s %11s %13s %13s %13s\n", "gen", "load(ms)",
+                "pause(ms)", "qps_before", "qps_during", "qps_after");
+    for (int s = 1; s <= kSwaps; ++s) {
+      const auto x_new = random_factors(kUsers, kF, 500 + static_cast<std::uint64_t>(s));
+      const auto t_new = random_factors(kItems, kF, 600 + static_cast<std::uint64_t>(s));
+      {
+        core::CheckpointManager manager(ckpt_dir.string());
+        manager.save_x(x_new, s);
+        manager.save_theta(t_new, s);
+      }
+
+      const double qps_before = window_qps(0.15);
+      // The during window matches the before/after windows and contains the
+      // whole refresh (load + shard + swap), so the three qps are comparable.
+      const std::uint64_t during0 = answered.load();
+      util::Stopwatch during;
+      const auto outcome = live.refresh_from_checkpoint(ckpt_dir.string());
+      const double refresh_s = during.seconds();
+      if (refresh_s < 0.15) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<long>((0.15 - refresh_s) * 1e6)));
+      }
+      const double qps_during =
+          static_cast<double>(answered.load() - during0) / during.seconds();
+      const double qps_after = window_qps(0.15);
+      if (!outcome.swapped) {
+        std::fprintf(stderr, "FATAL: refresh failed: %s\n",
+                     outcome.error.c_str());
+        stop.store(true);
+        for (auto& t : workers) t.join();
+        std::filesystem::remove_all(ckpt_dir);
+        return 1;
+      }
+
+      std::printf("  %-4llu %11.2f %11.4f %13.0f %13.0f %13.0f\n",
+                  static_cast<unsigned long long>(outcome.generation),
+                  outcome.load_ms, outcome.swap_pause_ms, qps_before,
+                  qps_during, qps_after);
+      csv.row("refresh", "cpu", "host", 2, kFleetBatch, kQueries, 0.0, 0.0,
+              0.0, 0, 0.0, 0.0, 0, 0, 0, outcome.generation,
+              outcome.swap_pause_ms, qps_before, qps_during, qps_after);
+    }
+    stop.store(true);
+    for (auto& t : workers) t.join();
+    std::filesystem::remove_all(ckpt_dir);
+
+    const auto pause = live.swap_pause_summary();
+    std::printf("  %llu swaps, swap-pause p99 %.4f ms, max %.4f ms — queries "
+                "never block on a swap (generation pinning)\n",
+                static_cast<unsigned long long>(live.refreshes()),
+                pause.p99_ms, pause.max_ms);
   }
 
   // ---- fleet sizing: how many GPUs, at what $/hr, for the target load ----
@@ -253,7 +367,8 @@ int main() {
                 plan.qps_per_dollar_hr, plan.feasible ? "" : "  (INFEASIBLE)");
     csv.row("fleet", "gpusim", plan.device, 2, kFleetBatch, kQueries, 0.0,
             plan.device_qps, plan.modeled_p99_ms, plan.devices,
-            plan.dollars_per_hr, plan.qps_per_dollar_hr, 0, 0, 0);
+            plan.dollars_per_hr, plan.qps_per_dollar_hr, 0, 0, 0, 0, 0.0, 0.0,
+            0.0, 0.0);
   }
 
   // ---- informational perf race (never gates: shared runners flake) -------

@@ -1,6 +1,9 @@
 // End-to-end serving demo: train a model with ALS, checkpoint it, restore it
-// into a sharded FactorStore, and serve batched top-k recommendations through
-// the RequestBatcher — the full train → checkpoint → serve pipeline.
+// into a live sharded FactorStore, and serve batched top-k recommendations
+// through the RequestBatcher — then *retrain* and hot-swap the fresher
+// checkpoint into the running server without dropping a query: the full
+// train → serve → retrain → hot-swap loop the paper's cheap-retraining
+// pitch implies.
 //
 // With a target load, it also sizes a serving fleet: the trained model is
 // replayed through GpuSimScoringBackend on each priced device spec, and the
@@ -29,6 +32,7 @@
 #include "gpusim/device_group.hpp"
 #include "serve/batcher.hpp"
 #include "serve/factor_store.hpp"
+#include "serve/live_store.hpp"
 #include "serve/scoring_backend.hpp"
 #include "serve/topk.hpp"
 #include "sparse/split.hpp"
@@ -81,15 +85,19 @@ int main(int argc, char** argv) {
   manager.save_x(solver.x(), solver.iterations_run());
   manager.save_theta(solver.theta(), solver.iterations_run());
 
-  // 3. Restore into a sharded store; attach the training CSR so users are
-  //    never recommended items they already rated.
-  const auto store = serve::FactorStore::from_checkpoint(ckpt_dir.string(), shards);
-  std::printf("restored checkpoint (iteration %d) into %d shards of %d items\n",
-              store.restored_iteration(), store.num_shards(), store.num_items());
+  // 3. Restore into a *live* sharded store; attach the training CSR so users
+  //    are never recommended items they already rated. The engine pins one
+  //    generation per micro-batch, so step 6's hot swap below lands under
+  //    live traffic without a lock on the query path.
+  serve::LiveFactorStore live(
+      serve::FactorStore::from_checkpoint(ckpt_dir.string(), shards));
+  std::printf("restored checkpoint (iteration %d) into %d shards as generation %llu\n",
+              static_cast<int>(live.pin()->restored_iteration()), live.shards(),
+              static_cast<unsigned long long>(live.generation()));
 
   serve::TopKOptions engine_opt;
   engine_opt.exclude_rated = &R;
-  const serve::TopKEngine engine(store, engine_opt);
+  const serve::TopKEngine engine(live, engine_opt);
 
   serve::BatcherOptions batch_opt;
   batch_opt.k = top_k;
@@ -128,38 +136,75 @@ int main(int argc, char** argv) {
     test_items[static_cast<std::size_t>(split.test.row[i])].push_back(
         split.test.col[i]);
   }
-  double recall_sum = 0.0, ndcg_sum = 0.0;
-  int evaluated = 0;
-  for (idx_t u = 0; u < gen.m && evaluated < 200; ++u) {
-    const auto& relevant = test_items[static_cast<std::size_t>(u)];
-    if (relevant.empty()) continue;
-    const auto top = engine.recommend_one(u, top_k);
-    std::vector<idx_t> items;
-    items.reserve(top.size());
-    for (const auto& rec : top) items.push_back(rec.item);
-    recall_sum += eval::recall_at_k(items, relevant);
-    ndcg_sum += eval::ndcg_at_k(items, relevant);
-    ++evaluated;
+  const auto ranking_quality = [&](const char* label) {
+    double recall_sum = 0.0, ndcg_sum = 0.0;
+    int evaluated = 0;
+    for (idx_t u = 0; u < gen.m && evaluated < 200; ++u) {
+      const auto& relevant = test_items[static_cast<std::size_t>(u)];
+      if (relevant.empty()) continue;
+      const auto top = engine.recommend_one(u, top_k);
+      std::vector<idx_t> items;
+      items.reserve(top.size());
+      for (const auto& rec : top) items.push_back(rec.item);
+      recall_sum += eval::recall_at_k(items, relevant);
+      ndcg_sum += eval::ndcg_at_k(items, relevant);
+      ++evaluated;
+    }
+    std::printf("\nranking quality (%s) over %d users: recall@%d %.3f, "
+                "ndcg@%d %.3f\n",
+                label, evaluated, top_k, recall_sum / evaluated, top_k,
+                ndcg_sum / evaluated);
+  };
+  ranking_quality("generation 1");
+
+  // 6. Retrain → hot swap: four more ALS iterations, checkpointed and
+  //    swapped into the running server. The batcher keeps serving across
+  //    the swap; its generation-tagged cache retires stale lists lazily.
+  (void)solver.train(/*iterations=*/4, &split.train, &split.test, "serve-demo-2");
+  manager.save_x(solver.x(), solver.iterations_run());
+  manager.save_theta(solver.theta(), solver.iterations_run());
+  const auto outcome = live.refresh_from_checkpoint(ckpt_dir.string());
+  if (!outcome.swapped) {
+    std::fprintf(stderr, "refresh failed: %s\n", outcome.error.c_str());
+    return 1;
   }
-  std::printf("\nranking quality over %d users: recall@%d %.3f, ndcg@%d %.3f\n",
-              evaluated, top_k, recall_sum / evaluated, top_k,
-              ndcg_sum / evaluated);
+  std::printf("\nhot-swapped checkpoint (iteration %d) in as generation %llu: "
+              "load %.1f ms off the query path, swap pause %.4f ms\n",
+              static_cast<int>(live.pin()->restored_iteration()),
+              static_cast<unsigned long long>(outcome.generation),
+              outcome.load_ms, outcome.swap_pause_ms);
+
+  // Replay the same traffic through the same batcher: hot users that were
+  // cached under generation 1 are rescored against the fresh factors.
+  for (std::size_t q = 0; q < traffic.size(); q += 50) {
+    futures.clear();
+    const std::size_t hi = std::min(traffic.size(), q + 50);
+    for (std::size_t i = q; i < hi; ++i) futures.push_back(batcher.submit(traffic[i]));
+    for (auto& fut : futures) (void)fut.get();
+  }
+  ranking_quality("generation 2");
 
   const auto stats = batcher.stats();
   std::printf("\nserve stats: %llu queries in %llu micro-batches, "
-              "%llu cache hits / %llu misses, %llu scored, %llu pruned\n",
+              "%llu cache hits / %llu misses (%llu stale lists retired), "
+              "%llu scored, %llu pruned\n",
               static_cast<unsigned long long>(stats.queries),
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.cache_stale_evictions),
               static_cast<unsigned long long>(stats.items_scored),
               static_cast<unsigned long long>(stats.items_pruned));
-
-  std::printf("engine batch latency: p50 %.2f ms, p99 %.2f ms over %llu batches\n",
+  std::printf("serving generation %llu after %llu refreshes "
+              "(%llu rejected); engine batch latency: p50 %.2f ms, "
+              "p99 %.2f ms over %llu batches\n",
+              static_cast<unsigned long long>(stats.generation),
+              static_cast<unsigned long long>(stats.refreshes),
+              static_cast<unsigned long long>(stats.refresh_failures),
               stats.batch_wall.p50_ms, stats.batch_wall.p99_ms,
               static_cast<unsigned long long>(stats.batch_wall.samples));
 
-  // 6. Fleet-sizing mode: price a serving fleet for this exact model.
+  // 7. Fleet-sizing mode: price a serving fleet for this exact model.
   if (target_qps > 0.0) {
     constexpr int kFleetBatch = 32;
     costmodel::FleetRequirement req;
@@ -170,16 +215,19 @@ int main(int argc, char** argv) {
                 p99_ms);
     std::printf("%-8s %11s %8s %11s %10s %13s\n", "device", "qps/device",
                 "devices", "p99(ms)", "$/hr", "qps/$-hr");
+    // Pinning keeps the probed generation alive and bit-stable even if a
+    // refresh lands while the fleet probes run.
+    const auto pinned = live.pin();
     for (const auto& fd : costmodel::priced_serving_devices()) {
       // Replay a probe through the simulated backend: same top-k answers,
       // but every sweep is accounted on the device's roofline clock.
       gpusim::Device dev(0, fd.spec);
-      serve::GpuSimScoringBackend backend(dev, store);
+      serve::GpuSimScoringBackend backend(dev, *pinned.store);
       serve::TopKOptions opt;
       opt.exclude_rated = &R;
       opt.user_block = kFleetBatch;
       opt.backend = &backend;
-      const serve::TopKEngine modeled(store, opt);
+      const serve::TopKEngine modeled(*pinned.store, opt);
       for (std::size_t q = 0; q + kFleetBatch <= traffic.size();
            q += kFleetBatch) {
         (void)modeled.recommend(

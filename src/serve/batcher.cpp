@@ -1,9 +1,12 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "serve/live_store.hpp"
 
 namespace cumf::serve {
 
@@ -30,19 +33,29 @@ std::future<std::vector<Recommendation>> RequestBatcher::submit(idx_t user) {
   auto fut = promise.get_future();
 
   // Bad ids fail their own future without poisoning the micro-batch they
-  // would have ridden in.
-  if (user < 0 || user >= engine_.store().num_users()) {
+  // would have ridden in. In live mode the bound is the generation serving
+  // *now* (one pin per submit); a swap may still shrink the model before the
+  // batch runs, which run_batch turns into per-user failed futures rather
+  // than a crash.
+  const idx_t bound = engine_.num_users();
+  if (user < 0 || user >= bound) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++queries_;
     }
     promise.set_exception(std::make_exception_ptr(std::out_of_range(
         "RequestBatcher: user id " + std::to_string(user) + " outside [0, " +
-        std::to_string(engine_.store().num_users()) + ")")));
+        std::to_string(bound) + ")")));
     return fut;
   }
 
   if (opt_.cache_capacity > 0) {
+    // Keep the cache's generation in step with the live store so a query
+    // arriving after a swap can never be answered from superseded factors —
+    // the stale entry is evicted by the get() below instead.
+    if (const auto* live = engine_.live_store()) {
+      cache_.set_generation(live->generation());
+    }
     std::vector<Recommendation> cached;
     if (cache_.get(user, opt_.k, &cached)) {
       {
@@ -109,32 +122,79 @@ void RequestBatcher::flusher_loop() {
 }
 
 void RequestBatcher::run_batch(std::vector<Pending> batch) {
-  // Duplicate users in one micro-batch are scored once.
-  std::vector<idx_t> unique_users;
-  std::vector<std::size_t> slot_of;  // batch index -> unique_users index
-  unique_users.reserve(batch.size());
-  slot_of.reserve(batch.size());
-  for (const auto& p : batch) {
-    const auto it =
-        std::find(unique_users.begin(), unique_users.end(), p.user);
-    if (it == unique_users.end()) {
-      slot_of.push_back(unique_users.size());
-      unique_users.push_back(p.user);
-    } else {
-      slot_of.push_back(
-          static_cast<std::size_t>(it - unique_users.begin()));
+  // Each pass either answers the batch, fails it, or strictly shrinks it
+  // (a hot swap pulled users out of range mid-flight), so the loop ends.
+  while (!batch.empty()) {
+    // Duplicate users in one micro-batch are scored once.
+    std::vector<idx_t> unique_users;
+    std::vector<std::size_t> slot_of;  // batch index -> unique_users index
+    unique_users.reserve(batch.size());
+    slot_of.reserve(batch.size());
+    for (const auto& p : batch) {
+      const auto it =
+          std::find(unique_users.begin(), unique_users.end(), p.user);
+      if (it == unique_users.end()) {
+        slot_of.push_back(unique_users.size());
+        unique_users.push_back(p.user);
+      } else {
+        slot_of.push_back(
+            static_cast<std::size_t>(it - unique_users.begin()));
+      }
     }
-  }
 
-  auto results = engine_.recommend(unique_users, opt_.k);
-
-  if (opt_.cache_capacity > 0) {
-    for (std::size_t i = 0; i < unique_users.size(); ++i) {
-      cache_.put(unique_users[i], opt_.k, results[i]);
+    // An engine failure must fail futures, not unwind through the flusher
+    // thread and terminate the server.
+    RecommendBatch scored;
+    try {
+      scored = engine_.recommend_batch(unique_users, opt_.k);
+    } catch (const std::out_of_range&) {
+      // A swap shrank the model under queries admitted against the old
+      // generation: fail only the now-out-of-range futures and rescore the
+      // rest — a valid query never pays for the id that happened to share
+      // its micro-batch.
+      const idx_t bound = engine_.num_users();
+      std::vector<Pending> keep;
+      keep.reserve(batch.size());
+      for (auto& p : batch) {
+        if (p.user < 0 || p.user >= bound) {
+          p.promise.set_exception(std::make_exception_ptr(std::out_of_range(
+              "RequestBatcher: user id " + std::to_string(p.user) +
+              " left range after a factor refresh (now [0, " +
+              std::to_string(bound) + "))")));
+        } else {
+          keep.push_back(std::move(p));
+        }
+      }
+      if (keep.size() == batch.size()) {
+        // Nothing is out of range against the generation serving *now* —
+        // the engine's complaint has some other cause; fail the batch
+        // rather than retry forever.
+        const auto error = std::current_exception();
+        for (auto& p : keep) p.promise.set_exception(error);
+        return;
+      }
+      batch = std::move(keep);
+      continue;
+    } catch (...) {
+      // OOM charging a new generation, and anything else non-recoverable.
+      const auto error = std::current_exception();
+      for (auto& p : batch) p.promise.set_exception(error);
+      return;
     }
-  }
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    batch[i].promise.set_value(results[slot_of[i]]);
+    const auto& results = scored.lists;
+
+    if (opt_.cache_capacity > 0) {
+      // Tagging puts with the answering generation is what retires stale
+      // entries after a hot swap: the first post-swap put advances the cache
+      // generation and older entries evict lazily as they are touched.
+      for (std::size_t i = 0; i < unique_users.size(); ++i) {
+        cache_.put(unique_users[i], opt_.k, results[i], scored.generation);
+      }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(results[slot_of[i]]);
+    }
+    return;
   }
 }
 
@@ -147,10 +207,17 @@ ServeStats RequestBatcher::stats() const {
   }
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
+  s.cache_stale_evictions = cache_.stale_evictions();
   s.items_scored = engine_.items_scored() - base_scored_;
   s.items_pruned = engine_.items_pruned() - base_pruned_;
   s.batch_wall = engine_.batch_wall_summary();
   s.batch_modeled = engine_.batch_modeled_summary();
+  if (const auto* live = engine_.live_store()) {
+    s.generation = live->generation();
+    s.refreshes = live->refreshes();
+    s.refresh_failures = live->refresh_failures();
+    s.swap_pause = live->swap_pause_summary();
+  }
   return s;
 }
 

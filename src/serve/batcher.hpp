@@ -13,6 +13,14 @@
 // Hot users short-circuit: submit() consults the LRU ScoreCache and fulfills
 // hits immediately without waking the flusher. Duplicate users inside one
 // micro-batch are scored once.
+//
+// When the engine serves a LiveFactorStore, the batcher rides hot swaps
+// without dropping queries: cache entries are tagged with the generation
+// that scored them (stale ones evict lazily, no global clear), a post-swap
+// submit can never be answered from superseded factors, and an engine
+// failure inside a flush (e.g. a swap shrank the model under an admitted
+// user id) fails that batch's futures instead of tearing down the flusher
+// thread.
 
 #include <chrono>
 #include <condition_variable>

@@ -7,6 +7,16 @@
 // small hot-user cache absorbs a large share of queries without touching the
 // factor shards. Entries are keyed by (user, k); any k change is a miss.
 // Thread-safe; hit/miss counters feed ServeStats.
+//
+// Entries are additionally tagged with the model *generation* whose factors
+// produced them (0 for a static store). A hot swap does not pay a global
+// clear(): bumping the cache's generation — explicitly via set_generation()
+// or implicitly by a put() carrying a newer tag — marks older entries stale,
+// and each stale entry is evicted lazily the next time it is touched (or by
+// ordinary LRU pressure). Invalidation cost is thereby spread across the
+// queries that follow the swap instead of spiking at swap time; a put()
+// tagged older than the cache's generation is dropped, so a slow batch that
+// was scored against a superseded snapshot can never poison the cache.
 
 #include <cstdint>
 #include <list>
@@ -25,11 +35,20 @@ class ScoreCache {
   explicit ScoreCache(std::size_t capacity) : capacity_(capacity) {}
 
   /// On hit, copies the cached list into `out`, refreshes recency, and counts
-  /// a hit; otherwise counts a miss.
+  /// a hit. An entry from a superseded generation is evicted on the spot and
+  /// counts as a miss (plus a stale eviction); an absent entry is a plain
+  /// miss.
   bool get(idx_t user, int k, std::vector<Recommendation>* out) {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key(user, k));
     if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    if (it->second->generation != generation_) {
+      entries_.erase(it->second);
+      index_.erase(it);
+      ++stale_evictions_;
       ++misses_;
       return false;
     }
@@ -39,22 +58,41 @@ class ScoreCache {
     return true;
   }
 
-  void put(idx_t user, int k, std::vector<Recommendation> recs) {
+  /// Inserts under the given generation tag. A tag newer than the cache's
+  /// current generation advances it (staling older entries); a tag older is
+  /// dropped without touching the cache.
+  void put(idx_t user, int k, std::vector<Recommendation> recs,
+           std::uint64_t generation = 0) {
     if (capacity_ == 0) return;
     std::lock_guard<std::mutex> lock(mu_);
+    if (generation > generation_) generation_ = generation;
+    if (generation < generation_) return;  // scored against a stale snapshot
     const std::uint64_t id = key(user, k);
     const auto it = index_.find(id);
     if (it != index_.end()) {
+      it->second->generation = generation;
       it->second->recs = std::move(recs);
       entries_.splice(entries_.begin(), entries_, it->second);
       return;
     }
-    entries_.push_front(Entry{id, std::move(recs)});
+    entries_.push_front(Entry{id, generation, std::move(recs)});
     index_[id] = entries_.begin();
     if (entries_.size() > capacity_) {
       index_.erase(entries_.back().id);
       entries_.pop_back();
     }
+  }
+
+  /// Marks every entry tagged older than `generation` stale (monotonic; an
+  /// older value is ignored). Stale entries are evicted lazily by get().
+  void set_generation(std::uint64_t generation) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (generation > generation_) generation_ = generation;
+  }
+
+  [[nodiscard]] std::uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
   }
 
   void invalidate(idx_t user, int k) {
@@ -83,13 +121,25 @@ class ScoreCache {
     std::lock_guard<std::mutex> lock(mu_);
     return misses_;
   }
+  /// Superseded-generation entries evicted on access since construction.
+  [[nodiscard]] std::uint64_t stale_evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stale_evictions_;
+  }
 
  private:
   struct Entry {
     std::uint64_t id;
+    std::uint64_t generation;
     std::vector<Recommendation> recs;
   };
 
+  // The packed key truncates idx_t to its low 32 bits. idx_t is 32-bit today
+  // (util/types.hpp), so no information is lost; if idx_t ever widens, user
+  // ids 2^32 apart would alias to one entry — the static_assert below turns
+  // that silent aliasing into a build error to revisit here.
+  static_assert(sizeof(idx_t) <= sizeof(std::uint32_t),
+                "ScoreCache::key packs idx_t into 32 bits");
   static std::uint64_t key(idx_t user, int k) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(user)) << 32) |
            static_cast<std::uint32_t>(k);
@@ -99,8 +149,10 @@ class ScoreCache {
   mutable std::mutex mu_;
   std::list<Entry> entries_;  // front = most recently used
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t generation_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t stale_evictions_ = 0;
 };
 
 }  // namespace cumf::serve

@@ -1,0 +1,72 @@
+#include "serve/live_store.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "util/stopwatch.hpp"
+
+namespace cumf::serve {
+
+LiveFactorStore::LiveFactorStore(FactorStore initial)
+    : shards_(initial.num_shards()) {
+  gen_number_.store(1, std::memory_order_release);
+  current_.store(std::make_shared<const Generation>(std::move(initial), 1),
+                 std::memory_order_release);
+}
+
+LiveFactorStore::Pinned LiveFactorStore::pin() const {
+  const auto gen = current_.load(std::memory_order_acquire);
+  // Aliasing shared_ptr: callers see a FactorStore, but the pin keeps the
+  // whole (store, number) snapshot alive.
+  return Pinned{std::shared_ptr<const FactorStore>(gen, &gen->store),
+                gen->number};
+}
+
+LiveFactorStore::RefreshOutcome LiveFactorStore::refresh_from_checkpoint(
+    const std::string& dir) {
+  util::Stopwatch load_watch;
+  try {
+    FactorStore next = FactorStore::from_checkpoint(dir, shards_);
+    return install(std::move(next), load_watch.milliseconds());
+  } catch (const std::exception& e) {
+    refresh_failures_.fetch_add(1, std::memory_order_relaxed);
+    RefreshOutcome out;
+    out.swapped = false;
+    out.generation = generation();
+    out.load_ms = load_watch.milliseconds();
+    out.error = e.what();
+    return out;
+  }
+}
+
+LiveFactorStore::RefreshOutcome LiveFactorStore::refresh(FactorStore next) {
+  return install(std::move(next), 0.0);
+}
+
+LiveFactorStore::RefreshOutcome LiveFactorStore::install(FactorStore next,
+                                                         double load_ms) {
+  // Allocate the generation wrapper before entering the critical section so
+  // the swap pause is a number assignment plus one atomic pointer store.
+  auto gen = std::make_shared<Generation>(std::move(next), 0);
+
+  RefreshOutcome out;
+  out.load_ms = load_ms;
+  util::Stopwatch pause;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    const auto cur = current_.load(std::memory_order_acquire);
+    gen->number = cur->number + 1;
+    out.generation = gen->number;
+    gen_number_.store(gen->number, std::memory_order_release);
+    current_.store(std::move(gen), std::memory_order_release);
+    // The superseded generation is not destroyed here: in-flight readers
+    // still hold pins; the last one to release drains it.
+  }
+  out.swap_pause_ms = pause.milliseconds();
+  out.swapped = true;
+  swap_pause_.record(out.swap_pause_ms);
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace cumf::serve

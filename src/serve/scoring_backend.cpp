@@ -144,21 +144,72 @@ SweepCounters CpuScoringBackend::sweep(
 
 // --------------------------------------------------- GpuSimScoringBackend --
 
-GpuSimScoringBackend::GpuSimScoringBackend(gpusim::Device& device,
-                                           const FactorStore& store,
-                                           Options opt)
-    : dev_(&device), opt_(opt) {
+bytes_t GpuSimScoringBackend::model_bytes_for(const FactorStore& store) {
   // Resident model: X (users·f) + Θ (items·f) + the per-row norms serving
   // keeps alongside (double per item + double per user).
   const auto users = static_cast<bytes_t>(store.num_users());
   const auto items = static_cast<bytes_t>(store.num_items());
   const auto f = static_cast<bytes_t>(store.f());
-  model_bytes_ = (users + items) * f * sizeof(real_t) +
-                 (users + items) * sizeof(double);
-  dev_->charge(model_bytes_);
+  return (users + items) * f * sizeof(real_t) +
+         (users + items) * sizeof(double);
 }
 
-GpuSimScoringBackend::~GpuSimScoringBackend() { dev_->release(model_bytes_); }
+GpuSimScoringBackend::GpuSimScoringBackend(gpusim::Device& device,
+                                           const FactorStore& store,
+                                           Options opt)
+    : dev_(&device), opt_(opt) {
+  const bytes_t bytes = model_bytes_for(store);
+  dev_->charge(bytes);
+  resident_.push_back(Resident{&store, {}, /*pinned_for_life=*/true, bytes});
+  resident_bytes_ = peak_bytes_ = bytes;
+}
+
+GpuSimScoringBackend::GpuSimScoringBackend(gpusim::Device& device, Options opt)
+    : dev_(&device), opt_(opt) {}
+
+GpuSimScoringBackend::~GpuSimScoringBackend() {
+  if (resident_bytes_ > 0) dev_->release(resident_bytes_);
+}
+
+void GpuSimScoringBackend::begin_batch(
+    const std::shared_ptr<const FactorStore>& store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Release drained generations first so a swap on a tight device only OOMs
+  // when old and new genuinely have to coexist (old still pinned).
+  gc_locked();
+  for (const auto& r : resident_) {
+    if (r.key == store.get()) return;  // already charged
+  }
+  const bytes_t bytes = model_bytes_for(*store);
+  dev_->charge(bytes);  // may raise DeviceOomError: both models must fit
+  resident_.push_back(Resident{store.get(), store, false, bytes});
+  resident_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, resident_bytes_);
+}
+
+void GpuSimScoringBackend::gc_locked() {
+  std::erase_if(resident_, [this](const Resident& r) {
+    if (r.pinned_for_life || !r.alive.expired()) return false;
+    dev_->release(r.bytes);
+    resident_bytes_ -= r.bytes;
+    return true;
+  });
+}
+
+bytes_t GpuSimScoringBackend::model_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+bytes_t GpuSimScoringBackend::peak_model_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_bytes_;
+}
+
+int GpuSimScoringBackend::resident_models() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(resident_.size());
+}
 
 SweepCounters GpuSimScoringBackend::sweep(
     const SweepTask& task, std::vector<std::vector<Recommendation>>& out) {
@@ -189,6 +240,9 @@ SweepCounters GpuSimScoringBackend::sweep(
 
 double GpuSimScoringBackend::finish_batch() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Drained generations can also die between batches (the live store swapped
+  // while this backend sat idle); sweep them out at every batch boundary.
+  gc_locked();
   const double s = batch_modeled_s_;
   batch_modeled_s_ = 0.0;
   return s;

@@ -21,6 +21,7 @@
 //    training and lets the Table 3 cost model price serving fleets.
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -71,6 +72,15 @@ class ScoringBackend {
 
   [[nodiscard]] virtual const char* name() const = 0;
 
+  /// Called once per recommend() batch by a *live* engine, before any sweep,
+  /// with the generation pinned for the batch. Capacity-accounting backends
+  /// use it to charge a newly-seen snapshot and release drained ones; the
+  /// default is a no-op. Static engines never call it — their snapshot is
+  /// fixed at construction.
+  virtual void begin_batch(const std::shared_ptr<const FactorStore>& store) {
+    (void)store;
+  }
+
   /// Execute one sweep, filling `out` with per-user top-k heaps. Called
   /// concurrently from pool workers; implementations must be thread-safe.
   virtual SweepCounters sweep(const SweepTask& task,
@@ -104,9 +114,21 @@ class CpuScoringBackend final : public ScoringBackend {
 ///   shared_read   scored · f floats — each dot replays the cached user row
 ///   global_write  block_users · k · 8 B — (item, score) heap write-back
 ///
-/// Construction charges the resident model (X + Θ + norms) against the
-/// device's capacity — a model that does not fit raises DeviceOomError, the
-/// same eq.-8 pressure that forces training to partition.
+/// The resident model (X + Θ + norms) is charged against the device's
+/// capacity — a model that does not fit raises DeviceOomError, the same
+/// eq.-8 pressure that forces training to partition.
+///
+/// Residency comes in two flavours:
+///  - static store (three-argument constructor): the model is charged at
+///    construction and released at destruction, as before;
+///  - live store (device-only constructor): each generation the engine pins
+///    is charged the first time begin_batch() sees it, and released only
+///    after it has *drained* — the generation's last shared_ptr (live-store
+///    current pointer, engine pins) is gone. During a hot swap old and new
+///    snapshots are therefore both resident, surfacing the transient
+///    both-resident capacity peak a real serving GPU pays; peak_model_bytes()
+///    reports its high-water mark, and a device too small to host both
+///    generations at once raises DeviceOomError at the swap, not silently.
 struct GpuSimScoringOptions {
   /// Route the x_u gathers through the read-only texture path.
   bool use_texture = true;
@@ -116,29 +138,55 @@ class GpuSimScoringBackend final : public ScoringBackend {
  public:
   using Options = GpuSimScoringOptions;
 
-  /// The device and store must outlive the backend. The store must be the
-  /// one the owning TopKEngine serves.
+  /// Static-store residency: the device and store must outlive the backend,
+  /// and the store must be the one the owning TopKEngine serves.
   GpuSimScoringBackend(gpusim::Device& device, const FactorStore& store,
                        Options opt = {});
+  /// Live-store residency: generations attach via begin_batch(). The device
+  /// must outlive the backend.
+  explicit GpuSimScoringBackend(gpusim::Device& device, Options opt = {});
   ~GpuSimScoringBackend() override;
 
   GpuSimScoringBackend(const GpuSimScoringBackend&) = delete;
   GpuSimScoringBackend& operator=(const GpuSimScoringBackend&) = delete;
 
   [[nodiscard]] const char* name() const override { return "gpusim"; }
+  void begin_batch(const std::shared_ptr<const FactorStore>& store) override;
   SweepCounters sweep(const SweepTask& task,
                       std::vector<std::vector<Recommendation>>& out) override;
   double finish_batch() override;
 
   [[nodiscard]] gpusim::Device& device() const { return *dev_; }
-  /// Bytes charged for the resident model at construction.
-  [[nodiscard]] bytes_t model_bytes() const { return model_bytes_; }
+  /// Bytes currently charged for resident model snapshots (one for a static
+  /// store; one per undrained generation for a live store).
+  [[nodiscard]] bytes_t model_bytes() const;
+  /// High-water mark of model_bytes() — the both-resident swap peak.
+  [[nodiscard]] bytes_t peak_model_bytes() const;
+  /// Snapshots currently charged.
+  [[nodiscard]] int resident_models() const;
+
+  /// Capacity charge for one snapshot: X + Θ factors plus per-row norms.
+  [[nodiscard]] static bytes_t model_bytes_for(const FactorStore& store);
 
  private:
+  /// One charged snapshot. `alive` is empty for the static-store entry
+  /// (released only at destruction); generation entries hold a weak_ptr and
+  /// are released by gc_locked() once it expires — i.e. after drain.
+  struct Resident {
+    const FactorStore* key = nullptr;
+    std::weak_ptr<const FactorStore> alive;
+    bool pinned_for_life = false;
+    bytes_t bytes = 0;
+  };
+
+  void gc_locked();
+
   gpusim::Device* dev_;
   Options opt_;
-  bytes_t model_bytes_ = 0;
-  std::mutex mu_;                 // Device accounting is not thread-safe
+  mutable std::mutex mu_;         // Device accounting is not thread-safe
+  std::vector<Resident> resident_;
+  bytes_t resident_bytes_ = 0;
+  bytes_t peak_bytes_ = 0;
   double batch_modeled_s_ = 0.0;  // modeled seconds accumulated this batch
 };
 

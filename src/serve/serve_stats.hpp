@@ -82,6 +82,18 @@ struct ServeStats {
   std::uint64_t items_scored = 0;  // user×item dot products actually computed
   std::uint64_t items_pruned = 0;  // candidates skipped via the norm bound
 
+  /// Model generation serving right now (0 = static FactorStore, no live
+  /// refresh in the stack).
+  std::uint64_t generation = 0;
+  /// Successful hot swaps into the LiveFactorStore.
+  std::uint64_t refreshes = 0;
+  /// Refreshes rejected (missing/corrupt checkpoint); the old generation
+  /// kept serving.
+  std::uint64_t refresh_failures = 0;
+  /// Superseded-generation cache entries evicted lazily since the batcher's
+  /// cache was built (the incremental-invalidation cost of swaps).
+  std::uint64_t cache_stale_evictions = 0;
+
   /// Wall-clock time per engine batch (TopKEngine::recommend call). Engine
   /// recent-window summaries: they cover every caller of the engine, not
   /// just the component whose counters ride alongside.
@@ -89,6 +101,9 @@ struct ServeStats {
   /// Backend modeled time per batch; all-zero for wall-clock-only backends,
   /// the simulated-GPU kernel time for GpuSimScoringBackend.
   LatencySummary batch_modeled;
+  /// Duration of each refresh's pointer-swap critical section (queries never
+  /// block on it — they hold generation pins, not locks).
+  LatencySummary swap_pause;
 };
 
 }  // namespace cumf::serve

@@ -5,13 +5,13 @@
 #include <stdexcept>
 #include <string>
 
+#include "serve/live_store.hpp"
 #include "serve/scoring_backend.hpp"
 #include "util/stopwatch.hpp"
 
 namespace cumf::serve {
 
-TopKEngine::TopKEngine(const FactorStore& store, TopKOptions opt)
-    : store_(store), opt_(opt) {
+void TopKEngine::init() {
   if (opt_.user_block < 1) opt_.user_block = 1;
   if (opt_.backend != nullptr) {
     backend_ = opt_.backend;
@@ -21,24 +21,67 @@ TopKEngine::TopKEngine(const FactorStore& store, TopKOptions opt)
   }
 }
 
+TopKEngine::TopKEngine(const FactorStore& store, TopKOptions opt)
+    : static_store_(&store), opt_(opt) {
+  init();
+}
+
+TopKEngine::TopKEngine(const LiveFactorStore& live, TopKOptions opt)
+    : live_(&live), opt_(opt) {
+  init();
+}
+
 TopKEngine::~TopKEngine() = default;
 
-std::vector<std::vector<Recommendation>> TopKEngine::recommend(
-    std::span<const idx_t> users, int k) const {
+const FactorStore& TopKEngine::store() const {
+  if (static_store_ == nullptr) {
+    throw std::logic_error(
+        "TopKEngine::store(): engine serves a LiveFactorStore; pin a "
+        "generation via live_store()->pin() instead");
+  }
+  return *static_store_;
+}
+
+idx_t TopKEngine::num_users() const {
+  return live_ != nullptr ? live_->pin()->num_users()
+                          : static_store_->num_users();
+}
+
+RecommendBatch TopKEngine::recommend_batch(std::span<const idx_t> users,
+                                           int k) const {
+  RecommendBatch out;
   const std::size_t n = users.size();
-  std::vector<std::vector<Recommendation>> result(n);
-  if (n == 0 || k <= 0) return result;
+  out.lists.resize(n);
+
+  // Pin one generation for the whole batch: every sweep, bound check, and
+  // merge below reads this snapshot, no matter how many refreshes land while
+  // the batch is in flight. The pin keeps it alive until we return.
+  LiveFactorStore::Pinned pinned;
+  if (live_ != nullptr) {
+    pinned = live_->pin();
+    out.generation = pinned.generation;
+  }
+  const FactorStore& store = live_ != nullptr ? *pinned.store : *static_store_;
+
+  if (n == 0 || k <= 0) return out;
   util::Stopwatch watch;
 
   // Reject out-of-range ids before any factor access — the store indexes X
   // unchecked, and the batcher is the front door for untrusted traffic.
   for (const idx_t u : users) {
-    if (u < 0 || u >= store_.num_users()) {
+    if (u < 0 || u >= store.num_users()) {
       throw std::out_of_range("TopKEngine: user id " + std::to_string(u) +
                               " outside [0, " +
-                              std::to_string(store_.num_users()) + ")");
+                              std::to_string(store.num_users()) + ")");
     }
   }
+
+  // Let the backend account residency for this generation (GpuSim re-charges
+  // device capacity on first sight of a new snapshot and releases drained
+  // ones); static engines keep their construction-time charge.
+  if (live_ != nullptr) backend_->begin_batch(pinned.store);
+
+  auto& result = out.lists;
 
   // Per-user sorted rated lists, built once per call so the inner loop's
   // exclusion check is a binary search over a small array.
@@ -54,7 +97,7 @@ std::vector<std::vector<Recommendation>> TopKEngine::recommend(
     }
   }
 
-  const int num_shards = store_.num_shards();
+  const int num_shards = store.num_shards();
   const std::size_t block = static_cast<std::size_t>(opt_.user_block);
   const std::size_t num_blocks = (n + block - 1) / block;
   const std::size_t num_tasks = num_blocks * static_cast<std::size_t>(num_shards);
@@ -72,12 +115,12 @@ std::vector<std::vector<Recommendation>> TopKEngine::recommend(
         const int s = static_cast<int>(t % static_cast<std::size_t>(num_shards));
         auto& slots = partial[t];
         SweepTask sweep;
-        sweep.store = &store_;
+        sweep.store = &store;
         sweep.users = users;
         sweep.rated = &rated;
         sweep.first = static_cast<int>(b * block);
         sweep.last = static_cast<int>(std::min(n, (b + 1) * block));
-        sweep.shard = &store_.shard(s);
+        sweep.shard = &store.shard(s);
         sweep.k = k;
         sweep.prune = opt_.prune;
         sweep.exclude = opt_.exclude_rated != nullptr;
@@ -108,7 +151,7 @@ std::vector<std::vector<Recommendation>> TopKEngine::recommend(
   const double modeled_s = backend_->finish_batch();
   if (modeled_s > 0.0) batch_modeled_.record(modeled_s * 1e3);
   batch_wall_.record(watch.milliseconds());
-  return result;
+  return out;
 }
 
 std::vector<Recommendation> TopKEngine::recommend_one(idx_t user, int k) const {

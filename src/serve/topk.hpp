@@ -8,6 +8,15 @@
 // amortization MO-ALS gets from batching row solves — maintaining a bounded
 // min-heap of the k best per user. Per-shard heaps are then merged per user.
 //
+// The engine serves either a *static* FactorStore (the reference it was
+// constructed over never changes) or a LiveFactorStore (live_store.hpp): in
+// live mode every recommend() batch pins the current generation once up
+// front, so the whole batch is answered from one immutable snapshot even
+// while refreshes swap new checkpoints in underneath. recommend_batch()
+// additionally reports which generation answered, which is what lets the
+// RequestBatcher tag its score cache and invalidate stale entries
+// incrementally after a hot swap.
+//
 // The sweep itself is executed by a pluggable ScoringBackend
 // (serve/scoring_backend.hpp): the default CpuScoringBackend runs it on host
 // threads; GpuSimScoringBackend runs the identical arithmetic but accounts
@@ -39,6 +48,7 @@ namespace cumf::serve {
 
 class ScoringBackend;  // serve/scoring_backend.hpp
 class CpuScoringBackend;
+class LiveFactorStore;  // serve/live_store.hpp
 
 struct Recommendation {
   idx_t item = 0;
@@ -65,27 +75,51 @@ struct TopKOptions {
   /// Cauchy–Schwarz norm pruning (on by default; off for A/B in benches).
   bool prune = true;
   /// Scoring backend; nullptr uses an engine-owned CpuScoringBackend. The
-  /// backend must outlive the engine and, for GpuSimScoringBackend, must be
-  /// built over the same FactorStore.
+  /// backend must outlive the engine. A GpuSimScoringBackend built over a
+  /// static FactorStore must be given the engine's store; in live mode use
+  /// its device-only constructor and generations attach via begin_batch().
   ScoringBackend* backend = nullptr;
+};
+
+/// One recommend() batch plus the generation that answered it. For engines
+/// over a static FactorStore the generation is 0.
+struct RecommendBatch {
+  std::vector<std::vector<Recommendation>> lists;
+  std::uint64_t generation = 0;
 };
 
 class TopKEngine {
  public:
-  /// The store (and the exclude CSR / backend, when set) must outlive the
-  /// engine.
+  /// Static mode: the store (and the exclude CSR / backend, when set) must
+  /// outlive the engine.
   explicit TopKEngine(const FactorStore& store, TopKOptions opt = {});
+  /// Live mode: every batch pins `live`'s current generation; refreshes under
+  /// a running engine are safe. `live` must outlive the engine.
+  explicit TopKEngine(const LiveFactorStore& live, TopKOptions opt = {});
   ~TopKEngine();
 
-  [[nodiscard]] const FactorStore& store() const { return store_; }
+  /// Static mode only (throws std::logic_error in live mode — a generation
+  /// reference would dangle the moment the pin is released; use live_store()
+  /// and pin() instead).
+  [[nodiscard]] const FactorStore& store() const;
+  /// The live store this engine serves, nullptr in static mode.
+  [[nodiscard]] const LiveFactorStore* live_store() const { return live_; }
+  /// User-id bound of the snapshot serving right now (pins in live mode).
+  [[nodiscard]] idx_t num_users() const;
   [[nodiscard]] const TopKOptions& options() const { return opt_; }
   [[nodiscard]] ScoringBackend& backend() const { return *backend_; }
 
-  /// Top-k items for every user in `users`, ranked by ranks_before. Asking
-  /// for more items than exist (or than remain after exclusion) returns a
-  /// shorter list.
+  /// Top-k items for every user in `users`, ranked by ranks_before, plus the
+  /// generation that was pinned for the batch. Asking for more items than
+  /// exist (or than remain after exclusion) returns a shorter list.
+  [[nodiscard]] RecommendBatch recommend_batch(std::span<const idx_t> users,
+                                               int k) const;
+
+  /// recommend_batch without the generation tag.
   [[nodiscard]] std::vector<std::vector<Recommendation>> recommend(
-      std::span<const idx_t> users, int k) const;
+      std::span<const idx_t> users, int k) const {
+    return recommend_batch(users, k).lists;
+  }
 
   /// Single-user convenience wrapper.
   [[nodiscard]] std::vector<Recommendation> recommend_one(idx_t user,
@@ -109,7 +143,10 @@ class TopKEngine {
   }
 
  private:
-  const FactorStore& store_;
+  void init();  // shared constructor tail: option clamp + backend selection
+
+  const FactorStore* static_store_ = nullptr;  // exactly one of these is set
+  const LiveFactorStore* live_ = nullptr;
   TopKOptions opt_;
   std::unique_ptr<CpuScoringBackend> owned_backend_;  // when opt_.backend null
   ScoringBackend* backend_;

@@ -7,7 +7,12 @@
 #include "costmodel/table3.hpp"
 #include "core/kernels.hpp"
 #include "data/datasets.hpp"
+#include "gpusim/device.hpp"
 #include "gpusim/device_spec.hpp"
+#include "serve/factor_store.hpp"
+#include "serve/scoring_backend.hpp"
+#include "serve/topk.hpp"
+#include "serve_test_util.hpp"
 
 namespace cumf::costmodel {
 namespace {
@@ -249,6 +254,41 @@ TEST(ServingFleet, TighterSloNeverCheapens) {
   ASSERT_TRUE(loose.feasible);
   ASSERT_TRUE(tight.feasible);
   EXPECT_GT(tight.devices, loose.devices);
+}
+
+TEST(ServingFleet, ProfileFromMeasuredBackendSweepsSizesAFeasibleFleet) {
+  // End-to-end: the profile the planner prices can come straight from
+  // GpuSimScoringBackend's accounted sweeps over a real (small) model —
+  // the same serve_test fixtures the serving suites train against.
+  const auto x = serve_test::random_factors(64, 16, 501);
+  const auto theta = serve_test::random_factors(256, 16, 502);
+  const serve::FactorStore store(x, theta, 2);
+
+  gpusim::Device dev(0, gpusim::titan_x());
+  serve::GpuSimScoringBackend backend(dev, store);
+  serve::TopKOptions opt;
+  opt.user_block = 16;
+  opt.backend = &backend;
+  const serve::TopKEngine engine(store, opt);
+
+  std::vector<idx_t> users(16);
+  for (idx_t u = 0; u < 16; ++u) users[static_cast<std::size_t>(u)] = u;
+  for (int batch = 0; batch < 4; ++batch) (void)engine.recommend(users, 8);
+
+  ServingProfile profile;
+  profile.batch_seconds = engine.batch_modeled_summary().p50_ms * 1e-3;
+  profile.batch_users = 16;
+  ASSERT_GT(profile.batch_seconds, 0.0);
+  ASSERT_GT(profile.device_qps(), 0.0);
+
+  FleetRequirement req;
+  req.target_qps = profile.device_qps() * 2.5;  // forces a multi-device fleet
+  req.p99_ms = 50.0;
+  const auto plan = plan_serving_fleet(req, gpusim::titan_x(), 0.91, profile);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.devices, 3);
+  EXPECT_DOUBLE_EQ(plan.dollars_per_hr, plan.devices * 0.91);
+  EXPECT_LE(plan.modeled_p99_ms, req.p99_ms);
 }
 
 TEST(ServingFleet, GpuPricingPresets) {

@@ -1,69 +1,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <filesystem>
 #include <future>
 #include <vector>
 
-#include "core/checkpoint.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/device_spec.hpp"
-#include "linalg/hermitian.hpp"
 #include "serve/batcher.hpp"
 #include "serve/cache.hpp"
 #include "serve/factor_store.hpp"
 #include "serve/scoring_backend.hpp"
 #include "serve/topk.hpp"
-#include "sparse/coo.hpp"
-#include "sparse/csr.hpp"
-#include "util/rng.hpp"
+#include "serve_test_util.hpp"
 
 namespace cumf {
 namespace {
 
-linalg::FactorMatrix random_factors(idx_t rows, int f, std::uint64_t seed) {
-  linalg::FactorMatrix m(rows, f);
-  util::Rng rng(seed);
-  m.randomize_uniform(rng, -1.0f, 1.0f);
-  return m;
-}
-
-// Brute-force reference: score every item serially, rank by
-// (score desc, item asc), drop rated items when `exclude` is given.
-std::vector<serve::Recommendation> brute_force_topk(
-    const linalg::FactorMatrix& x, const linalg::FactorMatrix& theta,
-    idx_t user, int k, const sparse::CsrMatrix* exclude = nullptr) {
-  std::vector<idx_t> rated;
-  if (exclude != nullptr && user < exclude->rows) {
-    const auto cols = exclude->row_cols(user);
-    rated.assign(cols.begin(), cols.end());
-    std::sort(rated.begin(), rated.end());
-  }
-  std::vector<serve::Recommendation> all;
-  for (idx_t v = 0; v < theta.rows(); ++v) {
-    if (std::binary_search(rated.begin(), rated.end(), v)) continue;
-    all.push_back({v, linalg::dot(x.row(user), theta.row(v), x.f())});
-  }
-  std::sort(all.begin(), all.end(), serve::ranks_before);
-  if (all.size() > static_cast<std::size_t>(k)) {
-    all.resize(static_cast<std::size_t>(k));
-  }
-  return all;
-}
-
-sparse::CsrMatrix random_ratings(idx_t m, idx_t n, nnz_t nz,
-                                 std::uint64_t seed) {
-  util::Rng rng(seed);
-  sparse::CooMatrix coo;
-  coo.rows = m;
-  coo.cols = n;
-  for (nnz_t i = 0; i < nz; ++i) {
-    coo.row.push_back(static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(m))));
-    coo.col.push_back(static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n))));
-    coo.val.push_back(rng.next_real());
-  }
-  return sparse::coo_to_csr(coo);
-}
+using serve_test::brute_force_topk;
+using serve_test::random_factors;
+using serve_test::random_ratings;
 
 // ---------------------------------------------------------- FactorStore ----
 
@@ -106,18 +61,13 @@ TEST(FactorStore, MoreShardsThanItemsClamps) {
 }
 
 TEST(FactorStore, CheckpointRoundTrip) {
-  const auto dir = std::filesystem::path(testing::TempDir()) / "cumf_serve_ckpt";
-  std::filesystem::create_directories(dir);
+  const serve_test::TempCheckpointDir dir("cumf_serve_ckpt");
 
   const auto x = random_factors(12, 6, 5);
   const auto theta = random_factors(31, 6, 6);
-  {
-    core::CheckpointManager manager(dir.string());
-    manager.save_x(x, 7);
-    manager.save_theta(theta, 7);
-  }
+  dir.write(x, theta, 7);
 
-  const auto store = serve::FactorStore::from_checkpoint(dir.string(), 3);
+  const auto store = serve::FactorStore::from_checkpoint(dir.path(), 3);
   EXPECT_EQ(store.restored_iteration(), 7);
   EXPECT_EQ(store.num_users(), 12);
   EXPECT_EQ(store.num_items(), 31);
@@ -129,15 +79,12 @@ TEST(FactorStore, CheckpointRoundTrip) {
   for (idx_t u = 0; u < 12; ++u) {
     EXPECT_EQ(from_ckpt.recommend_one(u, 5), from_mem.recommend_one(u, 5));
   }
-  std::filesystem::remove_all(dir);
 }
 
 TEST(FactorStore, MissingCheckpointThrows) {
-  const auto dir = std::filesystem::path(testing::TempDir()) / "cumf_serve_empty";
-  std::filesystem::create_directories(dir);
-  EXPECT_THROW(serve::FactorStore::from_checkpoint(dir.string(), 2),
+  const serve_test::TempCheckpointDir dir("cumf_serve_empty");
+  EXPECT_THROW(serve::FactorStore::from_checkpoint(dir.path(), 2),
                std::runtime_error);
-  std::filesystem::remove_all(dir);
 }
 
 // ----------------------------------------------------------- TopKEngine ----
@@ -408,6 +355,96 @@ TEST(ScoreCache, ZeroCapacityIsDisabled) {
   std::vector<serve::Recommendation> out;
   cache.put(1, 5, {{10, 1.0}});
   EXPECT_FALSE(cache.get(1, 5, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ScoreCache, GenerationBumpEvictsStaleEntriesLazily) {
+  serve::ScoreCache cache(8);
+  std::vector<serve::Recommendation> out;
+
+  cache.put(1, 5, {{10, 1.0}});  // untagged = generation 0
+  cache.put(2, 5, {{20, 2.0}});
+  EXPECT_TRUE(cache.get(1, 5, &out));
+  EXPECT_EQ(cache.generation(), 0u);
+
+  // A swap happened: entries from generation 0 are stale but stay resident
+  // until touched — invalidation is incremental, not a global clear().
+  cache.set_generation(1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.get(1, 5, &out));  // stale: evicted on access
+  EXPECT_EQ(cache.stale_evictions(), 1u);
+  EXPECT_EQ(cache.size(), 1u);  // entry 2 still resident (untouched)
+
+  // Fresh puts under the new generation hit.
+  cache.put(1, 5, {{11, 1.5}}, 1);
+  EXPECT_TRUE(cache.get(1, 5, &out));
+  EXPECT_EQ(out[0].item, 11);
+
+  // A put tagged with a *newer* generation advances the cache implicitly...
+  cache.put(3, 5, {{30, 3.0}}, 2);
+  EXPECT_EQ(cache.generation(), 2u);
+  EXPECT_FALSE(cache.get(1, 5, &out));  // gen-1 entry now stale too
+  EXPECT_EQ(cache.stale_evictions(), 2u);
+  // ...and a put from a superseded batch is dropped, never poisoning it.
+  cache.put(4, 5, {{40, 4.0}}, 1);
+  EXPECT_FALSE(cache.get(4, 5, &out));
+  EXPECT_TRUE(cache.get(3, 5, &out));
+
+  // set_generation is monotonic: an older value cannot roll it back.
+  cache.set_generation(1);
+  EXPECT_EQ(cache.generation(), 2u);
+}
+
+TEST(ScoreCache, SameUserAtTwoKValuesAreIndependentEntries) {
+  serve::ScoreCache cache(4);
+  std::vector<serve::Recommendation> out;
+
+  cache.put(7, 5, {{10, 1.0}});
+  cache.put(7, 9, {{10, 1.0}, {11, 0.5}});
+  EXPECT_EQ(cache.size(), 2u);
+
+  ASSERT_TRUE(cache.get(7, 5, &out));
+  EXPECT_EQ(out.size(), 1u);
+  ASSERT_TRUE(cache.get(7, 9, &out));
+  EXPECT_EQ(out.size(), 2u);
+
+  // Invalidating one k leaves the other k's entry alone.
+  cache.invalidate(7, 5);
+  EXPECT_FALSE(cache.get(7, 5, &out));
+  EXPECT_TRUE(cache.get(7, 9, &out));
+}
+
+TEST(ScoreCache, CapacityOneEvictionOrder) {
+  serve::ScoreCache cache(1);
+  std::vector<serve::Recommendation> out;
+
+  cache.put(1, 5, {{10, 1.0}});
+  EXPECT_TRUE(cache.get(1, 5, &out));
+
+  cache.put(2, 5, {{20, 2.0}});  // displaces 1: capacity is a hard cap
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.get(1, 5, &out));
+  EXPECT_TRUE(cache.get(2, 5, &out));
+
+  // Re-putting the resident key is an update, not an insert+evict.
+  cache.put(2, 5, {{21, 2.5}});
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.get(2, 5, &out));
+  EXPECT_EQ(out[0].item, 21);
+}
+
+TEST(ScoreCache, InvalidateAbsentKeyIsANoop) {
+  serve::ScoreCache cache(2);
+  std::vector<serve::Recommendation> out;
+  cache.put(1, 5, {{10, 1.0}});
+
+  cache.invalidate(99, 5);  // absent user
+  cache.invalidate(1, 9);   // present user, different k
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.get(1, 5, &out));
+
+  cache.invalidate(1, 5);
+  cache.invalidate(1, 5);  // second invalidate of the same key: still a no-op
   EXPECT_EQ(cache.size(), 0u);
 }
 

@@ -1,0 +1,121 @@
+#pragma once
+
+// Shared fixtures for the serve-layer test suites (serve_test,
+// live_store_test, and the serving-fleet half of costmodel_test): seeded
+// factor/rating generators, the serial brute-force top-k reference every
+// engine configuration is checked against bit-for-bit, and an RAII temp
+// checkpoint directory that writes/corrupts core::CheckpointManager
+// snapshots the way a training job (or a crash mid-write) would.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/hermitian.hpp"
+#include "serve/topk.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace cumf::serve_test {
+
+inline linalg::FactorMatrix random_factors(idx_t rows, int f,
+                                           std::uint64_t seed) {
+  linalg::FactorMatrix m(rows, f);
+  util::Rng rng(seed);
+  m.randomize_uniform(rng, -1.0f, 1.0f);
+  return m;
+}
+
+/// Brute-force reference: score every item serially, rank by
+/// (score desc, item asc), drop rated items when `exclude` is given.
+inline std::vector<serve::Recommendation> brute_force_topk(
+    const linalg::FactorMatrix& x, const linalg::FactorMatrix& theta,
+    idx_t user, int k, const sparse::CsrMatrix* exclude = nullptr) {
+  std::vector<idx_t> rated;
+  if (exclude != nullptr && user < exclude->rows) {
+    const auto cols = exclude->row_cols(user);
+    rated.assign(cols.begin(), cols.end());
+    std::sort(rated.begin(), rated.end());
+  }
+  std::vector<serve::Recommendation> all;
+  for (idx_t v = 0; v < theta.rows(); ++v) {
+    if (std::binary_search(rated.begin(), rated.end(), v)) continue;
+    all.push_back({v, linalg::dot(x.row(user), theta.row(v), x.f())});
+  }
+  std::sort(all.begin(), all.end(), serve::ranks_before);
+  if (all.size() > static_cast<std::size_t>(k)) {
+    all.resize(static_cast<std::size_t>(k));
+  }
+  return all;
+}
+
+inline sparse::CsrMatrix random_ratings(idx_t m, idx_t n, nnz_t nz,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  sparse::CooMatrix coo;
+  coo.rows = m;
+  coo.cols = n;
+  for (nnz_t i = 0; i < nz; ++i) {
+    coo.row.push_back(
+        static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(m))));
+    coo.col.push_back(
+        static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n))));
+    coo.val.push_back(rng.next_real());
+  }
+  return sparse::coo_to_csr(coo);
+}
+
+/// A checkpoint directory under the gtest temp root, removed on destruction.
+/// write() saves an (X, Θ) pair exactly as a training job would on its way
+/// out; corrupt_current() clobbers the current files (leaving no valid
+/// fallback) to simulate a crash mid-write.
+class TempCheckpointDir {
+ public:
+  explicit TempCheckpointDir(const std::string& name)
+      : path_(std::filesystem::path(testing::TempDir()) / name) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempCheckpointDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  TempCheckpointDir(const TempCheckpointDir&) = delete;
+  TempCheckpointDir& operator=(const TempCheckpointDir&) = delete;
+
+  [[nodiscard]] std::string path() const { return path_.string(); }
+
+  void write(const linalg::FactorMatrix& x, const linalg::FactorMatrix& theta,
+             int iteration) const {
+    core::CheckpointManager manager(path_.string());
+    manager.save_x(x, iteration);
+    manager.save_theta(theta, iteration);
+  }
+
+  /// Overwrites both current factor files with garbage and deletes the
+  /// .prev fallbacks, so no valid snapshot remains in the directory.
+  void corrupt_current() const {
+    for (const char* stem : {"x", "theta"}) {
+      std::ofstream out(path_ / (std::string(stem) + ".ckpt"),
+                        std::ios::binary | std::ios::trunc);
+      out << "not a checkpoint";
+      std::error_code ec;
+      std::filesystem::remove(path_ / (std::string(stem) + ".prev.ckpt"), ec);
+    }
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace cumf::serve_test
