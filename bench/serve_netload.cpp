@@ -1,0 +1,304 @@
+// Network serving load generator: end-to-end latency over the wire.
+//
+// The serving benches so far measured the engine and batcher in-process;
+// this one measures what a *user* sees — accept→reply across a real TCP
+// socket — and what the queueing path adds on top of batch service time.
+// Two load shapes against the same loopback server:
+//
+//  - closed loop: N connections, each waiting for its reply before sending
+//    the next query. Concurrency is the lever: one connection pays the full
+//    batcher deadline per query; many connections fill micro-batches and
+//    ride the same flush.
+//  - open loop: queries arrive on a schedule (offered qps) regardless of
+//    completions, pipelined on one connection — the shape that exposes
+//    queueing delay as load approaches capacity.
+//
+// Mid-run a fresh model generation is hot-swapped into the live store, so
+// the CSV also shows the generation advancing under load. Client-measured
+// e2e percentiles ride next to the server's own ServeStats (queue-delay p99,
+// batch-wall p99, net e2e) fetched over the wire via the stats op.
+//
+// ServeStats e2e p99 >= batch-wall p99 holds by construction on these runs
+// (cache off: every query's end-to-end time contains its batch's wall time);
+// the bench prints the check but, per repo convention, perf-shaped numbers
+// never gate — correctness is pinned in tests/serve_net_test.cpp.
+//
+// Usage:
+//   serve_netload                          # in-process loopback server
+//   serve_netload --connect HOST PORT [USERS [K]]
+//       client side only, against an external server (e.g.
+//       `serve_recommendations --port 7070` in another terminal).
+//
+// CSV: bench_results/serve_netload.csv
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/batcher.hpp"
+#include "serve/factor_store.hpp"
+#include "serve/live_store.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
+#include "serve/topk.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace cumf;
+using serve::net::Client;
+using serve::net::StatsResponse;
+using serve::net::Status;
+
+constexpr int kF = 16;
+constexpr int kTopK = 10;
+
+linalg::FactorMatrix random_factors(idx_t rows, int f, std::uint64_t seed) {
+  linalg::FactorMatrix m(rows, f);
+  util::Rng rng(seed);
+  m.randomize_uniform(rng, -1.0f, 1.0f);
+  return m;
+}
+
+std::vector<idx_t> zipf_stream(idx_t users, int n, std::uint64_t seed) {
+  std::vector<idx_t> stream(static_cast<std::size_t>(n));
+  util::Rng rng(seed);
+  for (auto& u : stream) {
+    u = static_cast<idx_t>(rng.zipf(static_cast<std::uint64_t>(users), 1.1));
+  }
+  return stream;
+}
+
+struct LoadResult {
+  int queries = 0;
+  int errors = 0;
+  double wall_s = 0.0;
+  double achieved_qps = 0.0;
+  serve::LatencySummary e2e;  // client-measured send→reply
+};
+
+/// N connections, one outstanding query each.
+LoadResult closed_loop(const std::string& host, std::uint16_t port, int conns,
+                       int per_conn, idx_t users, int k) {
+  LoadResult r;
+  serve::LatencyTracker e2e;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(conns));
+  util::Stopwatch wall;
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(host, port);
+      const auto stream =
+          zipf_stream(users, per_conn, 900 + static_cast<std::uint64_t>(c));
+      for (const idx_t u : stream) {
+        util::Stopwatch q;
+        const auto resp = client.query(u, k);
+        e2e.record(q.milliseconds());
+        if (resp.status != Status::kOk) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  r.wall_s = wall.seconds();
+  r.queries = conns * per_conn;
+  r.errors = errors.load();
+  r.achieved_qps = r.queries / r.wall_s;
+  r.e2e = e2e.summary();
+  return r;
+}
+
+/// One pipelined connection, queries sent on a fixed schedule. The sender
+/// and reader share the Client: its send and receive paths touch disjoint
+/// state, so one writer thread plus one reader thread is safe.
+LoadResult open_loop(const std::string& host, std::uint16_t port,
+                     double offered_qps, int total, idx_t users, int k) {
+  LoadResult r;
+  serve::LatencyTracker e2e;
+  Client client(host, port);
+
+  std::mutex mu;
+  std::deque<std::chrono::steady_clock::time_point> sent;
+  std::atomic<int> errors{0};
+
+  std::thread reader([&] {
+    for (int i = 0; i < total; ++i) {
+      const auto resp = client.read_query_response();
+      std::chrono::steady_clock::time_point t0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        t0 = sent.front();
+        sent.pop_front();
+      }
+      e2e.record(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+      if (resp.status != Status::kOk) errors.fetch_add(1);
+    }
+  });
+
+  const auto stream = zipf_stream(users, total, 950);
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / offered_qps));
+  util::Stopwatch wall;
+  auto next = std::chrono::steady_clock::now();
+  for (const idx_t u : stream) {
+    std::this_thread::sleep_until(next);  // no-op once the sender is behind
+    next += period;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      sent.push_back(std::chrono::steady_clock::now());
+    }
+    client.send_query(u, k);
+  }
+  reader.join();
+  r.wall_s = wall.seconds();
+  r.queries = total;
+  r.errors = errors.load();
+  r.achieved_qps = total / r.wall_s;
+  r.e2e = e2e.summary();
+  return r;
+}
+
+StatsResponse wire_stats(const std::string& host, std::uint16_t port) {
+  Client client(host, port);
+  return client.stats();
+}
+
+void emit(util::CsvWriter& csv, const char* mode, int conns,
+          double offered_qps, const LoadResult& r, const StatsResponse& s) {
+  std::printf("  %-7s %6d %11.0f %11.0f %9.2f %9.2f %9.2f %11.2f %13.2f %4llu\n",
+              mode, conns, offered_qps, r.achieved_qps, r.e2e.p50_ms,
+              r.e2e.p95_ms, r.e2e.p99_ms, s.queue_p99_ms, s.batch_wall_p99_ms,
+              static_cast<unsigned long long>(s.generation));
+  csv.row(mode, conns, offered_qps, r.achieved_qps, r.queries, r.e2e.p50_ms,
+          r.e2e.p95_ms, r.e2e.p99_ms, r.e2e.samples, r.e2e.total_recorded,
+          s.queue_p50_ms, s.queue_p99_ms, s.batch_wall_p99_ms,
+          s.net_e2e_p99_ms, s.e2e_p99_ms, s.generation);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  idx_t users = 1500;
+  int k = kTopK;
+  const bool external = argc > 1 && std::strcmp(argv[1], "--connect") == 0;
+  if (external) {
+    if (argc < 4) {
+      std::fprintf(stderr,
+                   "usage: %s [--connect HOST PORT [USERS [K]]]\n", argv[0]);
+      return 2;
+    }
+    host = argv[2];
+    port = static_cast<std::uint16_t>(std::atoi(argv[3]));
+    if (argc > 4) users = static_cast<idx_t>(std::atoi(argv[4]));
+    if (argc > 5) k = std::atoi(argv[5]);
+  }
+
+  bench::print_header("serve_netload",
+                      "TCP front-end: e2e latency & queueing vs offered load");
+
+  // In-process loopback stack (skipped with --connect): a live store so a
+  // fresh generation can be hot-swapped in mid-run.
+  std::unique_ptr<serve::LiveFactorStore> live;
+  std::unique_ptr<serve::TopKEngine> engine;
+  std::unique_ptr<serve::RequestBatcher> batcher;
+  std::unique_ptr<serve::net::TcpServer> server;
+  if (!external) {
+    constexpr idx_t kItems = 3000;
+    live = std::make_unique<serve::LiveFactorStore>(
+        serve::FactorStore(random_factors(users, kF, 701),
+                           random_factors(kItems, kF, 702), 2));
+    engine = std::make_unique<serve::TopKEngine>(*live);
+    serve::BatcherOptions opt;
+    opt.k = k;
+    opt.max_batch = 32;
+    opt.max_delay = std::chrono::microseconds(1000);
+    opt.cache_capacity = 0;  // pure queueing measurement, no hit shortcut
+    batcher = std::make_unique<serve::RequestBatcher>(*engine, opt);
+    server = std::make_unique<serve::net::TcpServer>(*batcher);
+    port = server->port();
+    std::printf("  loopback server on 127.0.0.1:%u — %d users × %d items, "
+                "f=%d, top-%d, max_batch 32, max_delay 1 ms, cache off\n",
+                port, users, kItems, kF, k);
+  } else {
+    std::printf("  external server %s:%u — users=%d k=%d\n", host.c_str(),
+                port, users, k);
+  }
+
+  util::CsvWriter csv(
+      bench::results_dir() + "/serve_netload.csv",
+      {"mode", "conns", "offered_qps", "achieved_qps", "queries", "e2e_p50_ms",
+       "e2e_p95_ms", "e2e_p99_ms", "e2e_samples", "e2e_total", "queue_p50_ms",
+       "queue_p99_ms", "batch_wall_p99_ms", "net_e2e_p99_ms",
+       "server_e2e_p99_ms", "generation"});
+
+  std::printf("\n  %-7s %6s %11s %11s %9s %9s %9s %11s %13s %4s\n", "mode",
+              "conns", "offered", "achieved", "p50(ms)", "p95(ms)", "p99(ms)",
+              "queue_p99", "batch_p99", "gen");
+
+  int total_errors = 0;
+
+  // ---- closed loop: concurrency fills micro-batches ----------------------
+  for (const int conns : {1, 4, 16}) {
+    const auto r = closed_loop(host, port, conns, 250, users, k);
+    emit(csv, "closed", conns, 0.0, r, wire_stats(host, port));
+    total_errors += r.errors;
+  }
+
+  // ---- open loop: offered load sweeps toward capacity --------------------
+  // A fresh generation lands mid-sweep (in-process mode): the generation
+  // column advances while queries keep flowing.
+  std::thread swapper;
+  if (!external) {
+    swapper = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      (void)live->refresh(serve::FactorStore(random_factors(users, kF, 711),
+                                             random_factors(3000, kF, 712),
+                                             2));
+    });
+  }
+  for (const double offered : {2000.0, 8000.0, 20000.0}) {
+    const int total = std::min(6000, static_cast<int>(offered * 0.4));
+    const auto r = open_loop(host, port, offered, total, users, k);
+    emit(csv, "open", 1, offered, r, wire_stats(host, port));
+    total_errors += r.errors;
+  }
+  if (swapper.joinable()) swapper.join();
+
+  // ---- the accounting invariant, printed for the record ------------------
+  const auto s = wire_stats(host, port);
+  std::printf("\n  server e2e p99 %.2f ms >= batch-wall p99 %.2f ms: %s "
+              "(holds by construction: cache off, every query contains its "
+              "batch)\n",
+              s.e2e_p99_ms, s.batch_wall_p99_ms,
+              s.e2e_p99_ms >= s.batch_wall_p99_ms ? "yes" : "NO (?)");
+  std::printf("  e2e percentiles over %llu window samples "
+              "(%llu recorded lifetime); queue-delay p99 %.2f ms\n",
+              static_cast<unsigned long long>(s.e2e_samples),
+              static_cast<unsigned long long>(s.e2e_total), s.queue_p99_ms);
+  if (!external) {
+    std::printf("  final serving generation: %llu (one hot swap mid-sweep)\n",
+                static_cast<unsigned long long>(s.generation));
+  }
+  if (total_errors > 0) {
+    std::fprintf(stderr, "FATAL: %d queries returned a non-OK status\n",
+                 total_errors);
+    return 1;
+  }
+  return 0;
+}

@@ -221,7 +221,7 @@ int main() {
     // arrives, so hot users from earlier waves hit the LRU cache.
     constexpr int kWave = 100;
     util::Stopwatch watch;
-    std::vector<std::future<std::vector<serve::Recommendation>>> futures;
+    std::vector<std::future<serve::BatchedAnswer>> futures;
     futures.reserve(kWave);
     for (int q = 0; q < kQueries; q += kWave) {
       futures.clear();
@@ -235,13 +235,13 @@ int main() {
     const auto stats = batcher.stats();
     std::printf(
         "  %-10s %-8s %-8s %7d %6d %9.3f %11.0f %11s %13llu %13llu  (%.0f%% "
-        "cache hits, wall p99 %.2f ms)\n",
+        "cache hits, wall p99 %.2f ms, e2e p99 %.2f ms, queue p99 %.2f ms)\n",
         "batcher", "cpu", "host", 2, 32, secs, qps, "-",
         static_cast<unsigned long long>(stats.items_scored),
         static_cast<unsigned long long>(stats.items_pruned),
         100.0 * static_cast<double>(stats.cache_hits) /
             static_cast<double>(stats.queries),
-        stats.batch_wall.p99_ms);
+        stats.batch_wall.p99_ms, stats.e2e.p99_ms, stats.queue_delay.p99_ms);
     csv.row("batcher", "cpu", "host", 2, 32, kQueries, secs, qps, 0.0, 0, 0.0,
             0.0, stats.items_scored, stats.items_pruned, stats.cache_hits, 0,
             0.0, 0.0, 0.0, 0.0);

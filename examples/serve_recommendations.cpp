@@ -10,10 +10,19 @@
 // cost model answers "how many GPUs, at what $/hour, to serve target_qps at
 // p99 <= p99_ms".
 //
+// With --port the server stays up after the demo: the trained model keeps
+// serving over TCP (protocol: src/serve/net/protocol.hpp) until SIGINT, so a
+// second terminal can drive it with the network load generator.
+//
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j
-//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms]
+//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms] [--port N]
 //   ./build/examples/serve_recommendations 4 10 1000000 5   # fleet-sizing mode
+//   ./build/examples/serve_recommendations --port 7070      # then, elsewhere:
+//   ./build/bench/serve_netload --connect 127.0.0.1 7070 3000 10
+
+#include <csignal>
+#include <cstring>
 
 #include <algorithm>
 #include <cstdio>
@@ -33,6 +42,7 @@
 #include "serve/batcher.hpp"
 #include "serve/factor_store.hpp"
 #include "serve/live_store.hpp"
+#include "serve/net/server.hpp"
 #include "serve/scoring_backend.hpp"
 #include "serve/topk.hpp"
 #include "sparse/split.hpp"
@@ -40,15 +50,39 @@
 int main(int argc, char** argv) {
   using namespace cumf;
 
-  const int shards = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int top_k = argc > 2 ? std::atoi(argv[2]) : 10;
-  const double target_qps = argc > 3 ? std::atof(argv[3]) : 0.0;
-  const double p99_ms = argc > 4 ? std::atof(argv[4]) : 5.0;
+  bool serve_over_tcp = false;
+  std::uint16_t port = 0;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      serve_over_tcp = true;
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int shards = positional.size() > 0 ? std::atoi(positional[0]) : 4;
+  const int top_k = positional.size() > 1 ? std::atoi(positional[1]) : 10;
+  const double target_qps = positional.size() > 2 ? std::atof(positional[2]) : 0.0;
+  const double p99_ms = positional.size() > 3 ? std::atof(positional[3]) : 5.0;
   if (shards < 1 || top_k < 1 || target_qps < 0.0 || p99_ms <= 0.0) {
     std::fprintf(stderr,
-                 "usage: %s [shards >= 1] [top_k >= 1] [target_qps] [p99_ms]\n",
+                 "usage: %s [shards >= 1] [top_k >= 1] [target_qps] [p99_ms] "
+                 "[--port N]\n",
                  argv[0]);
     return 2;
+  }
+
+  // In --port mode SIGINT/SIGTERM must be blocked *before any thread
+  // exists* — training pool threads and the batcher's flusher inherit the
+  // mask, so a process-directed Ctrl-C can only land in the sigwait at step
+  // 8 instead of killing an arbitrary worker thread with the default action.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  if (serve_over_tcp) {
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
   }
 
   // 1. Train: 3,000 users × 1,200 items, planted rank-8 taste structure.
@@ -114,13 +148,13 @@ int main(int argc, char** argv) {
   }
   // Closed-loop waves, so hot users from earlier waves hit the LRU cache.
   std::vector<serve::Recommendation> first_answer;
-  std::vector<std::future<std::vector<serve::Recommendation>>> futures;
+  std::vector<std::future<serve::BatchedAnswer>> futures;
   for (std::size_t q = 0; q < traffic.size(); q += 50) {
     futures.clear();
     const std::size_t hi = std::min(traffic.size(), q + 50);
     for (std::size_t i = q; i < hi; ++i) futures.push_back(batcher.submit(traffic[i]));
     for (std::size_t i = 0; i < futures.size(); ++i) {
-      auto answer = futures[i].get();
+      auto answer = futures[i].get().items;
       if (q == 0 && i == 0) first_answer = std::move(answer);
     }
   }
@@ -195,14 +229,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache_stale_evictions),
               static_cast<unsigned long long>(stats.items_scored),
               static_cast<unsigned long long>(stats.items_pruned));
+  // `samples` is the retained percentile window; `total_recorded` is the
+  // lifetime batch count this process actually flushed.
   std::printf("serving generation %llu after %llu refreshes "
               "(%llu rejected); engine batch latency: p50 %.2f ms, "
-              "p99 %.2f ms over %llu batches\n",
+              "p99 %.2f ms over %llu batches (%llu in window)\n",
               static_cast<unsigned long long>(stats.generation),
               static_cast<unsigned long long>(stats.refreshes),
               static_cast<unsigned long long>(stats.refresh_failures),
               stats.batch_wall.p50_ms, stats.batch_wall.p99_ms,
+              static_cast<unsigned long long>(stats.batch_wall.total_recorded),
               static_cast<unsigned long long>(stats.batch_wall.samples));
+  std::printf("per-query latency: e2e p50 %.3f ms / p99 %.3f ms "
+              "(cache hits included), queueing p99 %.3f ms\n",
+              stats.e2e.p50_ms, stats.e2e.p99_ms, stats.queue_delay.p99_ms);
 
   // 7. Fleet-sizing mode: price a serving fleet for this exact model.
   if (target_qps > 0.0) {
@@ -245,6 +285,28 @@ int main(int argc, char** argv) {
                   plan.qps_per_dollar_hr,
                   plan.feasible ? "" : "  (INFEASIBLE)");
     }
+  }
+
+  // 8. --port: keep the trained model serving over TCP until SIGINT (the
+  //    mask was installed at the top of main, before any thread spawned).
+  if (serve_over_tcp) {
+    serve::net::ServerOptions sopt;
+    sopt.port = port;
+    serve::net::TcpServer server(batcher, sopt);
+    std::printf("\nserving generation %llu on 127.0.0.1:%u (top-%d, %d users)"
+                "\ndrive it from another terminal:\n"
+                "  ./build/bench/serve_netload --connect 127.0.0.1 %u %d %d\n"
+                "Ctrl-C to stop.\n",
+                static_cast<unsigned long long>(live.generation()),
+                server.port(), top_k, gen.m, server.port(), gen.m, top_k);
+    int sig = 0;
+    sigwait(&sigs, &sig);
+
+    const auto net = server.stats();
+    std::printf("\nshutting down: served %llu queries over the wire, "
+                "accept→reply p99 %.3f ms (queueing p99 %.3f ms)\n",
+                static_cast<unsigned long long>(net.queries - stats.queries),
+                net.net_e2e.p99_ms, net.queue_delay.p99_ms);
   }
 
   std::filesystem::remove_all(ckpt_dir);

@@ -30,6 +30,18 @@ ServingProfile model_serving_profile(const gpusim::DeviceSpec& spec,
   return profile;
 }
 
+ServingProfile measured_serving_profile(const serve::ServeStats& stats,
+                                        int batch_users, bool use_modeled) {
+  ServingProfile profile;
+  profile.batch_users = batch_users;
+  const double p50_ms = use_modeled && stats.batch_modeled.total_recorded > 0
+                            ? stats.batch_modeled.p50_ms
+                            : stats.batch_wall.p50_ms;
+  profile.batch_seconds = p50_ms * 1e-3;
+  profile.queue_floor_s = stats.queue_delay.p99_ms * 1e-3;
+  return profile;
+}
+
 namespace {
 
 /// Modeled p99 for `devices` devices sharing the target load (see the header
@@ -43,7 +55,10 @@ double modeled_p99_ms(const FleetRequirement& req,
       std::min(profile.batch_users / lambda, req.max_fill_ms * 1e-3);
   const double queue_s =
       profile.batch_seconds * rho / (2.0 * (1.0 - rho));
-  return (fill_s + queue_s + profile.batch_seconds) * 1e3;
+  // The analytic wait can never undercut queueing a live batcher actually
+  // measured (deadline waits, scheduling) — a measured profile's floor.
+  const double wait_s = std::max(fill_s + queue_s, profile.queue_floor_s);
+  return (wait_s + profile.batch_seconds) * 1e3;
 }
 
 }  // namespace

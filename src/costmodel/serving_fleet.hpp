@@ -20,7 +20,12 @@
 //   queue   = t_batch · ρ / (2(1−ρ))           — M/D/1 waiting time at
 //             utilization ρ = λ / device_qps;
 //   service = t_batch                          — its own batch's kernel time;
-//   p99 ≈ (fill + queue + service) · 1000 ms.
+//   p99 ≈ (max(fill + queue, measured queue-delay floor) + service) · 1000 ms
+//
+// where the floor is ServingProfile::queue_floor_s — the queueing delay a
+// live batcher actually measured (ServeStats::queue_delay p99), so profiles
+// built from real serving runs price observed queueing, not just the ideal
+// fill/queue terms.
 //
 // Note the tension the plan search has to resolve: adding devices lowers ρ
 // (less queueing) but *raises* fill time (each device sees less traffic, so
@@ -33,6 +38,7 @@
 #include "costmodel/machines.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device_spec.hpp"
+#include "serve/serve_stats.hpp"
 
 namespace cumf::costmodel {
 
@@ -51,6 +57,13 @@ std::vector<PricedDevice> priced_serving_devices();
 struct ServingProfile {
   double batch_seconds = 0.0;
   int batch_users = 0;
+  /// Measured per-query queueing-delay floor (seconds), typically
+  /// ServeStats::queue_delay p99 from a live run. The analytic fill + M/D/1
+  /// terms below model ideal queueing; this floor carries what they cannot
+  /// see — batcher deadline waits and scheduling overhead actually observed
+  /// at the serving edge — so a fleet plan fed a measured profile includes
+  /// queueing, not just service time. 0 = no measurement, analytic only.
+  double queue_floor_s = 0.0;
 
   /// Throughput of one device running batches back to back.
   [[nodiscard]] double device_qps() const {
@@ -64,6 +77,15 @@ struct ServingProfile {
 ServingProfile model_serving_profile(const gpusim::DeviceSpec& spec,
                                      const gpusim::KernelStats& batch_traffic,
                                      std::uint64_t launches, int batch_users);
+
+/// Measured profile from a live ServeStats snapshot: batch_seconds from the
+/// per-batch p50 (modeled when `use_modeled` and the backend populated it,
+/// wall clock otherwise) and queue_floor_s from the measured queueing-delay
+/// p99 — the profile the TCP front-end's stats feed straight into
+/// plan_serving_fleet.
+ServingProfile measured_serving_profile(const serve::ServeStats& stats,
+                                        int batch_users,
+                                        bool use_modeled = false);
 
 struct FleetRequirement {
   double target_qps = 0.0;

@@ -28,8 +28,19 @@ RequestBatcher::~RequestBatcher() {
   flusher_.join();
 }
 
-std::future<std::vector<Recommendation>> RequestBatcher::submit(idx_t user) {
-  std::promise<std::vector<Recommendation>> promise;
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::future<BatchedAnswer> RequestBatcher::submit(idx_t user) {
+  const auto accepted = std::chrono::steady_clock::now();
+  std::promise<BatchedAnswer> promise;
   auto fut = promise.get_future();
 
   // Bad ids fail their own future without poisoning the micro-batch they
@@ -43,6 +54,10 @@ std::future<std::vector<Recommendation>> RequestBatcher::submit(idx_t user) {
       std::lock_guard<std::mutex> lock(mu_);
       ++queries_;
     }
+    // Samples are recorded *before* the promise is fulfilled, here and in
+    // run_batch: a caller that wakes on the future and reads stats() must
+    // find its own query already accounted.
+    e2e_.record(ms_since(accepted));
     promise.set_exception(std::make_exception_ptr(std::out_of_range(
         "RequestBatcher: user id " + std::to_string(user) + " outside [0, " +
         std::to_string(bound) + ")")));
@@ -57,12 +72,18 @@ std::future<std::vector<Recommendation>> RequestBatcher::submit(idx_t user) {
       cache_.set_generation(live->generation());
     }
     std::vector<Recommendation> cached;
-    if (cache_.get(user, opt_.k, &cached)) {
+    std::uint64_t cached_gen = 0;
+    if (cache_.get(user, opt_.k, &cached, &cached_gen)) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++queries_;
       }
-      promise.set_value(std::move(cached));
+      // Hits contribute their (near-zero) end-to-end sample: the reported
+      // percentiles cover every answered query, not just miss traffic —
+      // otherwise `queries` and the latency distribution describe different
+      // populations, and the cache's main effect is invisible.
+      e2e_.record(ms_since(accepted));
+      promise.set_value(BatchedAnswer{std::move(cached), cached_gen});
       return fut;
     }
   }
@@ -70,8 +91,7 @@ std::future<std::vector<Recommendation>> RequestBatcher::submit(idx_t user) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++queries_;
-    pending_.push_back(
-        Pending{user, std::move(promise), std::chrono::steady_clock::now()});
+    pending_.push_back(Pending{user, std::move(promise), accepted});
   }
   cv_.notify_one();
   return fut;
@@ -85,10 +105,20 @@ void RequestBatcher::flush() {
   cv_.notify_one();
 }
 
+void RequestBatcher::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!pending_.empty()) flush_now_ = true;
+  cv_.notify_one();
+  drained_cv_.wait(lock,
+                   [this] { return pending_.empty() && !batch_in_flight_; });
+}
+
 void RequestBatcher::flusher_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (pending_.empty()) {
+      flush_now_ = false;  // any drain in progress is complete
+      drained_cv_.notify_all();
       if (stop_) return;
       cv_.wait(lock,
                [this] { return stop_ || flush_now_ || !pending_.empty(); });
@@ -104,9 +134,13 @@ void RequestBatcher::flusher_loop() {
     cv_.wait_until(lock, deadline, [this] {
       return stop_ || flush_now_ || pending_.size() >= opt_.max_batch;
     });
-    flush_now_ = false;
 
     const std::size_t take = std::min(pending_.size(), opt_.max_batch);
+    // An explicit flush stays armed until the whole pending set has drained:
+    // clearing it after one take stranded the sub-max_batch remainder of a
+    // large pending set to wait out max_delay. Micro-batches keep their
+    // max_batch shape; they just run back to back until the queue is empty.
+    if (take == pending_.size()) flush_now_ = false;
     std::vector<Pending> batch;
     batch.reserve(take);
     std::move(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take),
@@ -114,10 +148,21 @@ void RequestBatcher::flusher_loop() {
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<std::ptrdiff_t>(take));
     ++batches_;
+    batch_in_flight_ = true;
 
     lock.unlock();
+    // Queueing delay ends when the flusher takes the query into a batch;
+    // what remains of its end-to-end time is service (run_batch below).
+    const auto taken = std::chrono::steady_clock::now();
+    for (const auto& p : batch) {
+      queue_delay_.record(
+          std::chrono::duration<double, std::milli>(taken - p.enqueued)
+              .count());
+    }
     run_batch(std::move(batch));
     lock.lock();
+    batch_in_flight_ = false;
+    drained_cv_.notify_all();
   }
 }
 
@@ -157,6 +202,7 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
       keep.reserve(batch.size());
       for (auto& p : batch) {
         if (p.user < 0 || p.user >= bound) {
+          e2e_.record(ms_since(p.enqueued));
           p.promise.set_exception(std::make_exception_ptr(std::out_of_range(
               "RequestBatcher: user id " + std::to_string(p.user) +
               " left range after a factor refresh (now [0, " +
@@ -170,7 +216,10 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
         // the engine's complaint has some other cause; fail the batch
         // rather than retry forever.
         const auto error = std::current_exception();
-        for (auto& p : keep) p.promise.set_exception(error);
+        for (auto& p : keep) {
+          e2e_.record(ms_since(p.enqueued));
+          p.promise.set_exception(error);
+        }
         return;
       }
       batch = std::move(keep);
@@ -178,7 +227,10 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
     } catch (...) {
       // OOM charging a new generation, and anything else non-recoverable.
       const auto error = std::current_exception();
-      for (auto& p : batch) p.promise.set_exception(error);
+      for (auto& p : batch) {
+        e2e_.record(ms_since(p.enqueued));
+        p.promise.set_exception(error);
+      }
       return;
     }
     const auto& results = scored.lists;
@@ -192,7 +244,9 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
       }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(results[slot_of[i]]);
+      e2e_.record(ms_since(batch[i].enqueued));
+      batch[i].promise.set_value(
+          BatchedAnswer{results[slot_of[i]], scored.generation});
     }
     return;
   }
@@ -208,6 +262,8 @@ ServeStats RequestBatcher::stats() const {
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
   s.cache_stale_evictions = cache_.stale_evictions();
+  s.e2e = e2e_.summary();
+  s.queue_delay = queue_delay_.summary();
   s.items_scored = engine_.items_scored() - base_scored_;
   s.items_pruned = engine_.items_pruned() - base_pruned_;
   s.batch_wall = engine_.batch_wall_summary();

@@ -14,6 +14,11 @@
 // hits immediately without waking the flusher. Duplicate users inside one
 // micro-batch are scored once.
 //
+// Every query is latency-accounted end to end (submit() → future
+// fulfillment, cache hits included) and, for batched queries, from submit()
+// to micro-batch take (queueing delay) — ServeStats::e2e / queue_delay. The
+// TCP front-end (net/server.hpp) widens the end-to-end view to accept→reply.
+//
 // When the engine serves a LiveFactorStore, the batcher rides hot swaps
 // without dropping queries: cache entries are tagged with the generation
 // that scored them (stale ones evict lazily, no global clear), a post-swap
@@ -48,6 +53,15 @@ struct BatcherOptions {
   std::size_t cache_capacity = 0;
 };
 
+/// One answered query: the ranked list plus the model generation whose
+/// factors produced it (0 = static store; a cache hit carries the generation
+/// its entry was scored under). The generation is what lets a network
+/// front-end tag responses so clients can tell a hot swap happened.
+struct BatchedAnswer {
+  std::vector<Recommendation> items;
+  std::uint64_t generation = 0;
+};
+
 class RequestBatcher {
  public:
   /// The engine (and everything it references) must outlive the batcher.
@@ -59,14 +73,28 @@ class RequestBatcher {
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
-  /// Enqueue one user query; the future resolves with their top-k list.
-  std::future<std::vector<Recommendation>> submit(idx_t user);
+  /// Enqueue one user query; the future resolves with their top-k list and
+  /// the generation that answered it.
+  std::future<BatchedAnswer> submit(idx_t user);
 
   /// Blocking convenience wrapper around submit().
-  std::vector<Recommendation> query(idx_t user) { return submit(user).get(); }
+  std::vector<Recommendation> query(idx_t user) {
+    return submit(user).get().items;
+  }
 
-  /// Force an immediate flush of whatever is pending (benches, shutdown).
+  [[nodiscard]] const BatcherOptions& options() const { return opt_; }
+
+  /// Force an immediate drain of *everything* pending (benches, shutdown):
+  /// the flusher keeps taking micro-batches (still at most max_batch each, so
+  /// the engine's batch shape is preserved) until the pending queue is empty,
+  /// never waiting out max_delay in between. Queries submitted while the
+  /// drain runs ride along. Returns without waiting; see drain().
   void flush();
+
+  /// flush(), then block until the pending queue is empty and no micro-batch
+  /// is in flight — every future submitted before the call is resolved when
+  /// this returns. Used by bench/server shutdown paths.
+  void drain();
 
   /// Merged snapshot of batcher + cache + engine counters. Scored/pruned are
   /// baselined to this batcher's construction; the latency percentiles are
@@ -77,7 +105,7 @@ class RequestBatcher {
  private:
   struct Pending {
     idx_t user;
-    std::promise<std::vector<Recommendation>> promise;
+    std::promise<BatchedAnswer> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
 
@@ -90,11 +118,19 @@ class RequestBatcher {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable drained_cv_;  // signaled when a drain may be done
   std::deque<Pending> pending_;  // FIFO; flushes pop from the front
   bool stop_ = false;
   bool flush_now_ = false;
+  bool batch_in_flight_ = false;  // flusher is inside run_batch()
   std::uint64_t queries_ = 0;
   std::uint64_t batches_ = 0;
+  // Per-query latency accounting (ServeStats::e2e / queue_delay). Every
+  // fulfilled future records an end-to-end sample — cache hits and rejected
+  // ids included — so the percentiles cover the same population `queries_`
+  // counts; queue delay is recorded per query at micro-batch take time.
+  LatencyTracker e2e_;
+  LatencyTracker queue_delay_;
   // Engine counters at construction; stats() reports this batcher's share.
   std::uint64_t base_scored_ = 0;
   std::uint64_t base_pruned_ = 0;

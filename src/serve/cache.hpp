@@ -34,11 +34,13 @@ class ScoreCache {
   /// capacity == 0 disables the cache (every get() is a miss, put() drops).
   explicit ScoreCache(std::size_t capacity) : capacity_(capacity) {}
 
-  /// On hit, copies the cached list into `out`, refreshes recency, and counts
-  /// a hit. An entry from a superseded generation is evicted on the spot and
-  /// counts as a miss (plus a stale eviction); an absent entry is a plain
-  /// miss.
-  bool get(idx_t user, int k, std::vector<Recommendation>* out) {
+  /// On hit, copies the cached list into `out` (and, when `generation_out`
+  /// is given, the generation the entry was scored under), refreshes recency,
+  /// and counts a hit. An entry from a superseded generation is evicted on
+  /// the spot and counts as a miss (plus a stale eviction); an absent entry
+  /// is a plain miss.
+  bool get(idx_t user, int k, std::vector<Recommendation>* out,
+           std::uint64_t* generation_out = nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key(user, k));
     if (it == index_.end()) {
@@ -54,6 +56,7 @@ class ScoreCache {
     }
     entries_.splice(entries_.begin(), entries_, it->second);
     *out = it->second->recs;
+    if (generation_out != nullptr) *generation_out = it->second->generation;
     ++hits_;
     return true;
   }

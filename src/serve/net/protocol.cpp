@@ -1,0 +1,263 @@
+#include "serve/net/protocol.hpp"
+
+#include <cstring>
+
+namespace cumf::serve::net {
+
+namespace {
+
+// Explicit little-endian serialization: the wire format is identical across
+// hosts regardless of native byte order, and doubles travel as their IEEE-754
+// bit pattern in a u64.
+
+void put_u8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v >> 16));
+  out->push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_i32(std::vector<std::uint8_t>* out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>* out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Cursor over a payload; every read is bounds-checked so a truncated or
+/// corrupt payload raises ProtocolError instead of reading past the buffer.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                            static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                            static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                            static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | hi << 32;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  void expect_done() const {
+    if (pos_ != size_) throw ProtocolError("trailing bytes in payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw ProtocolError("truncated payload");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes the length prefix for everything appended after `mark`.
+void seal_frame(std::vector<std::uint8_t>* out, std::size_t mark) {
+  const std::size_t payload = out->size() - mark - kFramePrefix;
+  if (payload > kMaxPayload) throw ProtocolError("payload exceeds kMaxPayload");
+  const auto len = static_cast<std::uint32_t>(payload);
+  (*out)[mark] = static_cast<std::uint8_t>(len);
+  (*out)[mark + 1] = static_cast<std::uint8_t>(len >> 8);
+  (*out)[mark + 2] = static_cast<std::uint8_t>(len >> 16);
+  (*out)[mark + 3] = static_cast<std::uint8_t>(len >> 24);
+}
+
+std::size_t open_frame(std::vector<std::uint8_t>* out) {
+  const std::size_t mark = out->size();
+  out->resize(mark + kFramePrefix);
+  return mark;
+}
+
+}  // namespace
+
+StatsResponse stats_from(const ServeStats& s) {
+  StatsResponse w;
+  w.queries = s.queries;
+  w.batches = s.batches;
+  w.cache_hits = s.cache_hits;
+  w.cache_misses = s.cache_misses;
+  w.generation = s.generation;
+  w.e2e_samples = s.e2e.samples;
+  w.e2e_total = s.e2e.total_recorded;
+  w.e2e_p50_ms = s.e2e.p50_ms;
+  w.e2e_p95_ms = s.e2e.p95_ms;
+  w.e2e_p99_ms = s.e2e.p99_ms;
+  w.queue_p50_ms = s.queue_delay.p50_ms;
+  w.queue_p99_ms = s.queue_delay.p99_ms;
+  w.batch_wall_p99_ms = s.batch_wall.p99_ms;
+  w.net_e2e_p99_ms = s.net_e2e.p99_ms;
+  return w;
+}
+
+void encode_query_request(const QueryRequest& req,
+                          std::vector<std::uint8_t>* out) {
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kQuery));
+  put_i32(out, req.user);
+  put_i32(out, req.k);
+  seal_frame(out, mark);
+}
+
+void encode_stats_request(std::vector<std::uint8_t>* out) {
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kStats));
+  seal_frame(out, mark);
+}
+
+void encode_query_response(const QueryResponse& resp,
+                           std::vector<std::uint8_t>* out) {
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kQuery));
+  put_u8(out, static_cast<std::uint8_t>(resp.status));
+  put_u64(out, resp.generation);
+  put_u32(out, static_cast<std::uint32_t>(resp.items.size()));
+  for (const auto& rec : resp.items) {
+    put_i32(out, rec.item);
+    put_f64(out, rec.score);
+  }
+  seal_frame(out, mark);
+}
+
+void encode_stats_response(const StatsResponse& resp,
+                           std::vector<std::uint8_t>* out) {
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kStats));
+  put_u8(out, static_cast<std::uint8_t>(Status::kOk));
+  put_u64(out, resp.queries);
+  put_u64(out, resp.batches);
+  put_u64(out, resp.cache_hits);
+  put_u64(out, resp.cache_misses);
+  put_u64(out, resp.generation);
+  put_u64(out, resp.e2e_samples);
+  put_u64(out, resp.e2e_total);
+  put_f64(out, resp.e2e_p50_ms);
+  put_f64(out, resp.e2e_p95_ms);
+  put_f64(out, resp.e2e_p99_ms);
+  put_f64(out, resp.queue_p50_ms);
+  put_f64(out, resp.queue_p99_ms);
+  put_f64(out, resp.batch_wall_p99_ms);
+  put_f64(out, resp.net_e2e_p99_ms);
+  seal_frame(out, mark);
+}
+
+bool try_frame(const std::uint8_t* data, std::size_t size,
+               std::size_t* payload_off, std::size_t* payload_len) {
+  if (size < kFramePrefix) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(data[0]) |
+                            static_cast<std::uint32_t>(data[1]) << 8 |
+                            static_cast<std::uint32_t>(data[2]) << 16 |
+                            static_cast<std::uint32_t>(data[3]) << 24;
+  if (len == 0) throw ProtocolError("zero-length payload");
+  if (len > kMaxPayload) throw ProtocolError("payload length exceeds cap");
+  if (size < kFramePrefix + len) return false;
+  *payload_off = kFramePrefix;
+  *payload_len = len;
+  return true;
+}
+
+Request decode_request(const std::uint8_t* payload, std::size_t len) {
+  Reader r(payload, len);
+  Request req;
+  const auto type = r.u8();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kQuery:
+      req.type = MsgType::kQuery;
+      req.query.user = r.i32();
+      req.query.k = r.i32();
+      break;
+    case MsgType::kStats:
+      req.type = MsgType::kStats;
+      break;
+    default:
+      throw ProtocolError("unknown request type " + std::to_string(type));
+  }
+  r.expect_done();
+  return req;
+}
+
+MsgType decode_response(const std::uint8_t* payload, std::size_t len,
+                        QueryResponse* query, StatsResponse* stats) {
+  Reader r(payload, len);
+  const auto type = r.u8();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kQuery: {
+      query->status = static_cast<Status>(r.u8());
+      query->generation = r.u64();
+      const std::uint32_t count = r.u32();
+      // Each item is 12 payload bytes; validate the count against what the
+      // frame can actually hold before reserving, so a corrupt count raises
+      // ProtocolError instead of attempting a multi-GB allocation.
+      if (count > len / 12) throw ProtocolError("item count exceeds payload");
+      query->items.clear();
+      query->items.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Recommendation rec;
+        rec.item = r.i32();
+        rec.score = r.f64();
+        query->items.push_back(rec);
+      }
+      r.expect_done();
+      return MsgType::kQuery;
+    }
+    case MsgType::kStats: {
+      (void)r.u8();  // status: stats responses always succeed
+      stats->queries = r.u64();
+      stats->batches = r.u64();
+      stats->cache_hits = r.u64();
+      stats->cache_misses = r.u64();
+      stats->generation = r.u64();
+      stats->e2e_samples = r.u64();
+      stats->e2e_total = r.u64();
+      stats->e2e_p50_ms = r.f64();
+      stats->e2e_p95_ms = r.f64();
+      stats->e2e_p99_ms = r.f64();
+      stats->queue_p50_ms = r.f64();
+      stats->queue_p99_ms = r.f64();
+      stats->batch_wall_p99_ms = r.f64();
+      stats->net_e2e_p99_ms = r.f64();
+      r.expect_done();
+      return MsgType::kStats;
+    }
+    default:
+      throw ProtocolError("unknown response type " + std::to_string(type));
+  }
+}
+
+}  // namespace cumf::serve::net

@@ -1,0 +1,128 @@
+#pragma once
+
+// Wire protocol for the serving TCP front-end.
+//
+// A deliberately small, length-prefixed binary protocol: every message is one
+// frame, `u32 payload_len` followed by `payload_len` bytes of payload, all
+// integers little-endian (doubles are IEEE-754 bit patterns carried in a
+// little-endian u64). Two operations:
+//
+//   QueryRequest  { u8 type=1, i32 user, i32 k }
+//   QueryResponse { u8 type=1, u8 status, u64 generation, u32 count,
+//                   count × { i32 item, f64 score } }
+//
+//   StatsRequest  { u8 type=2 }
+//   StatsResponse { u8 type=2, u8 status=0, u64 queries, u64 batches,
+//                   u64 cache_hits, u64 cache_misses, u64 generation,
+//                   u64 e2e_samples, u64 e2e_total,
+//                   f64 e2e_p50_ms, f64 e2e_p95_ms, f64 e2e_p99_ms,
+//                   f64 queue_p50_ms, f64 queue_p99_ms,
+//                   f64 batch_wall_p99_ms, f64 net_e2e_p99_ms }
+//
+// Responses arrive in request order on each connection (the server pipelines
+// but never reorders), so no request id is needed. A query's `k` may be at
+// most the batcher's configured k: top-k lists are totally ordered
+// (score desc, item asc), so the first k' entries of a top-k list *are* the
+// top-k' list, and the server truncates; k > configured is kBadRequest.
+//
+// Frames larger than kMaxPayload are a protocol violation — decoding fails
+// rather than allocating unbounded memory off a corrupt length prefix.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/serve_stats.hpp"
+#include "serve/topk.hpp"
+#include "util/types.hpp"
+
+namespace cumf::serve::net {
+
+/// Payload cap: a query response is 14 bytes of header plus 12 per item, so
+/// this admits top-k lists beyond any sane k while still rejecting garbage
+/// length prefixes immediately.
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+/// Bytes of the length prefix that fronts every frame.
+inline constexpr std::size_t kFramePrefix = 4;
+
+enum class MsgType : std::uint8_t { kQuery = 1, kStats = 2 };
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadUser = 1,     // user id outside the serving generation's range
+  kBadRequest = 2,  // malformed field (k < 1 or k > the server's configured k)
+  kError = 3,       // engine failure (e.g. refresh shrank the model mid-batch)
+};
+
+/// Malformed frame or payload; the server closes the offending connection and
+/// the client surfaces it to the caller.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct QueryRequest {
+  idx_t user = 0;
+  std::int32_t k = 0;
+};
+
+struct QueryResponse {
+  Status status = Status::kOk;
+  std::uint64_t generation = 0;  // model generation that answered (0 = static)
+  std::vector<Recommendation> items;
+};
+
+/// Wire form of the ServeStats slice an operator polls over the socket.
+struct StatsResponse {
+  std::uint64_t queries = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t e2e_samples = 0;  // window behind the e2e percentiles
+  std::uint64_t e2e_total = 0;    // lifetime e2e samples recorded
+  double e2e_p50_ms = 0.0;
+  double e2e_p95_ms = 0.0;
+  double e2e_p99_ms = 0.0;
+  double queue_p50_ms = 0.0;
+  double queue_p99_ms = 0.0;
+  double batch_wall_p99_ms = 0.0;
+  double net_e2e_p99_ms = 0.0;
+};
+
+/// Builds the wire stats from a ServeStats snapshot.
+StatsResponse stats_from(const ServeStats& s);
+
+/// A decoded request frame (the server side of the protocol).
+struct Request {
+  MsgType type = MsgType::kQuery;
+  QueryRequest query;  // valid when type == kQuery
+};
+
+// --- encoding: append one complete frame (length prefix included) ----------
+void encode_query_request(const QueryRequest& req, std::vector<std::uint8_t>* out);
+void encode_stats_request(std::vector<std::uint8_t>* out);
+void encode_query_response(const QueryResponse& resp,
+                           std::vector<std::uint8_t>* out);
+void encode_stats_response(const StatsResponse& resp,
+                           std::vector<std::uint8_t>* out);
+
+// --- framing ---------------------------------------------------------------
+
+/// Inspects the front of a receive buffer. Returns true when a complete frame
+/// is available, setting *payload_off / *payload_len to its payload bytes
+/// within `data`; false when more bytes are needed. Throws ProtocolError on
+/// an oversized or zero-length payload.
+bool try_frame(const std::uint8_t* data, std::size_t size,
+               std::size_t* payload_off, std::size_t* payload_len);
+
+// --- decoding (payload bytes, prefix already stripped) ---------------------
+Request decode_request(const std::uint8_t* payload, std::size_t len);
+/// Decodes a response payload; *stats is filled when the frame is a stats
+/// response (returned QueryResponse then carries only `status`).
+MsgType decode_response(const std::uint8_t* payload, std::size_t len,
+                        QueryResponse* query, StatsResponse* stats);
+
+}  // namespace cumf::serve::net

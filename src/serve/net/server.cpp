@@ -1,0 +1,406 @@
+#include "serve/net/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cumf::serve::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("TcpServer: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void set_nodelay(int fd) {
+  // Micro-batch deadlines are in the hundreds of microseconds; Nagle would
+  // hold small response frames for an RTT and dwarf the latency being
+  // measured. Best effort: a non-TCP fd (tests) just ignores it.
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpServer::TcpServer(RequestBatcher& batcher, ServerOptions opt)
+    : batcher_(batcher), opt_(opt) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(opt_.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(opt_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, opt_.backlog) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("listen");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("pipe2");
+  }
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+
+  io_thread_ = std::thread([this] { io_loop(); });
+  completion_thread_ = std::thread([this] { completion_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  // Join the io thread first so no new queries can be submitted, then flush
+  // the batcher so every future already handed to the completion thread
+  // resolves without waiting out max_delay; the completion thread drains its
+  // queue (replies to closed connections are dropped) and exits.
+  wake();
+  io_thread_.join();
+  batcher_.flush();
+  replies_cv_.notify_all();
+  completion_thread_.join();
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+  ::close(listen_fd_);
+}
+
+ServeStats TcpServer::stats() const {
+  ServeStats s = batcher_.stats();
+  s.net_e2e = net_e2e_.summary();
+  return s;
+}
+
+void TcpServer::wake() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  (void)!::write(wake_wr_, &byte, 1);
+}
+
+void TcpServer::queue_reply(Reply reply) {
+  reply.conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(replies_mu_);
+    replies_.push_back(std::move(reply));
+  }
+  replies_cv_.notify_one();
+}
+
+void TcpServer::respond(const std::shared_ptr<Conn>& conn, bool can_inline,
+                        std::chrono::steady_clock::time_point t0,
+                        std::vector<std::uint8_t> encoded) {
+  if (can_inline) {
+    conn->out.insert(conn->out.end(), encoded.begin(), encoded.end());
+    net_e2e_.record(ms_since(t0));
+    return;
+  }
+  Reply reply;
+  reply.conn = conn;
+  reply.t0 = t0;
+  reply.encoded = std::move(encoded);
+  queue_reply(std::move(reply));
+}
+
+void TcpServer::flush_outbox(Conn& conn) {
+  std::lock_guard<std::mutex> lock(conn.outbox_mu);
+  if (conn.outbox.empty()) return;
+  conn.out.insert(conn.out.end(), conn.outbox.begin(), conn.outbox.end());
+  conn.outbox.clear();
+}
+
+QueryResponse TcpServer::resolve(std::future<BatchedAnswer>& fut,
+                                 int k) const {
+  QueryResponse resp;
+  try {
+    BatchedAnswer answer = fut.get();
+    resp.status = Status::kOk;
+    resp.generation = answer.generation;
+    resp.items = std::move(answer.items);
+    // A top-k list's prefix is the top-k' list (total order), so a request
+    // for fewer than the batcher's configured k truncates.
+    if (resp.items.size() > static_cast<std::size_t>(k)) {
+      resp.items.resize(static_cast<std::size_t>(k));
+    }
+  } catch (const std::out_of_range&) {
+    resp.status = Status::kBadUser;
+  } catch (...) {
+    resp.status = Status::kError;
+  }
+  return resp;
+}
+
+bool TcpServer::handle_frame(const std::shared_ptr<Conn>& conn,
+                             const std::uint8_t* payload, std::size_t len) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Request req;
+  try {
+    req = decode_request(payload, len);
+  } catch (const ProtocolError&) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // The inline fast path may only run when nothing for this connection is
+  // still in the completion queue, otherwise replies would overtake each
+  // other; inflight is decremented only after the earlier reply reached the
+  // outbox, so flushing the outbox first preserves request order.
+  const bool can_inline = conn->inflight.load(std::memory_order_acquire) == 0;
+  if (can_inline) flush_outbox(*conn);
+
+  if (req.type == MsgType::kStats) {
+    std::vector<std::uint8_t> encoded;
+    encode_stats_response(stats_from(stats()), &encoded);
+    respond(conn, can_inline, t0, std::move(encoded));
+    return true;
+  }
+
+  const int max_k = batcher_.options().k;
+  if (req.query.k < 1 || req.query.k > max_k) {
+    QueryResponse resp;
+    resp.status = Status::kBadRequest;
+    std::vector<std::uint8_t> encoded;
+    encode_query_response(resp, &encoded);
+    respond(conn, can_inline, t0, std::move(encoded));
+    return true;
+  }
+
+  auto fut = batcher_.submit(req.query.user);
+  if (can_inline &&
+      fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+    // Cache hit or immediately-rejected id: answer without a handoff.
+    std::vector<std::uint8_t> encoded;
+    encode_query_response(resolve(fut, req.query.k), &encoded);
+    respond(conn, true, t0, std::move(encoded));
+    return true;
+  }
+
+  Reply reply;
+  reply.conn = conn;
+  reply.is_query = true;
+  reply.fut = std::move(fut);
+  reply.t0 = t0;
+  reply.k = req.query.k;
+  queue_reply(std::move(reply));
+  return true;
+}
+
+void TcpServer::completion_loop() {
+  for (;;) {
+    Reply reply;
+    {
+      std::unique_lock<std::mutex> lock(replies_mu_);
+      replies_cv_.wait(lock, [this] {
+        return !replies_.empty() || stop_.load(std::memory_order_acquire);
+      });
+      if (replies_.empty()) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      reply = std::move(replies_.front());
+      replies_.pop_front();
+    }
+
+    std::vector<std::uint8_t> encoded;
+    if (reply.is_query) {
+      // Blocking here is safe: the batcher's single flusher resolves futures
+      // in submission order, which is exactly this queue's order.
+      const QueryResponse resp = resolve(reply.fut, reply.k);
+      encode_query_response(resp, &encoded);
+    } else {
+      encoded = std::move(reply.encoded);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(reply.conn->outbox_mu);
+      if (!reply.conn->dead) {
+        reply.conn->outbox.insert(reply.conn->outbox.end(), encoded.begin(),
+                                  encoded.end());
+      }
+    }
+    net_e2e_.record(ms_since(reply.t0));
+    reply.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    wake();
+  }
+}
+
+void TcpServer::close_conn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->outbox_mu);
+    conn->dead = true;
+    conn->outbox.clear();
+  }
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+}
+
+void TcpServer::io_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Conn>> polled;
+  char buf[4096];
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    polled.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_rd_, POLLIN, 0});
+    for (auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (conn->out.size() > conn->out_off) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+      polled.push_back(conn);
+    }
+
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable; stop() still joins cleanly
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+      }
+      // A wakeup means completion output may be waiting on any connection.
+      for (auto& [fd, conn] : conns_) flush_outbox(*conn);
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (cfd < 0) break;
+        if (conns_.size() >= opt_.max_connections) {
+          ::close(cfd);
+          continue;
+        }
+        set_nodelay(cfd);
+        auto conn = std::make_shared<Conn>();
+        conn->fd = cfd;
+        conns_.emplace(cfd, std::move(conn));
+        connections_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const auto& conn = polled[i - 2];
+      if (conns_.find(conn->fd) == conns_.end()) continue;  // closed above
+      const short revents = fds[i].revents;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        close_conn(conn);
+        continue;
+      }
+
+      if ((revents & POLLIN) != 0) {
+        bool closed = false;
+        for (;;) {
+          const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn->in.insert(conn->in.end(), buf, buf + n);
+            continue;
+          }
+          if (n == 0) closed = true;  // orderly shutdown from the client
+          break;
+        }
+
+        bool violated = false;
+        std::size_t consumed = 0;
+        while (!violated) {
+          std::size_t payload_off = 0;
+          std::size_t payload_len = 0;
+          bool have = false;
+          try {
+            have = try_frame(conn->in.data() + consumed,
+                             conn->in.size() - consumed, &payload_off,
+                             &payload_len);
+          } catch (const ProtocolError&) {
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            violated = true;
+            break;
+          }
+          if (!have) break;
+          if (!handle_frame(conn, conn->in.data() + consumed + payload_off,
+                            payload_len)) {
+            violated = true;
+            break;
+          }
+          consumed += payload_off + payload_len;
+        }
+        if (consumed > 0) {
+          conn->in.erase(conn->in.begin(),
+                         conn->in.begin() +
+                             static_cast<std::ptrdiff_t>(consumed));
+        }
+        if (violated || closed) {
+          close_conn(conn);
+          continue;
+        }
+      }
+
+      if (conn->out.size() > conn->out_off) {
+        const ssize_t n =
+            ::send(conn->fd, conn->out.data() + conn->out_off,
+                   conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+        if (n > 0) {
+          conn->out_off += static_cast<std::size_t>(n);
+          if (conn->out_off == conn->out.size()) {
+            conn->out.clear();
+            conn->out_off = 0;
+          }
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          close_conn(conn);
+          continue;
+        }
+      }
+    }
+  }
+
+  for (auto& [fd, conn] : conns_) {
+    std::lock_guard<std::mutex> lock(conn->outbox_mu);
+    conn->dead = true;
+    ::close(fd);
+  }
+  conns_.clear();
+}
+
+}  // namespace cumf::serve::net

@@ -1,0 +1,162 @@
+#pragma once
+
+// Poll-based TCP front-end for the RequestBatcher.
+//
+// Everything the serving stack already does — micro-batching, the hot-user
+// ScoreCache, live hot swaps — works unchanged behind a socket: the server
+// parses protocol.hpp frames off client connections and feeds each query to
+// RequestBatcher::submit(), so queries from many connections coalesce into
+// the same micro-batches in-process callers ride.
+//
+// Threading model (two threads per server, no thread per connection):
+//
+//  - the io thread owns every socket: it poll()s the listen fd, a self-wake
+//    pipe, and all client fds; reads accumulate per-connection until a full
+//    frame is available; writes drain per-connection send buffers. Responses
+//    that are ready at submit time (cache hits, rejected requests, stats)
+//    are answered inline without a handoff.
+//  - the completion thread resolves in-flight futures. The batcher's single
+//    flusher fulfills futures in submission order, so a FIFO queue of
+//    pending replies never waits on a future while a later one is ready for
+//    long; each resolved reply is encoded into its connection's outbox and
+//    the io thread is woken through the pipe to splice it onto the socket.
+//
+// Responses are written in request order per connection (the inline fast
+// path is taken only when that connection has nothing in the completion
+// queue), so the protocol needs no request ids.
+//
+// Per-query accept→reply latency — request frame fully parsed to response
+// handed to the connection's send buffer — is recorded into a LatencyTracker
+// and surfaced as ServeStats::net_e2e by stats(); it contains the batcher's
+// own submit→fulfillment e2e plus frame parse/encode time.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/net/protocol.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace cumf::serve::net {
+
+struct ServerOptions {
+  /// TCP port to bind; 0 picks an ephemeral port (see TcpServer::port()).
+  std::uint16_t port = 0;
+  /// Bind 127.0.0.1 (default) or all interfaces.
+  bool loopback_only = true;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Connections beyond this are accepted and closed immediately.
+  std::size_t max_connections = 256;
+};
+
+/// Serves a RequestBatcher over TCP. The batcher (and everything behind it)
+/// must outlive the server. Construction binds, listens, and starts the io
+/// and completion threads; stop() (or destruction) drains and shuts down.
+class TcpServer {
+ public:
+  explicit TcpServer(RequestBatcher& batcher, ServerOptions opt = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The port actually bound (resolves opt.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Flushes the batcher, resolves every in-flight reply, joins both threads
+  /// and closes all sockets. Idempotent.
+  void stop();
+
+  /// Batcher/engine snapshot with net_e2e (accept→reply) filled in.
+  [[nodiscard]] ServeStats stats() const;
+
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped for malformed frames.
+  [[nodiscard]] std::uint64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::vector<std::uint8_t> in;   // read accumulation (io thread only)
+    std::vector<std::uint8_t> out;  // send buffer (io thread only)
+    std::size_t out_off = 0;
+    /// Replies for this connection routed through the completion queue
+    /// (future-backed or pre-encoded) and not yet appended to its outbox;
+    /// the inline fast path requires 0 so replies never overtake each other.
+    std::atomic<int> inflight{0};
+    std::mutex outbox_mu;
+    std::vector<std::uint8_t> outbox;  // completion thread appends frames
+    bool dead = false;                 // guarded by outbox_mu; set on close
+  };
+
+  /// One pending reply: either a future still resolving in the batcher, or
+  /// an already-encoded frame that must stay behind earlier replies of the
+  /// same connection to preserve response order.
+  struct Reply {
+    std::shared_ptr<Conn> conn;
+    bool is_query = false;
+    std::future<BatchedAnswer> fut;  // valid when is_query
+    std::chrono::steady_clock::time_point t0;
+    int k = 0;                          // requested k (list truncated to it)
+    std::vector<std::uint8_t> encoded;  // valid when !is_query
+  };
+
+  void io_loop();
+  void completion_loop();
+  void wake();
+  /// Handles one decoded frame; returns false when the connection must close
+  /// (protocol violation).
+  bool handle_frame(const std::shared_ptr<Conn>& conn,
+                    const std::uint8_t* payload, std::size_t len);
+  void queue_reply(Reply reply);
+  /// Delivers an already-encoded reply: appended straight to the send buffer
+  /// when the inline fast path is allowed, else routed through the
+  /// completion queue behind this connection's in-flight replies. io thread
+  /// only; the caller must have flushed the outbox when can_inline.
+  void respond(const std::shared_ptr<Conn>& conn, bool can_inline,
+               std::chrono::steady_clock::time_point t0,
+               std::vector<std::uint8_t> encoded);
+  /// Splices completion-thread output onto the io-thread send buffer. Must
+  /// run before any inline append so replies keep request order.
+  static void flush_outbox(Conn& conn);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  [[nodiscard]] QueryResponse resolve(std::future<BatchedAnswer>& fut,
+                                      int k) const;
+
+  RequestBatcher& batcher_;
+  ServerOptions opt_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // io thread only
+
+  std::mutex replies_mu_;
+  std::condition_variable replies_cv_;
+  std::deque<Reply> replies_;
+
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;  // stop() already ran (main-thread use only)
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  LatencyTracker net_e2e_;
+
+  std::thread io_thread_;
+  std::thread completion_thread_;
+};
+
+}  // namespace cumf::serve::net

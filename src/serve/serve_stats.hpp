@@ -18,7 +18,13 @@ namespace cumf::serve {
 
 /// Percentile snapshot of a latency distribution, in milliseconds.
 struct LatencySummary {
+  /// Samples in the retained window — exactly what the percentiles and max
+  /// below cover.
   std::uint64_t samples = 0;
+  /// Samples recorded over the tracker's lifetime (>= samples once the ring
+  /// window has wrapped). Consumers reading "how many queries produced these
+  /// percentiles" want `samples`; throughput math wants this.
+  std::uint64_t total_recorded = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
@@ -52,7 +58,8 @@ class LatencyTracker {
       total = next_;
     }
     LatencySummary out;
-    out.samples = total;
+    out.samples = sorted.size();
+    out.total_recorded = total;
     if (sorted.empty()) return out;
     std::sort(sorted.begin(), sorted.end());
     const auto rank = [&](double q) {
@@ -93,6 +100,24 @@ struct ServeStats {
   /// Superseded-generation cache entries evicted lazily since the batcher's
   /// cache was built (the incremental-invalidation cost of swaps).
   std::uint64_t cache_stale_evictions = 0;
+
+  /// Per-query end-to-end latency, submit() → future fulfillment, recorded
+  /// by the RequestBatcher for *every* answered query: cache hits contribute
+  /// their near-zero samples (that is what the cache buys), misses pay
+  /// queueing plus their micro-batch's service time, and rejected ids are
+  /// answered (with an error) too. By construction each miss's sample is at
+  /// least the wall time of the engine batch that scored it, so on a
+  /// hit-free run e2e p99 >= batch_wall p99.
+  LatencySummary e2e;
+  /// Per-query queueing delay, submit() → micro-batch take by the flusher —
+  /// the slice of e2e spent waiting for a batch to fill or the deadline to
+  /// fire. Bounded by BatcherOptions::max_delay plus the time any already
+  /// in-flight batch needs to clear the flusher.
+  LatencySummary queue_delay;
+  /// Accept→reply latency measured by the TCP front-end (net/server.hpp):
+  /// request frame fully read → response frame handed to the socket. All
+  /// zero when no server is attached; filled by TcpServer::stats().
+  LatencySummary net_e2e;
 
   /// Wall-clock time per engine batch (TopKEngine::recommend call). Engine
   /// recent-window summaries: they cover every caller of the engine, not

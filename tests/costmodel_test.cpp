@@ -291,6 +291,55 @@ TEST(ServingFleet, ProfileFromMeasuredBackendSweepsSizesAFeasibleFleet) {
   EXPECT_LE(plan.modeled_p99_ms, req.p99_ms);
 }
 
+TEST(ServingFleet, MeasuredProfileCarriesBatchTimeAndQueueFloor) {
+  serve::ServeStats stats;
+  stats.batch_wall.p50_ms = 2.0;
+  stats.batch_wall.total_recorded = 10;
+  stats.batch_modeled.p50_ms = 0.5;
+  stats.queue_delay.p99_ms = 3.0;
+
+  const auto wall = measured_serving_profile(stats, 32);
+  EXPECT_DOUBLE_EQ(wall.batch_seconds, 2e-3);
+  EXPECT_EQ(wall.batch_users, 32);
+  EXPECT_DOUBLE_EQ(wall.queue_floor_s, 3e-3);
+  EXPECT_DOUBLE_EQ(wall.device_qps(), 16'000.0);
+
+  // use_modeled prefers the backend's modeled axis when it was populated...
+  stats.batch_modeled.total_recorded = 10;
+  EXPECT_DOUBLE_EQ(measured_serving_profile(stats, 32, true).batch_seconds,
+                   0.5e-3);
+  // ...and falls back to wall clock for wall-only backends.
+  stats.batch_modeled.total_recorded = 0;
+  EXPECT_DOUBLE_EQ(measured_serving_profile(stats, 32, true).batch_seconds,
+                   2e-3);
+}
+
+TEST(ServingFleet, MeasuredQueueFloorRaisesModeledP99) {
+  ServingProfile p;
+  p.batch_seconds = 1e-3;
+  p.batch_users = 32;
+  FleetRequirement req;
+  req.target_qps = 100'000.0;
+  req.p99_ms = 6.0;
+  const auto ideal = plan_serving_fleet(req, gpusim::gk210(), 0.61, p);
+  ASSERT_TRUE(ideal.feasible);
+
+  // A live batcher measured 8 ms of queueing at p99: no fleet size can get
+  // p99 under floor + service, so the 6 ms SLO becomes infeasible — exactly
+  // the queueing reality the analytic fill/queue terms alone hid.
+  p.queue_floor_s = 8e-3;
+  const auto floored = plan_serving_fleet(req, gpusim::gk210(), 0.61, p);
+  EXPECT_FALSE(floored.feasible);
+  EXPECT_GE(floored.modeled_p99_ms, 9.0);
+
+  // A generous SLO is still met; the floor rides into its p99.
+  req.p99_ms = 20.0;
+  const auto loose = plan_serving_fleet(req, gpusim::gk210(), 0.61, p);
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_GE(loose.modeled_p99_ms, 9.0);
+  EXPECT_GT(floored.modeled_p99_ms, ideal.modeled_p99_ms);
+}
+
 TEST(ServingFleet, GpuPricingPresets) {
   // Table 1: the $2.44/hr node holds four GK210 devices.
   EXPECT_NEAR(gk210_pricing().price_per_device_hr,

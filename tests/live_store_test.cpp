@@ -449,13 +449,13 @@ TEST(RequestBatcher, ShrinkingSwapFailsAdmittedBatchFuturesNotTheServer) {
   ASSERT_TRUE(live.refresh(serve::FactorStore(small.x, small.theta, 2)).swapped);
   batcher.flush();
   EXPECT_THROW((void)doomed.get(), std::out_of_range);
-  EXPECT_EQ(survivor.get(), small.expected[1]);
+  EXPECT_EQ(survivor.get().items, small.expected[1]);
 
   // The batcher keeps serving: in-range queries succeed against the new
   // generation, and the now-out-of-range id fails fast at submit.
   auto ok = batcher.submit(2);
   batcher.flush();
-  EXPECT_EQ(ok.get(), small.expected[2]);
+  EXPECT_EQ(ok.get().items, small.expected[2]);
   EXPECT_THROW((void)batcher.submit(8).get(), std::out_of_range);
 }
 

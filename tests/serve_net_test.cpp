@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/factor_store.hpp"
+#include "serve/live_store.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/protocol.hpp"
+#include "serve/net/server.hpp"
+#include "serve/topk.hpp"
+#include "serve_test_util.hpp"
+
+namespace cumf {
+namespace {
+
+using serve_test::brute_force_topk;
+using serve_test::random_factors;
+using namespace serve::net;
+
+// ------------------------------------------------------------- protocol ----
+
+TEST(NetProtocol, QueryRequestRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  encode_query_request(QueryRequest{42, 7}, &wire);
+
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  EXPECT_EQ(off + len, wire.size());
+
+  const Request req = decode_request(wire.data() + off, len);
+  EXPECT_EQ(req.type, MsgType::kQuery);
+  EXPECT_EQ(req.query.user, 42);
+  EXPECT_EQ(req.query.k, 7);
+}
+
+TEST(NetProtocol, QueryResponseRoundTrip) {
+  QueryResponse resp;
+  resp.status = Status::kOk;
+  resp.generation = 3;
+  resp.items = {{10, 1.5}, {4, 1.5}, {99, -0.25}};
+
+  std::vector<std::uint8_t> wire;
+  encode_query_response(resp, &wire);
+
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse got;
+  StatsResponse stats;
+  ASSERT_EQ(decode_response(wire.data() + off, len, &got, &stats),
+            MsgType::kQuery);
+  EXPECT_EQ(got.status, Status::kOk);
+  EXPECT_EQ(got.generation, 3u);
+  EXPECT_EQ(got.items, resp.items);  // scores bit-exact through the f64 path
+}
+
+TEST(NetProtocol, EmptyResponseAndStatsRoundTrip) {
+  QueryResponse resp;
+  resp.status = Status::kBadUser;
+  std::vector<std::uint8_t> wire;
+  encode_query_response(resp, &wire);
+
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse got;
+  StatsResponse stats;
+  ASSERT_EQ(decode_response(wire.data() + off, len, &got, &stats),
+            MsgType::kQuery);
+  EXPECT_EQ(got.status, Status::kBadUser);
+  EXPECT_TRUE(got.items.empty());
+
+  StatsResponse s;
+  s.queries = 100;
+  s.generation = 2;
+  s.e2e_samples = 64;
+  s.e2e_total = 100;
+  s.e2e_p99_ms = 1.25;
+  s.queue_p99_ms = 0.5;
+  wire.clear();
+  encode_stats_response(s, &wire);
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  ASSERT_EQ(decode_response(wire.data() + off, len, &got, &stats),
+            MsgType::kStats);
+  EXPECT_EQ(stats.queries, 100u);
+  EXPECT_EQ(stats.generation, 2u);
+  EXPECT_EQ(stats.e2e_samples, 64u);
+  EXPECT_EQ(stats.e2e_total, 100u);
+  EXPECT_DOUBLE_EQ(stats.e2e_p99_ms, 1.25);
+  EXPECT_DOUBLE_EQ(stats.queue_p99_ms, 0.5);
+}
+
+TEST(NetProtocol, FramingRejectsGarbageAndReportsIncomplete) {
+  std::vector<std::uint8_t> wire;
+  encode_query_request(QueryRequest{1, 2}, &wire);
+
+  std::size_t off = 0, len = 0;
+  // Incomplete prefix and incomplete payload want more bytes, not an error.
+  EXPECT_FALSE(try_frame(wire.data(), 2, &off, &len));
+  EXPECT_FALSE(try_frame(wire.data(), wire.size() - 1, &off, &len));
+
+  // Zero-length and oversized payloads are violations, not retries.
+  const std::uint8_t zero[4] = {0, 0, 0, 0};
+  EXPECT_THROW((void)try_frame(zero, 4, &off, &len), ProtocolError);
+  const std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW((void)try_frame(huge, 4, &off, &len), ProtocolError);
+
+  // Truncated / trailing-byte / unknown-type payloads all fail decode.
+  const std::uint8_t query_type = 1;
+  EXPECT_THROW((void)decode_request(&query_type, 1), ProtocolError);
+  std::vector<std::uint8_t> padded(wire.begin() + 4, wire.end());
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_request(padded.data(), padded.size()),
+               ProtocolError);
+  const std::uint8_t unknown = 9;
+  EXPECT_THROW((void)decode_request(&unknown, 1), ProtocolError);
+}
+
+// ---------------------------------------------------- loopback serving -----
+
+struct LoopbackFixture {
+  static constexpr idx_t kUsers = 30;
+  static constexpr idx_t kItems = 120;
+  static constexpr int kK = 6;
+
+  LoopbackFixture(std::size_t cache_capacity = 0,
+                  std::chrono::microseconds max_delay =
+                      std::chrono::microseconds(2000))
+      : x(random_factors(kUsers, 8, 601)),
+        theta(random_factors(kItems, 8, 602)),
+        store(x, theta, 3),
+        engine(store) {
+    serve::BatcherOptions opt;
+    opt.k = kK;
+    opt.max_batch = 8;
+    opt.max_delay = max_delay;
+    opt.cache_capacity = cache_capacity;
+    batcher = std::make_unique<serve::RequestBatcher>(engine, opt);
+    server = std::make_unique<TcpServer>(*batcher);
+  }
+
+  linalg::FactorMatrix x, theta;
+  serve::FactorStore store;
+  serve::TopKEngine engine;
+  std::unique_ptr<serve::RequestBatcher> batcher;
+  std::unique_ptr<TcpServer> server;
+};
+
+TEST(TcpServer, LoopbackAnswersBitIdenticalToDirectEngine) {
+  LoopbackFixture fx;
+  Client client("127.0.0.1", fx.server->port());
+
+  for (idx_t u = 0; u < LoopbackFixture::kUsers; ++u) {
+    const QueryResponse resp = client.query(u, LoopbackFixture::kK);
+    ASSERT_EQ(resp.status, Status::kOk) << "user=" << u;
+    EXPECT_EQ(resp.generation, 0u);  // static store
+    EXPECT_EQ(resp.items, fx.engine.recommend_one(u, LoopbackFixture::kK))
+        << "user=" << u;
+  }
+  EXPECT_EQ(fx.server->connections_accepted(), 1u);
+}
+
+TEST(TcpServer, SmallerKTruncatesTheSameRanking) {
+  LoopbackFixture fx;
+  Client client("127.0.0.1", fx.server->port());
+
+  const auto full = fx.engine.recommend_one(5, LoopbackFixture::kK);
+  const QueryResponse resp = client.query(5, 3);
+  ASSERT_EQ(resp.status, Status::kOk);
+  ASSERT_EQ(resp.items.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(resp.items[static_cast<std::size_t>(i)],
+              full[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(TcpServer, RejectsBadUsersAndBadK) {
+  LoopbackFixture fx;
+  Client client("127.0.0.1", fx.server->port());
+
+  EXPECT_EQ(client.query(LoopbackFixture::kUsers, 3).status, Status::kBadUser);
+  EXPECT_EQ(client.query(-1, 3).status, Status::kBadUser);
+  EXPECT_EQ(client.query(0, 0).status, Status::kBadRequest);
+  EXPECT_EQ(client.query(0, LoopbackFixture::kK + 1).status,
+            Status::kBadRequest);
+  // The connection survives rejected requests.
+  EXPECT_EQ(client.query(0, LoopbackFixture::kK).status, Status::kOk);
+}
+
+TEST(TcpServer, PipelinedResponsesKeepRequestOrder) {
+  // Cache on: hits resolve at submit time while earlier misses are still in
+  // flight, which is exactly the reordering hazard the server must suppress.
+  LoopbackFixture fx(/*cache_capacity=*/16);
+  Client client("127.0.0.1", fx.server->port());
+
+  // Warm the cache closed-loop so the pipelined stream below mixes instant
+  // hits (users 0–4) among misses still waiting on the flusher.
+  for (idx_t u = 0; u < 5; ++u) {
+    ASSERT_EQ(client.query(u, LoopbackFixture::kK).status, Status::kOk);
+  }
+
+  std::vector<idx_t> users;
+  for (int round = 0; round < 5; ++round) {
+    for (idx_t u = 0; u < 10; ++u) users.push_back(u);
+  }
+  for (const idx_t u : users) client.send_query(u, LoopbackFixture::kK);
+  for (const idx_t u : users) {
+    const QueryResponse resp = client.read_query_response();
+    ASSERT_EQ(resp.status, Status::kOk) << "user=" << u;
+    EXPECT_EQ(resp.items, fx.engine.recommend_one(u, LoopbackFixture::kK))
+        << "user=" << u;
+  }
+
+  const auto stats = fx.server->stats();
+  EXPECT_EQ(stats.queries, users.size() + 5);
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+TEST(TcpServer, ConcurrentConnectionsShareTheBatcher) {
+  LoopbackFixture fx;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client("127.0.0.1", fx.server->port());
+      for (int i = 0; i < kPerThread; ++i) {
+        const idx_t u = static_cast<idx_t>((t * 7 + i) %
+                                           LoopbackFixture::kUsers);
+        const QueryResponse resp = client.query(u, LoopbackFixture::kK);
+        if (resp.status != Status::kOk ||
+            resp.items != fx.engine.recommend_one(u, LoopbackFixture::kK)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(fx.server->connections_accepted(),
+            static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(fx.server->stats().queries,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(TcpServer, StatsOverTheWireAndE2eCoversBatchWall) {
+  // Cache off: every query is scored, so e2e and batch_wall cover the same
+  // miss population and each query's e2e contains its batch's wall time —
+  // the p99 ordering holds by construction.
+  LoopbackFixture fx;
+  Client client("127.0.0.1", fx.server->port());
+
+  constexpr int kQueries = 120;
+  for (int i = 0; i < kQueries; ++i) {
+    (void)client.query(static_cast<idx_t>(i % LoopbackFixture::kUsers),
+                       LoopbackFixture::kK);
+  }
+
+  const StatsResponse wire = client.stats();
+  EXPECT_EQ(wire.queries, static_cast<std::uint64_t>(kQueries));
+  EXPECT_EQ(wire.e2e_total, static_cast<std::uint64_t>(kQueries));
+  EXPECT_EQ(wire.e2e_samples, static_cast<std::uint64_t>(kQueries));
+  EXPECT_GT(wire.e2e_p99_ms, 0.0);
+  EXPECT_GE(wire.e2e_p99_ms, wire.batch_wall_p99_ms);
+  EXPECT_GE(wire.net_e2e_p99_ms, wire.e2e_p99_ms);
+  EXPECT_GE(wire.e2e_p50_ms, wire.queue_p50_ms);
+
+  const serve::ServeStats stats = fx.server->stats();
+  EXPECT_EQ(stats.e2e.total_recorded, static_cast<std::uint64_t>(kQueries));
+  EXPECT_EQ(stats.queue_delay.total_recorded,
+            static_cast<std::uint64_t>(kQueries));
+  EXPECT_GE(stats.e2e.p99_ms, stats.batch_wall.p99_ms);
+  EXPECT_GE(stats.net_e2e.p99_ms, stats.e2e.p99_ms);
+}
+
+TEST(TcpServer, AbruptClientDisconnectLeavesServerServing) {
+  LoopbackFixture fx;
+  {
+    Client doomed("127.0.0.1", fx.server->port());
+    // In-flight queries whose responses are never read.
+    for (int i = 0; i < 20; ++i) doomed.send_query(0, LoopbackFixture::kK);
+  }  // closed with replies pending
+
+  Client client("127.0.0.1", fx.server->port());
+  const QueryResponse resp = client.query(1, LoopbackFixture::kK);
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.items, fx.engine.recommend_one(1, LoopbackFixture::kK));
+}
+
+TEST(TcpServer, MalformedFrameClosesOnlyThatConnection) {
+  LoopbackFixture fx;
+  Client good("127.0.0.1", fx.server->port());
+
+  // A raw socket writes a length prefix far over kMaxPayload: the server
+  // must close that connection without waiting for the phantom payload.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.server->port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const std::uint8_t garbage[4] = {0xff, 0xff, 0xff, 0x7f};
+    ASSERT_EQ(::send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL), 4);
+    char byte = 0;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // orderly close from the server
+    ::close(fd);
+  }
+  EXPECT_EQ(fx.server->protocol_errors(), 1u);
+
+  // The well-behaved connection is unaffected.
+  EXPECT_EQ(good.query(2, LoopbackFixture::kK).status, Status::kOk);
+}
+
+// ------------------------------------------- live refresh under traffic ----
+
+TEST(TcpServer, AnswersStayGenerationConsistentAcrossHotSwap) {
+  const idx_t users = 24, items = 90;
+  const int f = 8, k = 5;
+  const auto x1 = random_factors(users, f, 611);
+  const auto t1 = random_factors(items, f, 612);
+  const auto x2 = random_factors(users, f, 613);
+  const auto t2 = random_factors(items, f, 614);
+
+  serve::LiveFactorStore live(serve::FactorStore(x1, t1, 2));
+  const serve::TopKEngine engine(live);
+  serve::BatcherOptions opt;
+  opt.k = k;
+  opt.max_batch = 8;
+  opt.cache_capacity = 32;
+  serve::RequestBatcher batcher(engine, opt);
+  TcpServer server(batcher);
+
+  const serve_test::TempCheckpointDir dir("cumf_net_swap_ckpt");
+  dir.write(x2, t2, 2);
+
+  // A client pipelines queries while the refresh lands mid-stream: every
+  // response must be bit-identical to the brute-force answer of the
+  // generation that tags it — never a torn mix, never a drop.
+  constexpr int kInFlight = 64;
+  Client client("127.0.0.1", server.port());
+  std::vector<idx_t> sent;
+  for (int i = 0; i < kInFlight; ++i) {
+    const idx_t u = static_cast<idx_t>(i % users);
+    client.send_query(u, k);
+    sent.push_back(u);
+    if (i == kInFlight / 2) {
+      const auto outcome = live.refresh_from_checkpoint(dir.path());
+      ASSERT_TRUE(outcome.swapped) << outcome.error;
+      ASSERT_EQ(outcome.generation, 2u);
+    }
+  }
+  int gen1 = 0, gen2 = 0;
+  for (const idx_t u : sent) {
+    const QueryResponse resp = client.read_query_response();
+    ASSERT_EQ(resp.status, Status::kOk) << "user=" << u;
+    if (resp.generation == 1) {
+      ++gen1;
+      EXPECT_EQ(resp.items, brute_force_topk(x1, t1, u, k)) << "user=" << u;
+    } else {
+      ASSERT_EQ(resp.generation, 2u) << "user=" << u;
+      ++gen2;
+      EXPECT_EQ(resp.items, brute_force_topk(x2, t2, u, k)) << "user=" << u;
+    }
+  }
+  EXPECT_EQ(gen1 + gen2, kInFlight);  // nothing dropped
+  EXPECT_GT(gen2, 0);                 // the swap landed mid-stream
+
+  // Post-swap queries can never be answered from the superseded generation,
+  // cached or not.
+  for (idx_t u = 0; u < users; ++u) {
+    const QueryResponse resp = client.query(u, k);
+    ASSERT_EQ(resp.status, Status::kOk);
+    EXPECT_EQ(resp.generation, 2u) << "user=" << u;
+    EXPECT_EQ(resp.items, brute_force_topk(x2, t2, u, k)) << "user=" << u;
+  }
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.generation, 2u);
+  EXPECT_EQ(stats.refreshes, 1u);
+}
+
+}  // namespace
+}  // namespace cumf

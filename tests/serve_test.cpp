@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "gpusim/device.hpp"
@@ -9,6 +11,7 @@
 #include "serve/batcher.hpp"
 #include "serve/cache.hpp"
 #include "serve/factor_store.hpp"
+#include "serve/live_store.hpp"
 #include "serve/scoring_backend.hpp"
 #include "serve/topk.hpp"
 #include "serve_test_util.hpp"
@@ -462,11 +465,11 @@ TEST(RequestBatcher, AnswersMatchDirectEngine) {
   opt.max_batch = 8;
   serve::RequestBatcher batcher(engine, opt);
 
-  std::vector<std::future<std::vector<serve::Recommendation>>> futures;
+  std::vector<std::future<serve::BatchedAnswer>> futures;
   futures.reserve(static_cast<std::size_t>(m));
   for (idx_t u = 0; u < m; ++u) futures.push_back(batcher.submit(u));
   for (idx_t u = 0; u < m; ++u) {
-    EXPECT_EQ(futures[static_cast<std::size_t>(u)].get(),
+    EXPECT_EQ(futures[static_cast<std::size_t>(u)].get().items,
               engine.recommend_one(u, 6))
         << "user=" << u;
   }
@@ -518,7 +521,7 @@ TEST(RequestBatcher, DeadlineFlushesPartialBatch) {
 
   auto fut = batcher.submit(2);
   EXPECT_EQ(fut.wait_for(std::chrono::seconds(10)), std::future_status::ready);
-  EXPECT_EQ(fut.get(), engine.recommend_one(2, 3));
+  EXPECT_EQ(fut.get().items, engine.recommend_one(2, 3));
 }
 
 TEST(RequestBatcher, BadUserFailsItsOwnFutureOnly) {
@@ -536,7 +539,7 @@ TEST(RequestBatcher, BadUserFailsItsOwnFutureOnly) {
   auto good = batcher.submit(1);
   batcher.flush();
   EXPECT_THROW((void)bad.get(), std::out_of_range);
-  EXPECT_EQ(good.get(), engine.recommend_one(1, 3));
+  EXPECT_EQ(good.get().items, engine.recommend_one(1, 3));
 }
 
 TEST(RequestBatcher, DuplicateUsersInOneBatchScoredOnce) {
@@ -558,12 +561,213 @@ TEST(RequestBatcher, DuplicateUsersInOneBatchScoredOnce) {
   auto b = batcher.submit(1);
   auto c = batcher.submit(1);
   auto d = batcher.submit(1);
-  const auto ra = a.get();
-  EXPECT_EQ(ra, b.get());
-  EXPECT_EQ(ra, c.get());
-  EXPECT_EQ(ra, d.get());
+  const auto ra = a.get().items;
+  EXPECT_EQ(ra, b.get().items);
+  EXPECT_EQ(ra, c.get().items);
+  EXPECT_EQ(ra, d.get().items);
   // One user scored once: at most one sweep of the 40 items.
   EXPECT_LE(engine.items_scored() - scored_before, 40u);
+}
+
+// ------------------------------------- latency accounting & flush drain ----
+
+TEST(LatencyTracker, ReportsWindowSamplesAndLifetimeTotalSeparately) {
+  serve::LatencyTracker tracker(4);
+  EXPECT_EQ(tracker.summary().samples, 0u);
+  EXPECT_EQ(tracker.summary().total_recorded, 0u);
+
+  for (int i = 1; i <= 10; ++i) tracker.record(static_cast<double>(i));
+  const auto s = tracker.summary();
+  // The percentiles cover the 4 retained samples {7,8,9,10}; `samples` must
+  // say 4 — reporting the lifetime count there claimed percentiles over
+  // samples long since overwritten.
+  EXPECT_EQ(s.samples, 4u);
+  EXPECT_EQ(s.total_recorded, 10u);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 8.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 10.0);
+}
+
+TEST(RequestBatcher, CacheHitsContributeEndToEndSamples) {
+  const auto x = random_factors(10, 6, 63);
+  const auto theta = random_factors(50, 6, 64);
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine engine(store);
+
+  serve::BatcherOptions opt;
+  opt.k = 4;
+  opt.max_batch = 1;  // flush immediately so the second query hits the cache
+  opt.cache_capacity = 8;
+  serve::RequestBatcher batcher(engine, opt);
+
+  (void)batcher.query(3);
+  (void)batcher.query(3);
+
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  // Both queries — the scored miss *and* the near-zero hit — must appear in
+  // the end-to-end distribution; only the miss was ever queued.
+  EXPECT_EQ(stats.e2e.total_recorded, 2u);
+  EXPECT_EQ(stats.e2e.samples, 2u);
+  EXPECT_EQ(stats.queue_delay.total_recorded, 1u);
+}
+
+TEST(RequestBatcher, DeadlineBoundsQueueDelayForPartialBatch) {
+  const auto x = random_factors(8, 4, 73);
+  const auto theta = random_factors(30, 4, 74);
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine engine(store);
+
+  serve::BatcherOptions opt;
+  opt.k = 3;
+  opt.max_batch = 1000;  // never fills; only the deadline can flush
+  opt.max_delay = std::chrono::milliseconds(50);
+  serve::RequestBatcher batcher(engine, opt);
+
+  auto fut = batcher.submit(2);
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get().items, engine.recommend_one(2, 3));
+
+  const auto stats = batcher.stats();
+  ASSERT_EQ(stats.queue_delay.total_recorded, 1u);
+  // A lone sub-max_batch query waits out the deadline and no longer: its
+  // queueing delay is ~max_delay (loose bounds absorb scheduler jitter on
+  // shared runners), and its end-to-end time contains it.
+  EXPECT_GE(stats.queue_delay.p99_ms, 20.0);
+  EXPECT_LE(stats.queue_delay.p99_ms, 5000.0);
+  EXPECT_GE(stats.e2e.p99_ms, stats.queue_delay.p99_ms);
+}
+
+TEST(RequestBatcher, AnswersCarryTheServingGeneration) {
+  const auto x = random_factors(12, 6, 65);
+  const auto theta = random_factors(40, 6, 66);
+  {
+    const serve::FactorStore store(x, theta, 2);
+    const serve::TopKEngine engine(store);
+    serve::RequestBatcher batcher(engine);
+    EXPECT_EQ(batcher.submit(1).get().generation, 0u);  // static store
+  }
+
+  serve::LiveFactorStore live(serve::FactorStore(x, theta, 2));
+  const serve::TopKEngine engine(live);
+  serve::BatcherOptions opt;
+  opt.k = 4;
+  opt.max_batch = 1;
+  opt.cache_capacity = 8;
+  serve::RequestBatcher batcher(engine, opt);
+
+  EXPECT_EQ(batcher.submit(1).get().generation, 1u);  // scored
+  EXPECT_EQ(batcher.submit(1).get().generation, 1u);  // cache hit, tagged
+  ASSERT_TRUE(live.refresh(serve::FactorStore(x, theta, 2)).swapped);
+  EXPECT_EQ(batcher.submit(1).get().generation, 2u);  // stale entry retired
+}
+
+/// A backend whose sweeps take real wall time: holds the flusher inside
+/// run_batch long enough for a backlog to pile up deterministically.
+class SlowBackend final : public serve::ScoringBackend {
+ public:
+  explicit SlowBackend(std::chrono::milliseconds delay) : delay_(delay) {}
+  [[nodiscard]] const char* name() const override { return "slow"; }
+  serve::SweepCounters sweep(
+      const serve::SweepTask& task,
+      std::vector<std::vector<serve::Recommendation>>& out) override {
+    std::this_thread::sleep_for(delay_);
+    return cpu_.sweep(task, out);
+  }
+
+ private:
+  serve::CpuScoringBackend cpu_;
+  std::chrono::milliseconds delay_;
+};
+
+TEST(RequestBatcher, ExplicitFlushDrainsEveryPendingQuery) {
+  const auto x = random_factors(40, 4, 75);
+  const auto theta = random_factors(60, 4, 76);
+  const serve::FactorStore store(x, theta, 1);
+  SlowBackend slow(std::chrono::milliseconds(60));
+  serve::TopKOptions topt;
+  topt.backend = &slow;
+  const serve::TopKEngine engine(store, topt);
+
+  serve::BatcherOptions opt;
+  opt.k = 5;
+  opt.max_batch = 8;
+  opt.max_delay = std::chrono::seconds(30);  // only size or flush() can flush
+  serve::RequestBatcher batcher(engine, opt);
+
+  // A full micro-batch puts the flusher inside the slow engine call...
+  std::vector<std::future<serve::BatchedAnswer>> futures;
+  for (idx_t u = 0; u < 8; ++u) futures.push_back(batcher.submit(u));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // ...while 3 × max_batch + 1 more queries pile up behind it. The +1 is the
+  // regression: clearing flush_now_ after one take left the sub-max_batch
+  // remainder stranded until max_delay.
+  for (idx_t u = 8; u < 33; ++u) {
+    futures.push_back(batcher.submit(u % 40));
+  }
+  batcher.flush();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "future " << i << " stranded past the explicit flush";
+  }
+  EXPECT_EQ(futures[9].get().items,
+            engine.recommend_one(9, 5));  // drained batches still score right
+}
+
+TEST(RequestBatcher, DrainBlocksUntilEveryFutureIsResolved) {
+  const auto x = random_factors(20, 4, 77);
+  const auto theta = random_factors(30, 4, 78);
+  const serve::FactorStore store(x, theta, 1);
+  SlowBackend slow(std::chrono::milliseconds(40));
+  serve::TopKOptions topt;
+  topt.backend = &slow;
+  const serve::TopKEngine engine(store, topt);
+
+  serve::BatcherOptions opt;
+  opt.k = 3;
+  opt.max_batch = 4;
+  opt.max_delay = std::chrono::seconds(30);
+  serve::RequestBatcher batcher(engine, opt);
+
+  std::vector<std::future<serve::BatchedAnswer>> futures;
+  for (idx_t u = 0; u < 4; ++u) futures.push_back(batcher.submit(u));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  for (idx_t u = 4; u < 11; ++u) futures.push_back(batcher.submit(u));
+
+  batcher.drain();
+  for (auto& fut : futures) {
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  // An idle drain is a no-op, not a hang.
+  batcher.drain();
+}
+
+TEST(RequestBatcher, FlushRacingSubmitNeverStrandsAQuery) {
+  const auto x = random_factors(10, 4, 79);
+  const auto theta = random_factors(20, 4, 80);
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine engine(store);
+
+  serve::BatcherOptions opt;
+  opt.k = 3;
+  opt.max_batch = 1000;
+  opt.max_delay = std::chrono::seconds(30);  // a stranded query hangs visibly
+  serve::RequestBatcher batcher(engine, opt);
+
+  // The hazard: the flusher wakes for the submit, and flush() lands while it
+  // is between "saw the queue" and "consumed flush_now_". Whatever the
+  // interleaving, a flush issued after submit() returned must cover it.
+  for (int i = 0; i < 100; ++i) {
+    auto fut = batcher.submit(static_cast<idx_t>(i % 10));
+    std::thread racer([&batcher] { batcher.flush(); });
+    racer.join();
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready)
+        << "query stranded on iteration " << i;
+  }
 }
 
 }  // namespace
