@@ -1,0 +1,237 @@
+// Continuous-refresh bench: what does the retrain → gate → hot-swap loop
+// cost the query path?
+//
+// The paper's economics say retraining is cheap; this bench measures whether
+// *serving* stays cheap while the orchestrator runs the loop for real. For
+// each (delta_rate, cadence) cell an ingest thread feeds rating deltas into
+// the RatingLog at the offered rate, closed-loop query threads hammer the
+// batcher, and the orchestrator retrains + gates + promotes on its cadence.
+// Per cycle the CSV records the gate verdict and metrics, the training cost
+// on both time axes, the swap pause, and the measured qps in equal windows
+// before / during / after the promotion — the "during" window containing the
+// retrain + swap is the number that must not crater for the continuous-
+// refresh story to hold.
+//
+// Per repo convention the perf-shaped numbers never gate: correctness of the
+// loop (zero dropped queries, bit-exact generations, gate behavior) is
+// pinned in tests/orchestrate_test.cpp; this bench exists for the CSV
+// artifact and its trajectory across commits.
+//
+// CSV: bench_results/orchestrate_refresh.csv
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/solver.hpp"
+#include "gpusim/device_group.hpp"
+#include "orchestrate/orchestrator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/live_store.hpp"
+#include "serve/topk.hpp"
+#include "sparse/split.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace cumf;
+
+constexpr int kF = 16;
+constexpr int kTopK = 10;
+constexpr int kQueryThreads = 3;
+
+const char* outcome_name(orchestrate::CycleOutcome o) {
+  switch (o) {
+    case orchestrate::CycleOutcome::kPromoted: return "promoted";
+    case orchestrate::CycleOutcome::kRejected: return "rejected";
+    case orchestrate::CycleOutcome::kSkipped: return "skipped";
+    case orchestrate::CycleOutcome::kTrainFailed: return "train_failed";
+    case orchestrate::CycleOutcome::kRolledBack: return "rolled_back";
+  }
+  return "?";
+}
+
+/// Queries answered across all closed-loop threads in a timed window.
+double measure_qps(serve::RequestBatcher& batcher, idx_t users,
+                   std::chrono::milliseconds window) {
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(7000 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto u = static_cast<idx_t>(
+            rng.zipf(static_cast<std::uint64_t>(users), 1.1));
+        (void)batcher.submit(u).get();
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  util::Stopwatch wall;
+  std::this_thread::sleep_for(window);
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  return static_cast<double>(answered.load()) / wall.seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("orchestrate_refresh",
+                      "retrain → gate → hot-swap loop under query load");
+
+  // One trained world reused across cells (retrains warm-start from it).
+  data::SyntheticOptions gen;
+  gen.m = 1500;
+  gen.n = 700;
+  gen.nz = 40'000;
+  gen.f_true = 8;
+  gen.noise_std = 0.4;
+  gen.seed = 42;
+  const auto ratings = data::generate_ratings(gen);
+  util::Rng split_rng(9);
+  const auto split = sparse::split_ratings(ratings, 0.1, split_rng);
+  const auto R = sparse::coo_to_csr(split.train);
+  const auto Rt = sparse::csc_as_csr_of_transpose(sparse::csr_to_csc(R));
+
+  const auto topo = gpusim::PcieTopology::flat(1);
+  gpusim::DeviceGroup gpu(1, gpusim::titan_x(), topo);
+  core::SolverConfig cfg;
+  cfg.als.f = kF;
+  cfg.als.lambda = 0.05f;
+  core::AlsSolver solver(gpu.pointers(), topo, R, Rt, cfg);
+  for (int i = 0; i < 4; ++i) solver.run_iteration();
+  std::printf("  base model: %d users × %d items, f=%d, 4 ALS iterations\n",
+              gen.m, gen.n, kF);
+
+  util::CsvWriter csv(
+      bench::results_dir() + "/orchestrate_refresh.csv",
+      {"delta_rate_per_s", "cadence_ms", "cycle", "outcome", "gate_rmse",
+       "gate_recall", "train_wall_ms", "train_modeled_s", "swap_pause_ms",
+       "qps_before", "qps_during", "qps_after", "generation",
+       "deltas_merged"});
+
+  std::printf("\n  %9s %10s %5s %12s %9s %7s %10s %9s %9s %9s %9s %4s\n",
+              "deltas/s", "cadence", "cycle", "outcome", "gate_rmse",
+              "recall", "train(ms)", "qps_bef", "qps_dur", "qps_aft",
+              "pause(ms)", "gen");
+
+  for (const double delta_rate : {2000.0, 8000.0}) {
+    for (const int cadence_ms : {150, 400}) {
+      const auto work_dir = std::filesystem::temp_directory_path() /
+                            ("cumf_orch_bench_" + std::to_string(cadence_ms) +
+                             "_" + std::to_string(static_cast<int>(delta_rate)));
+      std::filesystem::create_directories(work_dir);
+
+      orchestrate::RatingLog log(split.train);
+      serve::LiveFactorStore live(
+          serve::FactorStore(solver.x(), solver.theta(), 4));
+      serve::TopKOptions eopt;
+      eopt.exclude_rated = &R;
+      const serve::TopKEngine engine(live, eopt);
+      serve::BatcherOptions bopt;
+      bopt.k = kTopK;
+      bopt.max_batch = 32;
+      bopt.max_delay = std::chrono::microseconds(1000);
+      serve::RequestBatcher batcher(engine, bopt);
+
+      orchestrate::OrchestratorOptions oopt;
+      oopt.trainer.solver = cfg;
+      oopt.trainer.iterations = 2;
+      oopt.gate.k = kTopK;
+      oopt.gate.max_eval_users = 150;
+      oopt.gate.rmse_slack = 0.05;
+      oopt.gate.recall_slack = 0.2;
+      oopt.work_dir = work_dir.string();
+      orchestrate::Orchestrator orch(log, live, split.test, oopt, &R);
+
+      // Offered-rate delta ingestion for the whole cell.
+      std::atomic<bool> stop_ingest{false};
+      std::thread ingest([&] {
+        util::Rng rng(31);
+        const auto period = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(1.0 / delta_rate));
+        auto next = std::chrono::steady_clock::now();
+        while (!stop_ingest.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_until(next);
+          next += period;
+          const auto u = static_cast<idx_t>(
+              rng.next_below(static_cast<std::uint64_t>(gen.m)));
+          const auto v = static_cast<idx_t>(
+              rng.zipf(static_cast<std::uint64_t>(gen.n), 1.05));
+          (void)log.append(u, v, rng.next_real() * 5.0f);
+        }
+      });
+
+      const auto window = std::chrono::milliseconds(cadence_ms);
+      for (int cycle = 1; cycle <= 2; ++cycle) {
+        const double qps_before = measure_qps(batcher, gen.m, window);
+
+        // The retrain + gate + swap runs while queries keep flowing: the
+        // "during" window brackets the whole cycle.
+        std::atomic<bool> cycle_done{false};
+        orchestrate::CycleRecord rec;
+        std::thread retrainer([&] {
+          rec = orch.run_cycle(/*force=*/true);
+          cycle_done.store(true, std::memory_order_release);
+        });
+        std::atomic<std::uint64_t> answered{0};
+        std::vector<std::thread> load;
+        for (int t = 0; t < kQueryThreads; ++t) {
+          load.emplace_back([&, t] {
+            util::Rng rng(8000 + static_cast<std::uint64_t>(t));
+            while (!cycle_done.load(std::memory_order_acquire)) {
+              const auto u = static_cast<idx_t>(
+                  rng.zipf(static_cast<std::uint64_t>(gen.m), 1.1));
+              (void)batcher.submit(u).get();
+              answered.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+        }
+        util::Stopwatch during;
+        retrainer.join();
+        for (auto& t : load) t.join();
+        const double qps_during =
+            static_cast<double>(answered.load()) / during.seconds();
+
+        const double qps_after = measure_qps(batcher, gen.m, window);
+
+        std::printf("  %9.0f %8dms %5d %12s %9.4f %7.3f %10.1f %9.0f %9.0f "
+                    "%9.0f %9.4f %4llu\n",
+                    delta_rate, cadence_ms, cycle, outcome_name(rec.outcome),
+                    rec.gate.rmse, rec.gate.recall, rec.train_wall_ms,
+                    qps_before, qps_during, qps_after, rec.swap_pause_ms,
+                    static_cast<unsigned long long>(rec.generation));
+        csv.row(delta_rate, cadence_ms, cycle, outcome_name(rec.outcome),
+                rec.gate.rmse, rec.gate.recall, rec.train_wall_ms,
+                rec.train_modeled_s, rec.swap_pause_ms, qps_before,
+                qps_during, qps_after, rec.generation, rec.deltas_seen);
+      }
+
+      stop_ingest.store(true, std::memory_order_release);
+      ingest.join();
+      const auto oc = orch.counters();
+      std::printf("  cell totals: %llu retrains, %llu promotions, %llu "
+                  "rejections; %llu deltas ingested\n",
+                  static_cast<unsigned long long>(oc.retrains),
+                  static_cast<unsigned long long>(oc.promotions),
+                  static_cast<unsigned long long>(oc.rejections),
+                  static_cast<unsigned long long>(oc.deltas_ingested));
+      std::error_code ec;
+      std::filesystem::remove_all(work_dir, ec);
+    }
+  }
+
+  std::printf("\n  CSV: %s/orchestrate_refresh.csv (uploaded as a CI "
+              "artifact next to serve_netload)\n",
+              bench::results_dir().c_str());
+  return 0;
+}

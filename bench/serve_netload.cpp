@@ -34,6 +34,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,13 +81,35 @@ std::vector<idx_t> zipf_stream(idx_t users, int n, std::uint64_t seed) {
   return stream;
 }
 
+/// A model generation change observed in a connection's reply stream — the
+/// client-side view of a hot swap landing (promotion timing, satellite of
+/// the retrain orchestrator: with --connect against a --daemon server these
+/// are the orchestrator's promotions/rollbacks as the wire reports them).
+struct GenTransition {
+  int conn = 0;
+  int query = 0;  // 0-based index within that connection's stream
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+};
+
 struct LoadResult {
   int queries = 0;
   int errors = 0;
   double wall_s = 0.0;
   double achieved_qps = 0.0;
   serve::LatencySummary e2e;  // client-measured send→reply
+  std::vector<GenTransition> transitions;
 };
+
+void print_transitions(const LoadResult& r) {
+  for (const auto& t : r.transitions) {
+    std::printf("    generation %llu -> %llu observed at conn %d query #%d "
+                "of %d\n",
+                static_cast<unsigned long long>(t.from),
+                static_cast<unsigned long long>(t.to), t.conn, t.query,
+                r.queries);
+  }
+}
 
 /// N connections, one outstanding query each.
 LoadResult closed_loop(const std::string& host, std::uint16_t port, int conns,
@@ -94,6 +117,8 @@ LoadResult closed_loop(const std::string& host, std::uint16_t port, int conns,
   LoadResult r;
   serve::LatencyTracker e2e;
   std::atomic<int> errors{0};
+  std::mutex transitions_mu;
+  std::vector<GenTransition> transitions;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(conns));
   util::Stopwatch wall;
@@ -102,15 +127,26 @@ LoadResult closed_loop(const std::string& host, std::uint16_t port, int conns,
       Client client(host, port);
       const auto stream =
           zipf_stream(users, per_conn, 900 + static_cast<std::uint64_t>(c));
+      std::uint64_t last_gen = 0;
+      int idx = 0;
       for (const idx_t u : stream) {
         util::Stopwatch q;
         const auto resp = client.query(u, k);
         e2e.record(q.milliseconds());
         if (resp.status != Status::kOk) errors.fetch_add(1);
+        if (resp.generation != last_gen) {
+          if (last_gen != 0) {  // first reply just establishes the baseline
+            std::lock_guard<std::mutex> lock(transitions_mu);
+            transitions.push_back({c, idx, last_gen, resp.generation});
+          }
+          last_gen = resp.generation;
+        }
+        ++idx;
       }
     });
   }
   for (auto& t : threads) t.join();
+  r.transitions = std::move(transitions);
   r.wall_s = wall.seconds();
   r.queries = conns * per_conn;
   r.errors = errors.load();
@@ -132,7 +168,9 @@ LoadResult open_loop(const std::string& host, std::uint16_t port,
   std::deque<std::chrono::steady_clock::time_point> sent;
   std::atomic<int> errors{0};
 
+  std::vector<GenTransition> transitions;
   std::thread reader([&] {
+    std::uint64_t last_gen = 0;
     for (int i = 0; i < total; ++i) {
       const auto resp = client.read_query_response();
       std::chrono::steady_clock::time_point t0;
@@ -145,6 +183,10 @@ LoadResult open_loop(const std::string& host, std::uint16_t port,
                      std::chrono::steady_clock::now() - t0)
                      .count());
       if (resp.status != Status::kOk) errors.fetch_add(1);
+      if (resp.generation != last_gen) {
+        if (last_gen != 0) transitions.push_back({0, i, last_gen, resp.generation});
+        last_gen = resp.generation;
+      }
     }
   });
 
@@ -169,6 +211,7 @@ LoadResult open_loop(const std::string& host, std::uint16_t port,
   r.errors = errors.load();
   r.achieved_qps = total / r.wall_s;
   r.e2e = e2e.summary();
+  r.transitions = std::move(transitions);
   return r;
 }
 
@@ -257,6 +300,7 @@ int main(int argc, char** argv) {
   for (const int conns : {1, 4, 16}) {
     const auto r = closed_loop(host, port, conns, 250, users, k);
     emit(csv, "closed", conns, 0.0, r, wire_stats(host, port));
+    print_transitions(r);  // hot swaps visible from the client side
     total_errors += r.errors;
   }
 
@@ -276,6 +320,7 @@ int main(int argc, char** argv) {
     const int total = std::min(6000, static_cast<int>(offered * 0.4));
     const auto r = open_loop(host, port, offered, total, users, k);
     emit(csv, "open", 1, offered, r, wire_stats(host, port));
+    print_transitions(r);  // the mid-sweep swap (or a --daemon promotion)
     total_errors += r.errors;
   }
   if (swapper.joinable()) swapper.join();

@@ -14,11 +14,18 @@
 // serving over TCP (protocol: src/serve/net/protocol.hpp) until SIGINT, so a
 // second terminal can drive it with the network load generator.
 //
+// With --daemon (implies --port) the retrain orchestrator runs behind the
+// server: rating deltas arriving over the wire (AddRating op) land in a
+// RatingLog, the orchestrator retrains on a cadence or a delta-count
+// trigger, gates each candidate on held-out RMSE + recall@k, and hot-swaps
+// passing models under the live traffic — watch the generation column
+// advance from the other terminal.
+//
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j
-//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms] [--port N]
+//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms] [--port N] [--daemon]
 //   ./build/examples/serve_recommendations 4 10 1000000 5   # fleet-sizing mode
-//   ./build/examples/serve_recommendations --port 7070      # then, elsewhere:
+//   ./build/examples/serve_recommendations --port 7070 --daemon   # then, elsewhere:
 //   ./build/bench/serve_netload --connect 127.0.0.1 7070 3000 10
 
 #include <csignal>
@@ -32,6 +39,8 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "core/checkpoint.hpp"
 #include "core/solver.hpp"
 #include "costmodel/machines.hpp"
@@ -39,6 +48,7 @@
 #include "data/synthetic.hpp"
 #include "eval/metrics.hpp"
 #include "gpusim/device_group.hpp"
+#include "orchestrate/orchestrator.hpp"
 #include "serve/batcher.hpp"
 #include "serve/factor_store.hpp"
 #include "serve/live_store.hpp"
@@ -51,12 +61,16 @@ int main(int argc, char** argv) {
   using namespace cumf;
 
   bool serve_over_tcp = false;
+  bool daemon_mode = false;
   std::uint16_t port = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       serve_over_tcp = true;
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--daemon") == 0) {
+      daemon_mode = true;
+      serve_over_tcp = true;  // the orchestrator serves behind the socket
     } else {
       positional.push_back(argv[i]);
     }
@@ -68,7 +82,7 @@ int main(int argc, char** argv) {
   if (shards < 1 || top_k < 1 || target_qps < 0.0 || p99_ms <= 0.0) {
     std::fprintf(stderr,
                  "usage: %s [shards >= 1] [top_k >= 1] [target_qps] [p99_ms] "
-                 "[--port N]\n",
+                 "[--port N] [--daemon]\n",
                  argv[0]);
     return 2;
   }
@@ -289,24 +303,91 @@ int main(int argc, char** argv) {
 
   // 8. --port: keep the trained model serving over TCP until SIGINT (the
   //    mask was installed at the top of main, before any thread spawned).
+  //    --daemon additionally runs the retrain orchestrator behind the
+  //    server: AddRating frames feed its RatingLog, retrains fire on the
+  //    cadence or the delta trigger, and gate-passing candidates hot-swap
+  //    under the live connections.
   if (serve_over_tcp) {
+    orchestrate::RatingLog rating_log(split.train);
+    std::unique_ptr<orchestrate::Orchestrator> orch;
+    const auto orch_dir =
+        std::filesystem::temp_directory_path() / "cumf_serve_demo_orch";
+
     serve::net::ServerOptions sopt;
     sopt.port = port;
+    if (daemon_mode) {
+      std::filesystem::create_directories(orch_dir);
+      orchestrate::OrchestratorOptions oopt;
+      oopt.trainer.solver = cfg;  // same rank/lambda the demo trained with
+      oopt.trainer.iterations = 2;
+      oopt.gate.k = top_k;
+      oopt.cadence = std::chrono::milliseconds(5000);
+      oopt.delta_trigger = 500;
+      // Retrain on cadence even without deltas so the generation column
+      // visibly advances in the other terminal.
+      oopt.skip_when_idle = false;
+      oopt.work_dir = orch_dir.string();
+      orch = std::make_unique<orchestrate::Orchestrator>(
+          rating_log, live, split.test, oopt, &R);
+      sopt.ingest = [&rating_log](idx_t user, idx_t item, double value) {
+        return rating_log.append(user, item, static_cast<real_t>(value));
+      };
+      sopt.augment_stats = [&orch](serve::ServeStats& s) {
+        orch->merge_into(&s);
+      };
+    }
+
     serve::net::TcpServer server(batcher, sopt);
-    std::printf("\nserving generation %llu on 127.0.0.1:%u (top-%d, %d users)"
+    if (orch) orch->start();
+    std::printf("\nserving generation %llu on 127.0.0.1:%u (top-%d, %d users%s)"
                 "\ndrive it from another terminal:\n"
                 "  ./build/bench/serve_netload --connect 127.0.0.1 %u %d %d\n"
                 "Ctrl-C to stop.\n",
                 static_cast<unsigned long long>(live.generation()),
-                server.port(), top_k, gen.m, server.port(), gen.m, top_k);
+                server.port(), top_k, gen.m,
+                daemon_mode ? ", retrain daemon on" : "", server.port(), gen.m,
+                top_k);
     int sig = 0;
     sigwait(&sigs, &sig);
 
+    if (orch) {
+      orch->stop();
+      const auto oc = orch->counters();
+      std::printf("\norchestrator: %llu retrains, %llu promotions, "
+                  "%llu rejections, %llu rollbacks; %llu deltas ingested "
+                  "(%llu rejected); last gate rmse %.4f recall@%d %.3f; "
+                  "last train %.0f ms wall / %.3f s modeled\n",
+                  static_cast<unsigned long long>(oc.retrains),
+                  static_cast<unsigned long long>(oc.promotions),
+                  static_cast<unsigned long long>(oc.rejections),
+                  static_cast<unsigned long long>(oc.rollbacks),
+                  static_cast<unsigned long long>(oc.deltas_ingested),
+                  static_cast<unsigned long long>(oc.deltas_rejected),
+                  oc.last_gate_rmse, top_k, oc.last_gate_recall,
+                  oc.last_train_wall_ms, oc.last_train_modeled_s);
+      for (const auto& rec : orch->history()) {
+        const char* what =
+            rec.outcome == orchestrate::CycleOutcome::kPromoted   ? "promoted"
+            : rec.outcome == orchestrate::CycleOutcome::kRejected ? "rejected"
+            : rec.outcome == orchestrate::CycleOutcome::kRolledBack
+                ? "rolled back"
+                : "failed";
+        std::printf("  cycle %llu: %s -> generation %llu (gate rmse %.4f, "
+                    "recall %.3f)%s%s\n",
+                    static_cast<unsigned long long>(rec.cycle), what,
+                    static_cast<unsigned long long>(rec.generation),
+                    rec.gate.rmse, rec.gate.recall,
+                    rec.gate.reason.empty() ? "" : " — ",
+                    rec.gate.reason.c_str());
+      }
+    }
     const auto net = server.stats();
     std::printf("\nshutting down: served %llu queries over the wire, "
                 "accept→reply p99 %.3f ms (queueing p99 %.3f ms)\n",
                 static_cast<unsigned long long>(net.queries - stats.queries),
                 net.net_e2e.p99_ms, net.queue_delay.p99_ms);
+    std::error_code ec;
+    std::filesystem::remove_all(orch_dir, ec);
   }
 
   std::filesystem::remove_all(ckpt_dir);

@@ -42,16 +42,23 @@ void CheckpointManager::save_one(const std::string& stem,
   namespace fs = std::filesystem;
   const fs::path cur = fs::path(dir_) / (stem + ".ckpt");
   const fs::path prev = fs::path(dir_) / (stem + ".prev.ckpt");
-  const fs::path tmp = fs::path(dir_) / (stem + ".tmp.ckpt");
 
-  util::write_blob(tmp.string(), kCkptTag, stamp(m, iteration));
+  // Stage the full replacement first — a failed write (disk full) costs
+  // nothing, both existing snapshots survive. Only then rotate current to
+  // .prev (best effort — a concurrent saver may have rotated it already)
+  // and publish the staged file with one atomic rename. A watcher daemon
+  // polling this directory can therefore never load a torn current file:
+  // in the brief rotate→publish window it falls back to .prev, and
+  // concurrent savers each publish through their own unique temp file.
+  const std::string tmp =
+      util::stage_blob(cur.string(), kCkptTag, stamp(m, iteration));
   std::error_code ec;
-  if (fs::exists(cur)) {
-    fs::rename(cur, prev, ec);  // rotate; best effort
-  }
+  fs::rename(cur, prev, ec);
   fs::rename(tmp, cur, ec);
   if (ec) {
-    throw std::runtime_error("checkpoint rename failed: " + ec.message());
+    std::error_code rm;
+    fs::remove(tmp, rm);
+    throw std::runtime_error("checkpoint publish failed: " + ec.message());
   }
 }
 

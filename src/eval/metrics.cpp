@@ -96,6 +96,66 @@ double ndcg_at_k(std::span<const idx_t> recommended,
   return idcg > 0.0 ? dcg / idcg : 0.0;
 }
 
+RankingQuality ranking_quality(const sparse::CooMatrix& holdout,
+                               const linalg::FactorMatrix& X,
+                               const linalg::FactorMatrix& Theta, int k,
+                               const sparse::CsrMatrix* exclude,
+                               int max_users) {
+  RankingQuality q;
+  if (k < 1 || max_users < 1) return q;
+
+  // Held-out items per user; only users with at least one matter.
+  std::vector<std::vector<idx_t>> relevant(
+      static_cast<std::size_t>(holdout.rows));
+  for (std::size_t i = 0; i < holdout.val.size(); ++i) {
+    relevant[static_cast<std::size_t>(holdout.row[i])].push_back(
+        holdout.col[i]);
+  }
+
+  const int f = X.f();
+  const idx_t users = std::min<idx_t>(X.rows(), holdout.rows);
+  std::vector<idx_t> rated;
+  std::vector<std::pair<double, idx_t>> scored;
+  std::vector<idx_t> top;
+  double recall_sum = 0.0;
+  double ndcg_sum = 0.0;
+  for (idx_t u = 0; u < users && q.users_evaluated < max_users; ++u) {
+    const auto& rel = relevant[static_cast<std::size_t>(u)];
+    if (rel.empty()) continue;
+
+    rated.clear();
+    if (exclude != nullptr && u < exclude->rows) {
+      const auto cols = exclude->row_cols(u);
+      rated.assign(cols.begin(), cols.end());
+      std::sort(rated.begin(), rated.end());
+    }
+    scored.clear();
+    for (idx_t v = 0; v < Theta.rows(); ++v) {
+      if (std::binary_search(rated.begin(), rated.end(), v)) continue;
+      scored.emplace_back(linalg::dot(X.row(u), Theta.row(v), f), v);
+    }
+    const std::size_t kk = std::min<std::size_t>(
+        static_cast<std::size_t>(k), scored.size());
+    // Ranking order matches serving: score desc, item id asc on ties.
+    std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first ||
+                               (a.first == b.first && a.second < b.second);
+                      });
+    top.clear();
+    for (std::size_t i = 0; i < kk; ++i) top.push_back(scored[i].second);
+
+    recall_sum += recall_at_k(top, rel);
+    ndcg_sum += ndcg_at_k(top, rel);
+    ++q.users_evaluated;
+  }
+  if (q.users_evaluated > 0) {
+    q.mean_recall = recall_sum / q.users_evaluated;
+    q.mean_ndcg = ndcg_sum / q.users_evaluated;
+  }
+  return q;
+}
+
 namespace {
 double time_to_rmse(const std::vector<ConvergencePoint>& points, double target,
                     double ConvergencePoint::*axis) {

@@ -40,6 +40,27 @@ double recall_at_k(std::span<const idx_t> recommended,
 double ndcg_at_k(std::span<const idx_t> recommended,
                  std::span<const idx_t> relevant);
 
+/// Aggregate ranking quality of a factor model against a held-out slice.
+struct RankingQuality {
+  double mean_recall = 0.0;  // mean recall@k over evaluated users
+  double mean_ndcg = 0.0;    // mean NDCG@k over evaluated users
+  int users_evaluated = 0;   // users with >= 1 held-out rating scored
+};
+
+/// Scores each user's exact top-k list (serial brute force over Θ, ranked by
+/// score desc / item asc) against their held-out items, averaging recall@k
+/// and NDCG@k. Users without held-out ratings are skipped; at most
+/// `max_users` users (in ascending id order) are evaluated, so gate checks
+/// stay cheap on large models. With `exclude` set, items a user already
+/// rated in training never enter their list — the same filter serving
+/// applies. This is the promotion criterion the retrain orchestrator's
+/// QualityGate applies to every candidate model.
+RankingQuality ranking_quality(const sparse::CooMatrix& holdout,
+                               const linalg::FactorMatrix& X,
+                               const linalg::FactorMatrix& Theta, int k,
+                               const sparse::CsrMatrix* exclude = nullptr,
+                               int max_users = 200);
+
 /// One convergence sample.
 struct ConvergencePoint {
   int iteration = 0;

@@ -1,0 +1,308 @@
+#include "orchestrate/orchestrator.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "util/log.hpp"
+
+namespace cumf::orchestrate {
+
+namespace {
+
+std::string make_subdir(const std::string& work_dir, const char* name) {
+  const auto path = std::filesystem::path(work_dir) / name;
+  std::filesystem::create_directories(path);
+  return path.string();
+}
+
+/// (X, Θ) of the snapshot a live store is serving, re-assembled from the
+/// sharded layout (shards keep Θ rows in descending-norm order with a
+/// slot → item-id map).
+std::pair<linalg::FactorMatrix, linalg::FactorMatrix> reconstruct_factors(
+    const serve::FactorStore& store) {
+  const int f = store.f();
+  linalg::FactorMatrix x(store.num_users(), f);
+  for (idx_t u = 0; u < store.num_users(); ++u) {
+    std::memcpy(x.row(u), store.user(u), sizeof(real_t) * static_cast<std::size_t>(f));
+  }
+  linalg::FactorMatrix theta(store.num_items(), f);
+  for (int s = 0; s < store.num_shards(); ++s) {
+    const auto& shard = store.shard(s);
+    for (std::size_t slot = 0; slot < shard.item_ids.size(); ++slot) {
+      std::memcpy(theta.row(shard.item_ids[slot]),
+                  shard.theta.row(static_cast<idx_t>(slot)),
+                  sizeof(real_t) * static_cast<std::size_t>(f));
+    }
+  }
+  return {std::move(x), std::move(theta)};
+}
+
+}  // namespace
+
+Orchestrator::Orchestrator(RatingLog& log, serve::LiveFactorStore& live,
+                           sparse::CooMatrix holdout, OrchestratorOptions opt,
+                           const sparse::CsrMatrix* exclude)
+    : log_(log),
+      live_(live),
+      opt_(std::move(opt)),
+      gate_(std::move(holdout), opt_.gate, exclude),
+      candidate_dir_(make_subdir(opt_.work_dir, "candidate")),
+      good_dir_(make_subdir(opt_.work_dir, "good")),
+      trainer_(opt_.trainer, candidate_dir_) {
+  // Seed the baseline and the rollback target from whatever is serving:
+  // the first candidate is judged against the live model, and rollback()
+  // is meaningful from the very first promotion.
+  auto [x0, theta0] = reconstruct_factors(*live_.pin().store);
+  const GateReport seed = gate_.evaluate(x0, theta0);
+  gate_.set_baseline(seed.rmse, seed.recall);
+  serving_x_ = std::move(x0);
+  serving_theta_ = std::move(theta0);
+  serving_rmse_ = good_rmse_ = seed.rmse;
+  serving_recall_ = good_recall_ = seed.recall;
+  core::CheckpointManager good(good_dir_);
+  good.save_x(serving_x_, ckpt_stamp_);
+  good.save_theta(serving_theta_, ckpt_stamp_);
+}
+
+Orchestrator::~Orchestrator() { stop(); }
+
+CycleRecord Orchestrator::run_cycle(bool force) {
+  std::lock_guard<std::mutex> cycle(cycle_mu_);
+  CycleRecord rec;
+  rec.cycle = ++cycles_run_;
+  rec.generation = live_.generation();
+
+  if (!force && opt_.skip_when_idle && log_.pending() == 0) {
+    rec.outcome = CycleOutcome::kSkipped;
+    return rec;  // nothing changed; not worth an audit entry
+  }
+
+  RatingLog::Snapshot snap;
+  TrainResult trained;
+  try {
+    snap = log_.snapshot();
+    rec.deltas_seen = snap.deltas_applied;
+    trained = trainer_.train(snap, &serving_x_, &serving_theta_);
+  } catch (const std::exception& e) {
+    rec.outcome = CycleOutcome::kTrainFailed;
+    rec.error = e.what();
+    util::log_warn("orchestrator: retrain failed: ", rec.error);
+    append_record(rec);
+    return rec;
+  }
+  rec.train_wall_ms = trained.wall_ms;
+  rec.train_modeled_s = trained.modeled_seconds;
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    ++stats_.retrains;
+    stats_.last_train_wall_ms = trained.wall_ms;
+    stats_.last_train_modeled_s = trained.modeled_seconds;
+  }
+
+  try {
+    gate_and_promote(trained.x, trained.theta, /*published=*/true, &rec);
+  } catch (const std::exception& e) {
+    rec.outcome = CycleOutcome::kTrainFailed;
+    rec.error = e.what();  // e.g. the rollback-target checkpoint write failed
+    util::log_warn("orchestrator: promotion failed: ", rec.error);
+  }
+  append_record(rec);
+  return rec;
+}
+
+CycleRecord Orchestrator::submit_candidate(const linalg::FactorMatrix& x,
+                                           const linalg::FactorMatrix& theta) {
+  std::lock_guard<std::mutex> cycle(cycle_mu_);
+  CycleRecord rec;
+  rec.cycle = ++cycles_run_;
+  rec.generation = live_.generation();
+  try {
+    gate_and_promote(x, theta, /*published=*/false, &rec);
+  } catch (const std::exception& e) {
+    rec.outcome = CycleOutcome::kTrainFailed;
+    rec.error = e.what();  // candidate/rollback checkpoint write failed
+    util::log_warn("orchestrator: promotion failed: ", rec.error);
+  }
+  append_record(rec);
+  return rec;
+}
+
+void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
+                                    const linalg::FactorMatrix& theta,
+                                    bool published, CycleRecord* record) {
+  record->gate = gate_.evaluate(x, theta);
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    stats_.last_gate_rmse = record->gate.rmse;
+    stats_.last_gate_recall = record->gate.recall;
+  }
+  if (!record->gate.passed) {
+    record->outcome = CycleOutcome::kRejected;
+    record->generation = live_.generation();
+    std::lock_guard<std::mutex> lock(history_mu_);
+    ++stats_.rejections;
+    util::log_warn("orchestrator: candidate rejected: ",
+                   record->gate.reason);
+    return;
+  }
+
+  if (!published) {
+    core::CheckpointManager candidate(candidate_dir_);
+    candidate.save_x(x, ++ckpt_stamp_);
+    candidate.save_theta(theta, ckpt_stamp_);
+  }
+
+  const auto outcome = live_.refresh_from_checkpoint(candidate_dir_);
+  if (!outcome.swapped) {
+    // Nothing changed: the old model keeps serving AND stays the rollback
+    // target (good_dir is only rewritten below, after a successful swap —
+    // a failed promotion must not clobber it).
+    record->outcome = CycleOutcome::kTrainFailed;
+    record->error = "promotion refresh failed: " + outcome.error;
+    record->generation = live_.generation();
+    util::log_warn("orchestrator: ", record->error);
+    return;
+  }
+
+  record->outcome = CycleOutcome::kPromoted;
+  record->generation = outcome.generation;
+  record->swap_pause_ms = outcome.swap_pause_ms;
+
+  // The swap landed: persist the *outgoing* model as the rollback target so
+  // a promotion that later proves bad can be reverted to what it replaced.
+  // A persist failure (disk full) must not contradict reality — the new
+  // model IS serving — so the record stays kPromoted with the error noted,
+  // and the previous rollback target's metrics are kept (the directory may
+  // hold a partial update; rollback() will promote whatever restores
+  // validly, each factor falling back to its .prev copy).
+  try {
+    core::CheckpointManager good(good_dir_);
+    good.save_x(serving_x_, ++ckpt_stamp_);
+    good.save_theta(serving_theta_, ckpt_stamp_);
+    good_rmse_ = serving_rmse_;
+    good_recall_ = serving_recall_;
+  } catch (const std::exception& e) {
+    record->error = std::string("rollback-target persist failed: ") + e.what();
+    util::log_warn("orchestrator: ", record->error);
+  }
+  serving_x_ = x;
+  serving_theta_ = theta;
+  serving_rmse_ = record->gate.rmse;
+  serving_recall_ = record->gate.recall;
+  gate_.set_baseline(serving_rmse_, serving_recall_);
+  std::lock_guard<std::mutex> lock(history_mu_);
+  ++stats_.promotions;
+}
+
+bool Orchestrator::rollback() {
+  std::lock_guard<std::mutex> cycle(cycle_mu_);
+  CycleRecord rec;
+  rec.cycle = ++cycles_run_;
+
+  const auto outcome = live_.refresh_from_checkpoint(good_dir_);
+  if (!outcome.swapped) {
+    util::log_warn("orchestrator: rollback failed: ", outcome.error);
+    return false;
+  }
+  // The rolled-back model is now both serving and the rollback target
+  // (one level deep — rolling back again re-promotes the same snapshot).
+  auto [x, theta] = reconstruct_factors(*live_.pin().store);
+  serving_x_ = std::move(x);
+  serving_theta_ = std::move(theta);
+  serving_rmse_ = good_rmse_;
+  serving_recall_ = good_recall_;
+  gate_.set_baseline(serving_rmse_, serving_recall_);
+
+  rec.outcome = CycleOutcome::kRolledBack;
+  rec.generation = outcome.generation;
+  rec.swap_pause_ms = outcome.swap_pause_ms;
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    ++stats_.rollbacks;
+  }
+  append_record(rec);
+  return true;
+}
+
+void Orchestrator::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> lock(daemon_mu_);
+    if (daemon_running_) return;
+    daemon_stop_ = false;
+    daemon_running_ = true;
+  }
+  daemon_ = std::thread([this] { daemon_loop(); });
+}
+
+void Orchestrator::stop() {
+  // lifecycle_mu_ is held across the join, so a stop() racing another
+  // stop() (or the destructor) blocks until the daemon has fully exited
+  // instead of returning while it still runs against our members. The
+  // daemon thread itself never takes lifecycle_mu_, so no deadlock.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> lock(daemon_mu_);
+    if (!daemon_running_) return;
+    daemon_stop_ = true;
+  }
+  daemon_cv_.notify_all();
+  daemon_.join();
+  std::lock_guard<std::mutex> lock(daemon_mu_);
+  daemon_running_ = false;
+}
+
+bool Orchestrator::running() const {
+  std::lock_guard<std::mutex> lock(daemon_mu_);
+  return daemon_running_;
+}
+
+void Orchestrator::daemon_loop() {
+  auto next_cadence = std::chrono::steady_clock::now() + opt_.cadence;
+  // Poll well below the cadence so a delta-count trigger fires promptly.
+  const auto poll = std::min<std::chrono::milliseconds>(
+      std::chrono::milliseconds(20),
+      std::max<std::chrono::milliseconds>(opt_.cadence / 4,
+                                          std::chrono::milliseconds(1)));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(daemon_mu_);
+      daemon_cv_.wait_for(lock, poll, [this] { return daemon_stop_; });
+      if (daemon_stop_) return;
+    }
+    const bool delta_hit =
+        opt_.delta_trigger > 0 && log_.pending() >= opt_.delta_trigger;
+    const bool cadence_hit = std::chrono::steady_clock::now() >= next_cadence;
+    if (!delta_hit && !cadence_hit) continue;
+    (void)run_cycle(/*force=*/false);
+    next_cadence = std::chrono::steady_clock::now() + opt_.cadence;
+  }
+}
+
+void Orchestrator::append_record(CycleRecord record) {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  history_.push_back(std::move(record));
+}
+
+std::vector<CycleRecord> Orchestrator::history() const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  return history_;
+}
+
+serve::OrchestratorStats Orchestrator::counters() const {
+  serve::OrchestratorStats out;
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    out = stats_;
+  }
+  out.deltas_ingested = log_.accepted();
+  out.deltas_rejected = log_.rejected();
+  out.baseline_rmse = gate_.baseline_rmse();
+  out.baseline_recall = gate_.baseline_recall();
+  return out;
+}
+
+}  // namespace cumf::orchestrate

@@ -1,0 +1,98 @@
+#include "orchestrate/quality_gate.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace cumf::orchestrate {
+
+namespace {
+std::string format_reject(const char* metric, double got, double limit) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %.4f violates limit %.4f", metric, got,
+                limit);
+  return buf;
+}
+}  // namespace
+
+QualityGate::QualityGate(sparse::CooMatrix holdout, GateOptions opt,
+                         const sparse::CsrMatrix* exclude)
+    : holdout_(std::move(holdout)), opt_(opt), exclude_(exclude) {}
+
+GateReport QualityGate::evaluate(const linalg::FactorMatrix& x,
+                                 const linalg::FactorMatrix& theta) const {
+  GateReport report;
+  report.rmse = eval::rmse(holdout_, x, theta);
+  // Every rejection below is a `metric > limit` comparison, which NaN sails
+  // through — and NaN scores would feed the ranking comparator too. A
+  // diverged candidate (NaN/Inf factors) is rejected here, before anything
+  // else runs.
+  if (!std::isfinite(report.rmse)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.baseline_rmse = baseline_rmse_;
+    report.baseline_recall = baseline_recall_;
+    report.reason = "holdout rmse is not finite (diverged candidate)";
+    return report;
+  }
+  const auto ranking = eval::ranking_quality(holdout_, x, theta, opt_.k,
+                                             exclude_, opt_.max_eval_users);
+  report.recall = ranking.mean_recall;
+  report.ndcg = ranking.mean_ndcg;
+
+  bool has_baseline = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    has_baseline = has_baseline_;
+    report.baseline_rmse = baseline_rmse_;
+    report.baseline_recall = baseline_recall_;
+  }
+
+  if (opt_.max_rmse > 0.0 && report.rmse > opt_.max_rmse) {
+    report.reason = format_reject("holdout rmse", report.rmse, opt_.max_rmse);
+    return report;
+  }
+  if (opt_.min_recall >= 0.0 && report.recall < opt_.min_recall) {
+    report.reason =
+        format_reject("recall@k", report.recall, opt_.min_recall);
+    return report;
+  }
+  if (has_baseline) {
+    if (report.rmse > report.baseline_rmse + opt_.rmse_slack) {
+      report.reason = format_reject("holdout rmse", report.rmse,
+                                    report.baseline_rmse + opt_.rmse_slack);
+      return report;
+    }
+    if (report.recall < report.baseline_recall - opt_.recall_slack) {
+      report.reason = format_reject(
+          "recall@k", report.recall,
+          report.baseline_recall - opt_.recall_slack);
+      return report;
+    }
+  }
+  report.passed = true;
+  return report;
+}
+
+void QualityGate::set_baseline(double rmse, double recall) {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_baseline_ = true;
+  baseline_rmse_ = rmse;
+  baseline_recall_ = recall;
+}
+
+bool QualityGate::has_baseline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_baseline_;
+}
+
+double QualityGate::baseline_rmse() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return baseline_rmse_;
+}
+
+double QualityGate::baseline_recall() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return baseline_recall_;
+}
+
+}  // namespace cumf::orchestrate

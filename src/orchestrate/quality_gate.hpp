@@ -1,0 +1,98 @@
+#pragma once
+
+// Promotion gate: no candidate model reaches serving without passing it.
+//
+// Frequent retraining cuts both ways — a retrain over a poisoned delta
+// batch, a diverged solve, or a bad warm start would otherwise hot-swap a
+// *worse* model under live traffic. The gate evaluates every candidate
+// (X, Θ) against a held-out rating slice on two axes before the orchestrator
+// may promote it:
+//
+//   - RMSE on the held-out slice (eval::rmse) — the paper's convergence
+//     metric; catches diverged or undertrained candidates;
+//   - recall@k (eval::ranking_quality) — serving quality proper; catches
+//     models whose error looks fine but whose rankings collapsed.
+//
+// Each axis has an absolute floor/ceiling and a relative slack against the
+// *baseline* — the metrics of the model currently serving, updated on every
+// promotion — so quality may wobble within the slack but never regress past
+// it. A candidate failing any check is rejected with a human-readable
+// reason; the orchestrator logs it and keeps the old generation serving.
+
+#include <mutex>
+#include <string>
+
+#include "eval/metrics.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf::orchestrate {
+
+struct GateOptions {
+  /// Absolute held-out RMSE ceiling; candidates above it never promote.
+  /// <= 0 disables the absolute check.
+  double max_rmse = 0.0;
+  /// Candidate RMSE may exceed the baseline by at most this (absolute).
+  double rmse_slack = 0.02;
+  /// Absolute recall@k floor; < 0 disables (0 is a real floor: a model
+  /// recommending nothing relevant is rejected).
+  double min_recall = -1.0;
+  /// Candidate recall@k may trail the baseline by at most this.
+  double recall_slack = 0.05;
+  /// k for the ranking metrics.
+  int k = 10;
+  /// Users sampled for the ranking metrics (gate cost bound).
+  int max_eval_users = 200;
+};
+
+struct GateReport {
+  bool passed = false;
+  double rmse = 0.0;
+  double recall = 0.0;
+  double ndcg = 0.0;
+  /// Baseline the candidate was judged against (0/0 before any baseline).
+  double baseline_rmse = 0.0;
+  double baseline_recall = 0.0;
+  /// Why the candidate was rejected; empty when passed.
+  std::string reason;
+};
+
+class QualityGate {
+ public:
+  /// `holdout` is the held-out rating slice every candidate is scored on;
+  /// `exclude`, when set, must outlive the gate (training CSR, so ranking
+  /// mirrors serving's already-rated filter).
+  QualityGate(sparse::CooMatrix holdout, GateOptions opt,
+              const sparse::CsrMatrix* exclude = nullptr);
+
+  QualityGate(const QualityGate&) = delete;
+  QualityGate& operator=(const QualityGate&) = delete;
+
+  /// Scores the candidate and applies the floors + baseline slacks. Does
+  /// not update the baseline — promotion decides that (set_baseline).
+  [[nodiscard]] GateReport evaluate(const linalg::FactorMatrix& x,
+                                    const linalg::FactorMatrix& theta) const;
+
+  /// Records the metrics of the model now serving; subsequent candidates
+  /// are judged relative to them. Called by the orchestrator on promotion
+  /// (and once at startup for the initial generation).
+  void set_baseline(double rmse, double recall);
+
+  [[nodiscard]] bool has_baseline() const;
+  [[nodiscard]] double baseline_rmse() const;
+  [[nodiscard]] double baseline_recall() const;
+  [[nodiscard]] const GateOptions& options() const { return opt_; }
+
+ private:
+  sparse::CooMatrix holdout_;
+  GateOptions opt_;
+  const sparse::CsrMatrix* exclude_;
+
+  mutable std::mutex mu_;  // baseline shared between gate calls + stats
+  bool has_baseline_ = false;
+  double baseline_rmse_ = 0.0;
+  double baseline_recall_ = 0.0;
+};
+
+}  // namespace cumf::orchestrate

@@ -1,0 +1,90 @@
+#include "orchestrate/rating_log.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+namespace cumf::orchestrate {
+
+namespace {
+std::uint64_t pair_key(idx_t user, idx_t item) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(user)) << 32 |
+         static_cast<std::uint32_t>(item);
+}
+}  // namespace
+
+RatingLog::RatingLog(sparse::CooMatrix base)
+    : rows_(base.rows), cols_(base.cols), merged_(std::move(base)) {}
+
+bool RatingLog::append(idx_t user, idx_t item, real_t value) {
+  // The AddRating op carries a raw f64 off the network: a NaN/Inf rating
+  // would poison every future training snapshot, so non-finite values are
+  // rejected like out-of-range ids.
+  if (user < 0 || user >= rows_ || item < 0 || item >= cols_ ||
+      !std::isfinite(value)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back({user, item, value});
+  ++accepted_;
+  return true;
+}
+
+std::uint64_t RatingLog::accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepted_;
+}
+
+std::uint64_t RatingLog::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+std::uint64_t RatingLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+RatingLog::Snapshot RatingLog::snapshot() {
+  // Take the pending deltas; appends continue unblocked from here on. The
+  // merge below mutates merged_, which only snapshot() touches — and
+  // concurrent snapshots are already serialized by the orchestrator's cycle
+  // lock, so mu_ protects exactly the shared append state.
+  std::vector<RatingDelta> deltas;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deltas.swap(pending_);
+  }
+
+  if (!deltas.empty()) {
+    // Last-writer-wins: overwrite in place when the pair exists, append when
+    // it doesn't. The index covers merged_ exactly (rebuilt lazily per merge
+    // batch; O(base) only when deltas actually arrived).
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    index.reserve(merged_.val.size() + deltas.size());
+    for (std::size_t i = 0; i < merged_.val.size(); ++i) {
+      index.emplace(pair_key(merged_.row[i], merged_.col[i]), i);
+    }
+    for (const auto& d : deltas) {
+      const auto [it, inserted] =
+          index.try_emplace(pair_key(d.user, d.item), merged_.val.size());
+      if (inserted) {
+        merged_.push_back(d.user, d.item, d.value);
+      } else {
+        merged_.val[it->second] = d.value;
+      }
+    }
+    applied_ += deltas.size();
+  }
+
+  Snapshot s;
+  s.coo = merged_;
+  s.csr = sparse::coo_to_csr(s.coo);
+  s.csr_t = sparse::csc_as_csr_of_transpose(sparse::csr_to_csc(s.csr));
+  s.deltas_applied = applied_;
+  return s;
+}
+
+}  // namespace cumf::orchestrate

@@ -1,0 +1,92 @@
+#pragma once
+
+// Thread-safe rating-delta ingestion for the retrain orchestrator.
+//
+// The paper's economics argue for *frequent* retraining — which only matters
+// if each retrain sees data the last one didn't. A RatingLog owns the base
+// rating matrix (the COO the serving model was trained on) and accepts a
+// stream of rating deltas from any thread: online feedback arriving over the
+// TCP front-end's AddRating op, an offline backfill, a test driver.
+//
+// snapshot() merges base + every accepted delta into the CSR/CSC pair the
+// AlsSolver trains on. Merge semantics are last-writer-wins per (user, item):
+// a delta for an already-rated pair overwrites that rating; a delta for a new
+// pair appends. Deltas never grow the matrix — the base dimensions fix the
+// id range, and out-of-range ids or non-finite values are rejected (counted,
+// not thrown), the same contract the serving path applies to unknown user
+// ids.
+//
+// append() is a mutex push_back — cheap enough to sit on the network io
+// thread — and snapshot() does the O(base + deltas) merge under the same
+// mutex only long enough to copy the pending vector out, so ingestion never
+// stalls behind a retrain.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cumf::orchestrate {
+
+struct RatingDelta {
+  idx_t user = 0;
+  idx_t item = 0;
+  real_t value = 0;
+};
+
+class RatingLog {
+ public:
+  /// The base matrix the current serving model was trained on. Its
+  /// dimensions bound the accepted (user, item) id range.
+  explicit RatingLog(sparse::CooMatrix base);
+
+  RatingLog(const RatingLog&) = delete;
+  RatingLog& operator=(const RatingLog&) = delete;
+
+  /// Appends one delta. Returns false — and counts a rejection — when the
+  /// user or item id falls outside the base matrix or the value is not
+  /// finite (the wire feeds raw f64s in here).
+  bool append(idx_t user, idx_t item, real_t value);
+
+  [[nodiscard]] idx_t users() const { return rows_; }
+  [[nodiscard]] idx_t items() const { return cols_; }
+
+  /// Deltas accepted since construction.
+  [[nodiscard]] std::uint64_t accepted() const;
+  /// Deltas rejected for out-of-range ids.
+  [[nodiscard]] std::uint64_t rejected() const;
+  /// Deltas accepted since the last snapshot() — the orchestrator's
+  /// retrain-trigger signal.
+  [[nodiscard]] std::uint64_t pending() const;
+
+  struct Snapshot {
+    sparse::CooMatrix coo;   // base + deltas, last-writer-wins
+    sparse::CsrMatrix csr;   // coo compiled for update-X
+    sparse::CsrMatrix csr_t; // CSR of the transpose, for update-Θ
+    std::uint64_t deltas_applied = 0;  // lifetime deltas merged into `coo`
+  };
+
+  /// Merges base + all accepted deltas into a training-ready snapshot and
+  /// resets pending() to the deltas that arrive afterwards. Safe to call
+  /// concurrently with append(); snapshot() callers must serialize among
+  /// themselves (the Orchestrator's cycle lock does).
+  [[nodiscard]] Snapshot snapshot();
+
+ private:
+  idx_t rows_;
+  idx_t cols_;
+
+  mutable std::mutex mu_;
+  // Base folded forward: each snapshot merges pending deltas into merged_
+  // so repeated retrains don't replay the whole delta history.
+  sparse::CooMatrix merged_;
+  std::vector<RatingDelta> pending_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace cumf::orchestrate

@@ -1,0 +1,54 @@
+#include "orchestrate/trainer.hpp"
+
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "eval/metrics.hpp"
+#include "gpusim/device_group.hpp"
+#include "util/stopwatch.hpp"
+
+namespace cumf::orchestrate {
+
+Trainer::Trainer(TrainerOptions opt, std::string candidate_dir)
+    : opt_(std::move(opt)), candidate_dir_(std::move(candidate_dir)) {}
+
+TrainResult Trainer::train(const RatingLog::Snapshot& snap,
+                           const linalg::FactorMatrix* warm_x,
+                           const linalg::FactorMatrix* warm_theta) {
+  util::Stopwatch wall;
+
+  const auto topo = gpusim::PcieTopology::flat(opt_.devices);
+  gpusim::DeviceGroup gpus(opt_.devices, opt_.device_spec, topo);
+  core::SolverConfig cfg = opt_.solver;
+  cfg.als.iterations = opt_.iterations;
+  core::AlsSolver solver(gpus.pointers(), topo, snap.csr, snap.csr_t, cfg);
+
+  const bool warm = opt_.warm_start && warm_x != nullptr &&
+                    warm_theta != nullptr &&
+                    warm_x->rows() == solver.x().rows() &&
+                    warm_theta->rows() == solver.theta().rows() &&
+                    warm_x->f() == solver.x().f() &&
+                    warm_theta->f() == solver.theta().f();
+  if (warm) solver.set_factors(*warm_x, *warm_theta);
+
+  for (int it = 0; it < opt_.iterations; ++it) solver.run_iteration();
+
+  TrainResult result;
+  result.iterations = opt_.iterations;
+  result.modeled_seconds = solver.modeled_seconds();
+  result.x = solver.x();
+  result.theta = solver.theta();
+  result.train_rmse = eval::rmse(snap.coo, result.x, result.theta);
+
+  // Stamp with a lifetime-monotonic iteration count so the candidate dir's
+  // restore() ordering matches publication order across cycles.
+  total_iterations_ += opt_.iterations;
+  core::CheckpointManager manager(candidate_dir_);
+  manager.save_x(result.x, total_iterations_);
+  manager.save_theta(result.theta, total_iterations_);
+
+  result.wall_ms = wall.milliseconds();
+  return result;
+}
+
+}  // namespace cumf::orchestrate

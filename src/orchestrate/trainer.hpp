@@ -1,0 +1,75 @@
+#pragma once
+
+// Off-query-path retraining for the orchestrator.
+//
+// Each retrain cycle builds a fresh core::AlsSolver over the RatingLog's
+// latest snapshot (the grid plan depends on the nonzero structure, so the
+// solver is not reusable across snapshots), optionally warm-starts it from
+// the factors serving right now — a handful of ALS iterations from a good
+// iterate beats a cold start, which is exactly what makes frequent
+// retraining cheap — runs a fixed iteration budget, and writes the candidate
+// (X, Θ) through core::CheckpointManager into the candidate directory.
+//
+// The candidate checkpoint is written with the atomic unique-temp + rename
+// publish, so the serving side (LiveFactorStore::refresh_from_checkpoint)
+// can load it the moment train() returns with no torn-file window. Nothing
+// here touches the query path: training runs on the caller's thread against
+// its own simulated devices.
+
+#include <string>
+
+#include "core/solver.hpp"
+#include "gpusim/device_spec.hpp"
+#include "orchestrate/rating_log.hpp"
+
+namespace cumf::orchestrate {
+
+struct TrainerOptions {
+  /// Solver configuration (latent rank, lambda, kernel toggles...). The
+  /// iteration budget below overrides config.als.iterations.
+  core::SolverConfig solver;
+  /// ALS iterations per retrain cycle.
+  int iterations = 4;
+  /// Simulated devices to train on.
+  int devices = 1;
+  gpusim::DeviceSpec device_spec = gpusim::titan_x();
+  /// Warm-start from the currently-serving factors when their shapes match
+  /// the snapshot (they always do — RatingLog never grows the matrix).
+  bool warm_start = true;
+};
+
+struct TrainResult {
+  int iterations = 0;            // ALS iterations this cycle ran
+  double wall_ms = 0.0;          // host wall time of the training run
+  double modeled_seconds = 0.0;  // simulated device clock
+  double train_rmse = 0.0;       // RMSE on the snapshot it trained on
+  linalg::FactorMatrix x;        // candidate factors, handed to the gate
+  linalg::FactorMatrix theta;
+};
+
+class Trainer {
+ public:
+  /// `candidate_dir` must exist; each train() overwrites the candidate
+  /// checkpoint in it (atomically — see core/checkpoint.cpp).
+  Trainer(TrainerOptions opt, std::string candidate_dir);
+
+  /// Trains on `snap`, warm-started from `warm_x`/`warm_theta` when given
+  /// (and enabled), and publishes the candidate checkpoint. The checkpoint's
+  /// iteration stamp increments monotonically across calls so restore()
+  /// always prefers the newest candidate.
+  TrainResult train(const RatingLog::Snapshot& snap,
+                    const linalg::FactorMatrix* warm_x = nullptr,
+                    const linalg::FactorMatrix* warm_theta = nullptr);
+
+  [[nodiscard]] const std::string& candidate_dir() const {
+    return candidate_dir_;
+  }
+  [[nodiscard]] const TrainerOptions& options() const { return opt_; }
+
+ private:
+  TrainerOptions opt_;
+  std::string candidate_dir_;
+  int total_iterations_ = 0;  // lifetime stamp for checkpoint ordering
+};
+
+}  // namespace cumf::orchestrate

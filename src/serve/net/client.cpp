@@ -105,6 +105,30 @@ QueryResponse Client::query(idx_t user, int k) {
   return read_query_response();
 }
 
+void Client::send_add_rating(idx_t user, idx_t item, double value) {
+  std::vector<std::uint8_t> frame;
+  encode_add_rating_request(AddRatingRequest{user, item, value}, &frame);
+  send_all(frame.data(), frame.size());
+}
+
+Status Client::read_add_rating_response() {
+  std::size_t off = 0, len = 0;
+  read_frame(&off, &len);
+  QueryResponse query;
+  StatsResponse stats;
+  const MsgType type = decode_response(buf_.data() + off, len, &query, &stats);
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
+  if (type != MsgType::kAddRating) {
+    throw ProtocolError("expected an add-rating response");
+  }
+  return query.status;
+}
+
+Status Client::add_rating(idx_t user, idx_t item, double value) {
+  send_add_rating(user, item, value);
+  return read_add_rating_response();
+}
+
 StatsResponse Client::stats() {
   std::vector<std::uint8_t> frame;
   encode_stats_request(&frame);

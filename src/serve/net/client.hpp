@@ -35,9 +35,16 @@ class Client {
   /// Synchronous round trip: the server's ServeStats snapshot.
   StatsResponse stats();
 
+  /// Synchronous round trip: hands one rating delta to the server's ingest
+  /// sink (the retrain orchestrator's RatingLog). kOk = accepted, kBadUser =
+  /// out-of-range ids, kBadRequest = server has no ingest sink.
+  Status add_rating(idx_t user, idx_t item, double value);
+
   // --- pipelined half-calls (responses arrive in request order) -----------
   void send_query(idx_t user, int k);
   QueryResponse read_query_response();
+  void send_add_rating(idx_t user, idx_t item, double value);
+  Status read_add_rating_response();
 
  private:
   void send_all(const std::uint8_t* data, std::size_t size);

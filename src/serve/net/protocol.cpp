@@ -123,6 +123,18 @@ StatsResponse stats_from(const ServeStats& s) {
   w.queue_p99_ms = s.queue_delay.p99_ms;
   w.batch_wall_p99_ms = s.batch_wall.p99_ms;
   w.net_e2e_p99_ms = s.net_e2e.p99_ms;
+  w.retrains = s.orchestrator.retrains;
+  w.promotions = s.orchestrator.promotions;
+  w.rejections = s.orchestrator.rejections;
+  w.rollbacks = s.orchestrator.rollbacks;
+  w.deltas_ingested = s.orchestrator.deltas_ingested;
+  w.deltas_rejected = s.orchestrator.deltas_rejected;
+  w.gate_rmse = s.orchestrator.last_gate_rmse;
+  w.gate_recall = s.orchestrator.last_gate_recall;
+  w.baseline_rmse = s.orchestrator.baseline_rmse;
+  w.baseline_recall = s.orchestrator.baseline_recall;
+  w.train_wall_ms = s.orchestrator.last_train_wall_ms;
+  w.train_modeled_s = s.orchestrator.last_train_modeled_s;
   return w;
 }
 
@@ -138,6 +150,24 @@ void encode_query_request(const QueryRequest& req,
 void encode_stats_request(std::vector<std::uint8_t>* out) {
   const std::size_t mark = open_frame(out);
   put_u8(out, static_cast<std::uint8_t>(MsgType::kStats));
+  seal_frame(out, mark);
+}
+
+void encode_add_rating_request(const AddRatingRequest& req,
+                               std::vector<std::uint8_t>* out) {
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kAddRating));
+  put_i32(out, req.user);
+  put_i32(out, req.item);
+  put_f64(out, req.value);
+  seal_frame(out, mark);
+}
+
+void encode_add_rating_response(Status status,
+                                std::vector<std::uint8_t>* out) {
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kAddRating));
+  put_u8(out, static_cast<std::uint8_t>(status));
   seal_frame(out, mark);
 }
 
@@ -174,6 +204,18 @@ void encode_stats_response(const StatsResponse& resp,
   put_f64(out, resp.queue_p99_ms);
   put_f64(out, resp.batch_wall_p99_ms);
   put_f64(out, resp.net_e2e_p99_ms);
+  put_u64(out, resp.retrains);
+  put_u64(out, resp.promotions);
+  put_u64(out, resp.rejections);
+  put_u64(out, resp.rollbacks);
+  put_u64(out, resp.deltas_ingested);
+  put_u64(out, resp.deltas_rejected);
+  put_f64(out, resp.gate_rmse);
+  put_f64(out, resp.gate_recall);
+  put_f64(out, resp.baseline_rmse);
+  put_f64(out, resp.baseline_recall);
+  put_f64(out, resp.train_wall_ms);
+  put_f64(out, resp.train_modeled_s);
   seal_frame(out, mark);
 }
 
@@ -204,6 +246,12 @@ Request decode_request(const std::uint8_t* payload, std::size_t len) {
       break;
     case MsgType::kStats:
       req.type = MsgType::kStats;
+      break;
+    case MsgType::kAddRating:
+      req.type = MsgType::kAddRating;
+      req.rating.user = r.i32();
+      req.rating.item = r.i32();
+      req.rating.value = r.f64();
       break;
     default:
       throw ProtocolError("unknown request type " + std::to_string(type));
@@ -252,8 +300,27 @@ MsgType decode_response(const std::uint8_t* payload, std::size_t len,
       stats->queue_p99_ms = r.f64();
       stats->batch_wall_p99_ms = r.f64();
       stats->net_e2e_p99_ms = r.f64();
+      stats->retrains = r.u64();
+      stats->promotions = r.u64();
+      stats->rejections = r.u64();
+      stats->rollbacks = r.u64();
+      stats->deltas_ingested = r.u64();
+      stats->deltas_rejected = r.u64();
+      stats->gate_rmse = r.f64();
+      stats->gate_recall = r.f64();
+      stats->baseline_rmse = r.f64();
+      stats->baseline_recall = r.f64();
+      stats->train_wall_ms = r.f64();
+      stats->train_modeled_s = r.f64();
       r.expect_done();
       return MsgType::kStats;
+    }
+    case MsgType::kAddRating: {
+      query->status = static_cast<Status>(r.u8());
+      query->generation = 0;
+      query->items.clear();
+      r.expect_done();
+      return MsgType::kAddRating;
     }
     default:
       throw ProtocolError("unknown response type " + std::to_string(type));

@@ -5,7 +5,7 @@
 // A deliberately small, length-prefixed binary protocol: every message is one
 // frame, `u32 payload_len` followed by `payload_len` bytes of payload, all
 // integers little-endian (doubles are IEEE-754 bit patterns carried in a
-// little-endian u64). Two operations:
+// little-endian u64). Three operations:
 //
 //   QueryRequest  { u8 type=1, i32 user, i32 k }
 //   QueryResponse { u8 type=1, u8 status, u64 generation, u32 count,
@@ -17,7 +17,22 @@
 //                   u64 e2e_samples, u64 e2e_total,
 //                   f64 e2e_p50_ms, f64 e2e_p95_ms, f64 e2e_p99_ms,
 //                   f64 queue_p50_ms, f64 queue_p99_ms,
-//                   f64 batch_wall_p99_ms, f64 net_e2e_p99_ms }
+//                   f64 batch_wall_p99_ms, f64 net_e2e_p99_ms,
+//                   u64 retrains, u64 promotions, u64 rejections,
+//                   u64 rollbacks, u64 deltas_ingested, u64 deltas_rejected,
+//                   f64 gate_rmse, f64 gate_recall,
+//                   f64 baseline_rmse, f64 baseline_recall,
+//                   f64 train_wall_ms, f64 train_modeled_s }
+//
+//   AddRatingRequest  { u8 type=3, i32 user, i32 item, f64 value }
+//   AddRatingResponse { u8 type=3, u8 status }
+//
+// AddRating feeds the retrain orchestrator's RatingLog (src/orchestrate/):
+// a server without an ingest sink attached answers kBadRequest; one with a
+// sink answers kOk when the delta was accepted and kBadUser when the user
+// or item id falls outside the training matrix. The stats tail reports the
+// orchestrator counters (all-zero without an orchestrator) so promotion /
+// rejection activity is observable over the same socket queries ride.
 //
 // Responses arrive in request order on each connection (the server pipelines
 // but never reorders), so no request id is needed. A query's `k` may be at
@@ -47,7 +62,7 @@ inline constexpr std::uint32_t kMaxPayload = 1u << 20;
 /// Bytes of the length prefix that fronts every frame.
 inline constexpr std::size_t kFramePrefix = 4;
 
-enum class MsgType : std::uint8_t { kQuery = 1, kStats = 2 };
+enum class MsgType : std::uint8_t { kQuery = 1, kStats = 2, kAddRating = 3 };
 
 enum class Status : std::uint8_t {
   kOk = 0,
@@ -66,6 +81,15 @@ class ProtocolError : public std::runtime_error {
 struct QueryRequest {
   idx_t user = 0;
   std::int32_t k = 0;
+};
+
+/// One rating delta bound for the orchestrator's RatingLog. The value rides
+/// as f64 on the wire (protocol uniformity) and narrows to real_t at the
+/// ingest sink.
+struct AddRatingRequest {
+  idx_t user = 0;
+  idx_t item = 0;
+  double value = 0.0;
 };
 
 struct QueryResponse {
@@ -90,6 +114,20 @@ struct StatsResponse {
   double queue_p99_ms = 0.0;
   double batch_wall_p99_ms = 0.0;
   double net_e2e_p99_ms = 0.0;
+  // Retrain-orchestrator slice (ServeStats::orchestrator); all-zero when the
+  // server has no orchestrator behind it.
+  std::uint64_t retrains = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t deltas_ingested = 0;
+  std::uint64_t deltas_rejected = 0;
+  double gate_rmse = 0.0;
+  double gate_recall = 0.0;
+  double baseline_rmse = 0.0;
+  double baseline_recall = 0.0;
+  double train_wall_ms = 0.0;
+  double train_modeled_s = 0.0;
 };
 
 /// Builds the wire stats from a ServeStats snapshot.
@@ -98,16 +136,20 @@ StatsResponse stats_from(const ServeStats& s);
 /// A decoded request frame (the server side of the protocol).
 struct Request {
   MsgType type = MsgType::kQuery;
-  QueryRequest query;  // valid when type == kQuery
+  QueryRequest query;       // valid when type == kQuery
+  AddRatingRequest rating;  // valid when type == kAddRating
 };
 
 // --- encoding: append one complete frame (length prefix included) ----------
 void encode_query_request(const QueryRequest& req, std::vector<std::uint8_t>* out);
 void encode_stats_request(std::vector<std::uint8_t>* out);
+void encode_add_rating_request(const AddRatingRequest& req,
+                               std::vector<std::uint8_t>* out);
 void encode_query_response(const QueryResponse& resp,
                            std::vector<std::uint8_t>* out);
 void encode_stats_response(const StatsResponse& resp,
                            std::vector<std::uint8_t>* out);
+void encode_add_rating_response(Status status, std::vector<std::uint8_t>* out);
 
 // --- framing ---------------------------------------------------------------
 
@@ -121,7 +163,8 @@ bool try_frame(const std::uint8_t* data, std::size_t size,
 // --- decoding (payload bytes, prefix already stripped) ---------------------
 Request decode_request(const std::uint8_t* payload, std::size_t len);
 /// Decodes a response payload; *stats is filled when the frame is a stats
-/// response (returned QueryResponse then carries only `status`).
+/// response; for stats and add-rating responses the returned QueryResponse
+/// carries only `status`.
 MsgType decode_response(const std::uint8_t* payload, std::size_t len,
                         QueryResponse* query, StatsResponse* stats);
 

@@ -111,6 +111,7 @@ void TcpServer::stop() {
 ServeStats TcpServer::stats() const {
   ServeStats s = batcher_.stats();
   s.net_e2e = net_e2e_.summary();
+  if (opt_.augment_stats) opt_.augment_stats(s);
   return s;
 }
 
@@ -193,6 +194,21 @@ bool TcpServer::handle_frame(const std::shared_ptr<Conn>& conn,
   if (req.type == MsgType::kStats) {
     std::vector<std::uint8_t> encoded;
     encode_stats_response(stats_from(stats()), &encoded);
+    respond(conn, can_inline, t0, std::move(encoded));
+    return true;
+  }
+
+  if (req.type == MsgType::kAddRating) {
+    // Ratings are answered at submit time like stats: the ingest sink is a
+    // mutex push_back, so there is nothing to hand to the completion thread.
+    Status status = Status::kBadRequest;  // no ingest sink attached
+    if (opt_.ingest) {
+      status = opt_.ingest(req.rating.user, req.rating.item, req.rating.value)
+                   ? Status::kOk
+                   : Status::kBadUser;
+    }
+    std::vector<std::uint8_t> encoded;
+    encode_add_rating_response(status, &encoded);
     respond(conn, can_inline, t0, std::move(encoded));
     return true;
   }

@@ -34,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,14 @@ struct ServerOptions {
   int backlog = 64;
   /// Connections beyond this are accepted and closed immediately.
   std::size_t max_connections = 256;
+  /// Sink for AddRating frames (the retrain orchestrator's RatingLog).
+  /// Returning false answers kBadUser (out-of-range ids); an unset sink
+  /// answers every AddRating with kBadRequest. Called on the io thread, so
+  /// it must be cheap and thread-safe (RatingLog::append is both).
+  std::function<bool(idx_t user, idx_t item, double value)> ingest;
+  /// Merges extra counters into stats() snapshots before they are encoded
+  /// for the stats op (Orchestrator::merge_into). Must be thread-safe.
+  std::function<void(ServeStats&)> augment_stats;
 };
 
 /// Serves a RequestBatcher over TCP. The batcher (and everything behind it)

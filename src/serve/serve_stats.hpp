@@ -81,6 +81,29 @@ class LatencyTracker {
   std::uint64_t next_ = 0;  // total recorded; ring write cursor
 };
 
+/// Counters exported by the retrain orchestrator (src/orchestrate/) when one
+/// runs behind the serving stack. All-zero otherwise. Defined here — not in
+/// orchestrate/ — so the stats op and its consumers need no dependency on
+/// the orchestration layer.
+struct OrchestratorStats {
+  std::uint64_t retrains = 0;     // retrain cycles that ran a training pass
+  std::uint64_t promotions = 0;   // candidates that passed the gate + swapped
+  std::uint64_t rejections = 0;   // candidates the quality gate refused
+  std::uint64_t rollbacks = 0;    // reverts to the last-good checkpoint
+  std::uint64_t deltas_ingested = 0;  // rating deltas accepted by the log
+  std::uint64_t deltas_rejected = 0;  // deltas with out-of-range ids
+  /// Gate metrics of the most recently evaluated candidate.
+  double last_gate_rmse = 0.0;
+  double last_gate_recall = 0.0;
+  /// Baseline (currently-serving model) metrics candidates are judged
+  /// against.
+  double baseline_rmse = 0.0;
+  double baseline_recall = 0.0;
+  /// Cost of the most recent training pass, on both time axes.
+  double last_train_wall_ms = 0.0;
+  double last_train_modeled_s = 0.0;
+};
+
 struct ServeStats {
   std::uint64_t queries = 0;       // user queries answered (hit or miss)
   std::uint64_t batches = 0;       // micro-batches flushed to the engine
@@ -129,6 +152,11 @@ struct ServeStats {
   /// Duration of each refresh's pointer-swap critical section (queries never
   /// block on it — they hold generation pins, not locks).
   LatencySummary swap_pause;
+
+  /// Retrain-orchestrator counters; all-zero when no orchestrator is
+  /// attached. Filled by Orchestrator::merge_into (the TcpServer's
+  /// augment_stats hook routes it into the stats op).
+  OrchestratorStats orchestrator;
 };
 
 }  // namespace cumf::serve

@@ -1,6 +1,10 @@
 #include "util/binary_io.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -37,6 +41,38 @@ void write_blob(const std::string& path, std::uint32_t tag,
             static_cast<std::streamsize>(payload.size()));
   out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   if (!out) throw std::runtime_error("write_blob: short write to " + path);
+}
+
+std::string stage_blob(const std::string& path, std::uint32_t tag,
+                       std::span<const std::byte> payload) {
+  // Unique per process *and* per call: two threads (or two processes sharing
+  // a checkpoint directory) publishing the same path never write through the
+  // same temp file, so a rename of the staged file always moves a complete
+  // blob.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq.fetch_add(1));
+  try {
+    write_blob(tmp, tag, payload);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+  return tmp;
+}
+
+void write_blob_atomic(const std::string& path, std::uint32_t tag,
+                       std::span<const std::byte> payload) {
+  const std::string tmp = stage_blob(path, tag, payload);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    throw std::runtime_error("write_blob_atomic: rename to " + path +
+                             " failed: " + ec.message());
+  }
 }
 
 std::vector<std::byte> read_blob(const std::string& path, std::uint32_t tag) {

@@ -26,6 +26,21 @@ std::uint64_t fnv1a(const void* data, std::size_t bytes);
 void write_blob(const std::string& path, std::uint32_t tag,
                 std::span<const std::byte> payload);
 
+/// Writes the blob to a uniquely-named temp file next to `path` (distinct
+/// pid+sequence suffix, so concurrent writers never share a temp) and
+/// returns the temp path without touching `path` itself. Callers sequence
+/// their own publish — e.g. the checkpoint manager rotates current→previous
+/// only after staging succeeds, so a failed write can never cost an
+/// existing snapshot. The temp file is removed on write failure.
+std::string stage_blob(const std::string& path, std::uint32_t tag,
+                       std::span<const std::byte> payload);
+
+/// stage_blob + a single atomic rename onto `path`: a concurrent reader sees
+/// either the previous complete file or the new complete file, never a
+/// partial write. The temp file is removed on failure.
+void write_blob_atomic(const std::string& path, std::uint32_t tag,
+                       std::span<const std::byte> payload);
+
 /// Reads a blob written by write_blob, verifying magic, tag and checksum.
 /// Throws std::runtime_error on mismatch or I/O failure.
 std::vector<std::byte> read_blob(const std::string& path, std::uint32_t tag);

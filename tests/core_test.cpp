@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -1012,6 +1015,64 @@ TEST_F(CheckpointTest, FallsBackToPreviousOnCorruption) {
   EXPECT_EQ(restored->x.data(), x1.data());  // previous snapshot
   EXPECT_EQ(restored->x_iteration, 1);
   EXPECT_EQ(restored->resume_iteration(), 1);
+}
+
+TEST_F(CheckpointTest, ConcurrentSaversNeverExposeATornSnapshot) {
+  // Two writers rotate + publish the same stems while a reader restores in
+  // a tight loop — the retrain daemon's exact access pattern. Every
+  // successful restore must be a self-consistent snapshot (each factor's
+  // entries all equal its iteration stamp); the unique-temp + atomic-rename
+  // publish is what makes a torn or writer-interleaved file impossible.
+  constexpr int kWriters = 2;
+  constexpr int kSavesPerWriter = 40;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> restored_ok{0};
+
+  std::thread reader([&] {
+    const CheckpointManager mgr(dir_);
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto r = mgr.restore();
+      if (!r) continue;  // nothing published yet (or rotation in flight)
+      const auto consistent = [](const linalg::FactorMatrix& m, int iter) {
+        return std::all_of(m.data().begin(), m.data().end(), [&](real_t v) {
+          return v == static_cast<real_t>(iter);
+        });
+      };
+      if (!consistent(r->x, r->x_iteration) ||
+          !consistent(r->theta, r->theta_iteration)) {
+        torn.fetch_add(1);
+      }
+      restored_ok.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      CheckpointManager mgr(dir_);
+      for (int i = 0; i < kSavesPerWriter; ++i) {
+        const int stamp = w * kSavesPerWriter + i + 1;
+        linalg::FactorMatrix x(64, 8), theta(48, 8);
+        std::fill(x.data().begin(), x.data().end(),
+                  static_cast<real_t>(stamp));
+        std::fill(theta.data().begin(), theta.data().end(),
+                  static_cast<real_t>(stamp));
+        mgr.save_x(x, stamp);
+        mgr.save_theta(theta, stamp);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(restored_ok.load(), 0);
+  // After the dust settles the directory holds a complete valid snapshot.
+  const auto settled = CheckpointManager(dir_).restore();
+  ASSERT_TRUE(settled.has_value());
+  EXPECT_GE(settled->resume_iteration(), 1);
 }
 
 TEST_F(CheckpointTest, EmptyDirRestoresNothing) {

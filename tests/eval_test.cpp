@@ -136,5 +136,53 @@ TEST(Ranking, NdcgAtK) {
   EXPECT_LE(ndcg_at_k(std::vector<idx_t>{10, 10, 20, 20}, rel), 1.0);
 }
 
+TEST(Ranking, RankingQualityBatch) {
+  // f=2, hand-built factors with unambiguous rankings. User 0 points along
+  // axis 0: scores 3, 2, 1, 0 → top-2 = {0, 1}. User 1 points along axis 1:
+  // only item 3 scores > 0; ties at 0 break by ascending item id → {3, 0}.
+  linalg::FactorMatrix x(3, 2), theta(4, 2);
+  x.row(0)[0] = 1.0f;
+  x.row(1)[1] = 1.0f;
+  theta.row(0)[0] = 3.0f;
+  theta.row(1)[0] = 2.0f;
+  theta.row(2)[0] = 1.0f;
+  theta.row(3)[1] = 1.0f;
+
+  sparse::CooMatrix holdout;
+  holdout.rows = 3;
+  holdout.cols = 4;
+  holdout.push_back(0, 0, 1.0f);
+  holdout.push_back(0, 1, 1.0f);
+  holdout.push_back(1, 3, 1.0f);
+  // User 2 has no held-out ratings and must be skipped.
+
+  const auto q = ranking_quality(holdout, x, theta, /*k=*/2);
+  EXPECT_EQ(q.users_evaluated, 2);
+  EXPECT_DOUBLE_EQ(q.mean_recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_ndcg, 1.0);
+
+  // Excluding user 0's top item pushes {1, 2} into their list: one of two
+  // relevant items found → recall 1/2, and the batch mean averages with
+  // user 1's perfect 1.0.
+  sparse::CooMatrix rated;
+  rated.rows = 3;
+  rated.cols = 4;
+  rated.push_back(0, 0, 1.0f);
+  const auto R = sparse::coo_to_csr(rated);
+  const auto qe = ranking_quality(holdout, x, theta, 2, &R);
+  EXPECT_EQ(qe.users_evaluated, 2);
+  EXPECT_NEAR(qe.mean_recall, (0.5 + 1.0) / 2.0, 1e-12);
+
+  // max_users caps evaluation in ascending user order.
+  const auto q1 = ranking_quality(holdout, x, theta, 2, nullptr, 1);
+  EXPECT_EQ(q1.users_evaluated, 1);
+  EXPECT_DOUBLE_EQ(q1.mean_recall, 1.0);
+
+  // Degenerate inputs evaluate nothing rather than throwing.
+  EXPECT_EQ(ranking_quality(holdout, x, theta, 0).users_evaluated, 0);
+  const sparse::CooMatrix empty{3, 4, {}, {}, {}};
+  EXPECT_EQ(ranking_quality(empty, x, theta, 2).users_evaluated, 0);
+}
+
 }  // namespace
 }  // namespace cumf::eval

@@ -9,7 +9,9 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "serve/batcher.hpp"
@@ -123,6 +125,71 @@ TEST(NetProtocol, FramingRejectsGarbageAndReportsIncomplete) {
                ProtocolError);
   const std::uint8_t unknown = 9;
   EXPECT_THROW((void)decode_request(&unknown, 1), ProtocolError);
+}
+
+TEST(NetProtocol, AddRatingRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  encode_add_rating_request(AddRatingRequest{42, 17, 4.5}, &wire);
+
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  const Request req = decode_request(wire.data() + off, len);
+  EXPECT_EQ(req.type, MsgType::kAddRating);
+  EXPECT_EQ(req.rating.user, 42);
+  EXPECT_EQ(req.rating.item, 17);
+  EXPECT_DOUBLE_EQ(req.rating.value, 4.5);
+
+  wire.clear();
+  encode_add_rating_response(Status::kBadUser, &wire);
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse got;
+  StatsResponse stats;
+  ASSERT_EQ(decode_response(wire.data() + off, len, &got, &stats),
+            MsgType::kAddRating);
+  EXPECT_EQ(got.status, Status::kBadUser);
+
+  // Truncated add-rating payload is a violation like any other.
+  wire.clear();
+  encode_add_rating_request(AddRatingRequest{1, 2, 3.0}, &wire);
+  EXPECT_THROW((void)decode_request(wire.data() + 4, wire.size() - 5),
+               ProtocolError);
+}
+
+TEST(NetProtocol, StatsCarriesOrchestratorCounters) {
+  StatsResponse s;
+  s.retrains = 5;
+  s.promotions = 3;
+  s.rejections = 2;
+  s.rollbacks = 1;
+  s.deltas_ingested = 4096;
+  s.deltas_rejected = 9;
+  s.gate_rmse = 0.91;
+  s.gate_recall = 0.22;
+  s.baseline_rmse = 0.89;
+  s.baseline_recall = 0.25;
+  s.train_wall_ms = 130.5;
+  s.train_modeled_s = 0.004;
+
+  std::vector<std::uint8_t> wire;
+  encode_stats_response(s, &wire);
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse query;
+  StatsResponse got;
+  ASSERT_EQ(decode_response(wire.data() + off, len, &query, &got),
+            MsgType::kStats);
+  EXPECT_EQ(got.retrains, 5u);
+  EXPECT_EQ(got.promotions, 3u);
+  EXPECT_EQ(got.rejections, 2u);
+  EXPECT_EQ(got.rollbacks, 1u);
+  EXPECT_EQ(got.deltas_ingested, 4096u);
+  EXPECT_EQ(got.deltas_rejected, 9u);
+  EXPECT_DOUBLE_EQ(got.gate_rmse, 0.91);
+  EXPECT_DOUBLE_EQ(got.gate_recall, 0.22);
+  EXPECT_DOUBLE_EQ(got.baseline_rmse, 0.89);
+  EXPECT_DOUBLE_EQ(got.baseline_recall, 0.25);
+  EXPECT_DOUBLE_EQ(got.train_wall_ms, 130.5);
+  EXPECT_DOUBLE_EQ(got.train_modeled_s, 0.004);
 }
 
 // ---------------------------------------------------- loopback serving -----
@@ -392,6 +459,61 @@ TEST(TcpServer, AnswersStayGenerationConsistentAcrossHotSwap) {
   const auto stats = server.stats();
   EXPECT_EQ(stats.generation, 2u);
   EXPECT_EQ(stats.refreshes, 1u);
+}
+
+// --------------------------------------------------- rating ingestion ------
+
+TEST(TcpServer, AddRatingWithoutSinkIsBadRequest) {
+  LoopbackFixture fx;
+  Client client("127.0.0.1", fx.server->port());
+  EXPECT_EQ(client.add_rating(1, 2, 5.0), Status::kBadRequest);
+  // The connection stays healthy for queries afterwards.
+  EXPECT_EQ(client.query(1, LoopbackFixture::kK).status, Status::kOk);
+}
+
+TEST(TcpServer, AddRatingFeedsIngestSinkInOrder) {
+  const auto x = random_factors(16, 8, 621);
+  const auto theta = random_factors(40, 8, 622);
+  const serve::FactorStore store(x, theta, 2);
+  const serve::TopKEngine engine(store);
+  serve::BatcherOptions bopt;
+  bopt.k = 4;
+  serve::RequestBatcher batcher(engine, bopt);
+
+  std::mutex mu;
+  std::vector<std::tuple<idx_t, idx_t, double>> seen;
+  ServerOptions sopt;
+  sopt.ingest = [&](idx_t user, idx_t item, double value) {
+    if (user >= 16 || item >= 40) return false;
+    std::lock_guard<std::mutex> lock(mu);
+    seen.emplace_back(user, item, value);
+    return true;
+  };
+  sopt.augment_stats = [](serve::ServeStats& s) {
+    s.orchestrator.deltas_ingested = 77;
+  };
+  TcpServer server(batcher, sopt);
+
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.add_rating(3, 7, 4.25), Status::kOk);
+  EXPECT_EQ(client.add_rating(99, 7, 1.0), Status::kBadUser);
+  // Pipelined deltas interleaved with a query keep request order per
+  // connection, so the sink sees them in send order.
+  client.send_add_rating(1, 1, 1.0);
+  client.send_query(2, 4);
+  client.send_add_rating(2, 2, 2.0);
+  EXPECT_EQ(client.read_add_rating_response(), Status::kOk);
+  EXPECT_EQ(client.read_query_response().status, Status::kOk);
+  EXPECT_EQ(client.read_add_rating_response(), Status::kOk);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const std::vector<std::tuple<idx_t, idx_t, double>> want = {
+        {3, 7, 4.25}, {1, 1, 1.0}, {2, 2, 2.0}};
+    EXPECT_EQ(seen, want);
+  }
+  // The stats op reports the augmented orchestrator slice.
+  EXPECT_EQ(client.stats().deltas_ingested, 77u);
 }
 
 }  // namespace
