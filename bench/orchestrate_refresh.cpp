@@ -17,17 +17,26 @@
 // pinned in tests/orchestrate_test.cpp; this bench exists for the CSV
 // artifact and its trajectory across commits.
 //
+// Usage:
+//   orchestrate_refresh [--trace-out FILE]
+//       with --trace-out, enable request tracing and dump the run's Chrome
+//       trace-event JSON (orch.cycle → snapshot/train/gate/promote spans on
+//       the orchestrator thread, store.swap instants, query spans around
+//       them) to FILE.
+//
 // CSV: bench_results/orchestrate_refresh.csv
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 #include "core/solver.hpp"
 #include "gpusim/device_group.hpp"
 #include "orchestrate/orchestrator.hpp"
@@ -83,7 +92,24 @@ double measure_qps(serve::RequestBatcher& batcher, idx_t users,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) {
+    // Sized to retain the whole run: every orch.cycle (not just the last)
+    // should still be on the timeline when the export runs.
+    obs::TraceCollector::Options topt;
+    topt.capacity = 1 << 18;
+    obs::TraceCollector::global().enable(topt);
+  }
+
   bench::print_header("orchestrate_refresh",
                       "retrain → gate → hot-swap loop under query load");
 
@@ -227,6 +253,21 @@ int main() {
                   static_cast<unsigned long long>(oc.deltas_ingested));
       std::error_code ec;
       std::filesystem::remove_all(work_dir, ec);
+    }
+  }
+
+  if (!trace_out.empty()) {
+    auto& trace = obs::TraceCollector::global();
+    trace.disable();
+    if (trace.write_chrome_json(trace_out)) {
+      std::printf("  trace: %llu events (%llu dropped by ring wrap) -> %s\n",
+                  static_cast<unsigned long long>(trace.events_recorded()),
+                  static_cast<unsigned long long>(trace.events_dropped()),
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "FATAL: could not write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
     }
   }
 

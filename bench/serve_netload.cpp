@@ -28,6 +28,10 @@
 //   serve_netload --connect HOST PORT [USERS [K]]
 //       client side only, against an external server (e.g.
 //       `serve_recommendations --port 7070` in another terminal).
+//   serve_netload --trace-out FILE
+//       enable request tracing (sample_every=1) and dump the run's Chrome
+//       trace-event JSON to FILE — load it in Perfetto/chrome://tracing to
+//       see the mid-sweep hot swap land between decomposed queries.
 //
 // CSV: bench_results/serve_netload.csv
 
@@ -46,6 +50,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/factor_store.hpp"
 #include "serve/live_store.hpp"
@@ -239,17 +244,42 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   idx_t users = 1500;
   int k = kTopK;
-  const bool external = argc > 1 && std::strcmp(argv[1], "--connect") == 0;
+
+  // Strip --trace-out FILE before the positional --connect parsing.
+  std::string trace_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const int nargs = static_cast<int>(args.size());
+
+  const bool external = nargs > 1 && std::strcmp(args[1], "--connect") == 0;
   if (external) {
-    if (argc < 4) {
+    if (nargs < 4) {
       std::fprintf(stderr,
-                   "usage: %s [--connect HOST PORT [USERS [K]]]\n", argv[0]);
+                   "usage: %s [--connect HOST PORT [USERS [K]]] "
+                   "[--trace-out FILE]\n",
+                   argv[0]);
       return 2;
     }
-    host = argv[2];
-    port = static_cast<std::uint16_t>(std::atoi(argv[3]));
-    if (argc > 4) users = static_cast<idx_t>(std::atoi(argv[4]));
-    if (argc > 5) k = std::atoi(argv[5]);
+    host = args[2];
+    port = static_cast<std::uint16_t>(std::atoi(args[3]));
+    if (nargs > 4) users = static_cast<idx_t>(std::atoi(args[4]));
+    if (nargs > 5) k = std::atoi(args[5]);
+  }
+
+  if (!trace_out.empty()) {
+    // Trace everything: the point of a bench trace is one fully decomposed
+    // timeline, not statistical sampling. The ring is sized to retain the
+    // whole run, so the mid-sweep store.swap instant survives to the export
+    // instead of being overwritten by the load that follows it.
+    obs::TraceCollector::Options topt;
+    topt.capacity = 1 << 18;
+    obs::TraceCollector::global().enable(topt);
   }
 
   bench::print_header("serve_netload",
@@ -339,6 +369,20 @@ int main(int argc, char** argv) {
   if (!external) {
     std::printf("  final serving generation: %llu (one hot swap mid-sweep)\n",
                 static_cast<unsigned long long>(s.generation));
+  }
+  if (!trace_out.empty()) {
+    auto& trace = obs::TraceCollector::global();
+    trace.disable();
+    if (trace.write_chrome_json(trace_out)) {
+      std::printf("  trace: %llu events (%llu dropped by ring wrap) -> %s\n",
+                  static_cast<unsigned long long>(trace.events_recorded()),
+                  static_cast<unsigned long long>(trace.events_dropped()),
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "FATAL: could not write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
   }
   if (total_errors > 0) {
     std::fprintf(stderr, "FATAL: %d queries returned a non-OK status\n",

@@ -21,9 +21,15 @@
 // passing models under the live traffic — watch the generation column
 // advance from the other terminal.
 //
+// With --trace-out FILE request tracing is on for the whole run and the
+// Chrome trace-event JSON is written to FILE on the way out — including after
+// Ctrl-C in --port mode, so a traced serving session ends with a loadable
+// timeline. In --daemon mode shutdown also prints the Prometheus-style
+// metrics exposition (the same text a GetMetrics frame returns).
+//
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j
-//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms] [--port N] [--daemon]
+//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms] [--port N] [--daemon] [--trace-out FILE]
 //   ./build/examples/serve_recommendations 4 10 1000000 5   # fleet-sizing mode
 //   ./build/examples/serve_recommendations --port 7070 --daemon   # then, elsewhere:
 //   ./build/bench/serve_netload --connect 127.0.0.1 7070 3000 10
@@ -48,10 +54,12 @@
 #include "data/synthetic.hpp"
 #include "eval/metrics.hpp"
 #include "gpusim/device_group.hpp"
+#include "obs/trace.hpp"
 #include "orchestrate/orchestrator.hpp"
 #include "serve/batcher.hpp"
 #include "serve/factor_store.hpp"
 #include "serve/live_store.hpp"
+#include "serve/metrics_export.hpp"
 #include "serve/net/server.hpp"
 #include "serve/scoring_backend.hpp"
 #include "serve/topk.hpp"
@@ -63,6 +71,7 @@ int main(int argc, char** argv) {
   bool serve_over_tcp = false;
   bool daemon_mode = false;
   std::uint16_t port = 0;
+  std::string trace_out;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -71,10 +80,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--daemon") == 0) {
       daemon_mode = true;
       serve_over_tcp = true;  // the orchestrator serves behind the socket
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
   }
+  if (!trace_out.empty()) obs::TraceCollector::global().enable();
   const int shards = positional.size() > 0 ? std::atoi(positional[0]) : 4;
   const int top_k = positional.size() > 1 ? std::atoi(positional[1]) : 10;
   const double target_qps = positional.size() > 2 ? std::atof(positional[2]) : 0.0;
@@ -82,7 +94,7 @@ int main(int argc, char** argv) {
   if (shards < 1 || top_k < 1 || target_qps < 0.0 || p99_ms <= 0.0) {
     std::fprintf(stderr,
                  "usage: %s [shards >= 1] [top_k >= 1] [target_qps] [p99_ms] "
-                 "[--port N] [--daemon]\n",
+                 "[--port N] [--daemon] [--trace-out FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -386,8 +398,29 @@ int main(int argc, char** argv) {
                 "accept→reply p99 %.3f ms (queueing p99 %.3f ms)\n",
                 static_cast<unsigned long long>(net.queries - stats.queries),
                 net.net_e2e.p99_ms, net.queue_delay.p99_ms);
+    if (daemon_mode) {
+      // Final metrics snapshot — byte-identical in shape to what a GetMetrics
+      // frame (op 4) would have returned over the wire moments earlier.
+      const serve::NetMetrics nm{server.connections_accepted(),
+                                 server.protocol_errors()};
+      std::printf("\nfinal metrics exposition:\n%s",
+                  serve::metrics_exposition(net, &nm).c_str());
+    }
     std::error_code ec;
     std::filesystem::remove_all(orch_dir, ec);
+  }
+
+  if (!trace_out.empty()) {
+    auto& trace = obs::TraceCollector::global();
+    trace.disable();
+    if (trace.write_chrome_json(trace_out)) {
+      std::printf("\ntrace: %llu events (%llu dropped by ring wrap) -> %s\n",
+                  static_cast<unsigned long long>(trace.events_recorded()),
+                  static_cast<unsigned long long>(trace.events_dropped()),
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "could not write trace to %s\n", trace_out.c_str());
+    }
   }
 
   std::filesystem::remove_all(ckpt_dir);

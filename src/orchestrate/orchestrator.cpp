@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/checkpoint.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace cumf::orchestrate {
@@ -80,12 +81,22 @@ CycleRecord Orchestrator::run_cycle(bool force) {
     return rec;  // nothing changed; not worth an audit entry
   }
 
+  obs::TraceSpan cycle_span(obs::TraceCollector::global(), "orch.cycle");
+  cycle_span.arg("cycle", rec.cycle);
+
   RatingLog::Snapshot snap;
   TrainResult trained;
   try {
-    snap = log_.snapshot();
+    {
+      obs::TraceSpan snap_span(obs::TraceCollector::global(),
+                               "orch.snapshot");
+      snap = log_.snapshot();
+    }
     rec.deltas_seen = snap.deltas_applied;
+    obs::TraceSpan train_span(obs::TraceCollector::global(), "orch.train");
+    train_span.arg("deltas", rec.deltas_seen);
     trained = trainer_.train(snap, &serving_x_, &serving_theta_);
+    train_span.finish();
   } catch (const std::exception& e) {
     rec.outcome = CycleOutcome::kTrainFailed;
     rec.error = e.what();
@@ -133,7 +144,11 @@ CycleRecord Orchestrator::submit_candidate(const linalg::FactorMatrix& x,
 void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
                                     const linalg::FactorMatrix& theta,
                                     bool published, CycleRecord* record) {
-  record->gate = gate_.evaluate(x, theta);
+  {
+    obs::TraceSpan gate_span(obs::TraceCollector::global(), "orch.gate");
+    record->gate = gate_.evaluate(x, theta);
+    gate_span.arg("passed", record->gate.passed ? 1u : 0u);
+  }
   {
     std::lock_guard<std::mutex> lock(history_mu_);
     stats_.last_gate_rmse = record->gate.rmse;
@@ -148,6 +163,8 @@ void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
                    record->gate.reason);
     return;
   }
+
+  obs::TraceSpan promote_span(obs::TraceCollector::global(), "orch.promote");
 
   if (!published) {
     core::CheckpointManager candidate(candidate_dir_);
@@ -170,6 +187,7 @@ void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
   record->outcome = CycleOutcome::kPromoted;
   record->generation = outcome.generation;
   record->swap_pause_ms = outcome.swap_pause_ms;
+  promote_span.arg("generation", outcome.generation);
 
   // The swap landed: persist the *outgoing* model as the rollback target so
   // a promotion that later proves bad can be reverted to what it replaced.
@@ -202,6 +220,8 @@ bool Orchestrator::rollback() {
   CycleRecord rec;
   rec.cycle = ++cycles_run_;
 
+  obs::TraceSpan rollback_span(obs::TraceCollector::global(),
+                               "orch.rollback");
   const auto outcome = live_.refresh_from_checkpoint(good_dir_);
   if (!outcome.swapped) {
     util::log_warn("orchestrator: rollback failed: ", outcome.error);
@@ -261,6 +281,7 @@ bool Orchestrator::running() const {
 }
 
 void Orchestrator::daemon_loop() {
+  obs::TraceCollector::global().set_thread_name("orchestrator");
   auto next_cadence = std::chrono::steady_clock::now() + opt_.cadence;
   // Poll well below the cadence so a delta-count trigger fires promptly.
   const auto poll = std::min<std::chrono::milliseconds>(

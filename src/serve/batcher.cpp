@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "serve/live_store.hpp"
 
 namespace cumf::serve {
@@ -38,8 +39,21 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
+void RequestBatcher::trace_e2e(const Pending& p, std::uint64_t generation,
+                               bool failed) const {
+  if (!p.traced) return;
+  auto& trace = obs::TraceCollector::global();
+  trace.record_span("query.e2e", trace.to_us(p.enqueued), trace.now_us(),
+                    {"user", static_cast<std::uint64_t>(p.user)},
+                    {"generation", generation}, {"failed", failed ? 1u : 0u});
+}
+
 std::future<BatchedAnswer> RequestBatcher::submit(idx_t user) {
   const auto accepted = std::chrono::steady_clock::now();
+  // One sampling decision per query covers its whole traced path: a sampled
+  // query emits batch.queue_wait at take time and query.e2e at fulfillment.
+  auto& trace = obs::TraceCollector::global();
+  const bool traced = trace.sample();
   std::promise<BatchedAnswer> promise;
   auto fut = promise.get_future();
 
@@ -58,6 +72,11 @@ std::future<BatchedAnswer> RequestBatcher::submit(idx_t user) {
     // run_batch: a caller that wakes on the future and reads stats() must
     // find its own query already accounted.
     e2e_.record(ms_since(accepted));
+    if (traced) {
+      trace.record_span("query.e2e", trace.to_us(accepted), trace.now_us(),
+                        {"user", static_cast<std::uint64_t>(user)},
+                        {"failed", 1});
+    }
     promise.set_exception(std::make_exception_ptr(std::out_of_range(
         "RequestBatcher: user id " + std::to_string(user) + " outside [0, " +
         std::to_string(bound) + ")")));
@@ -83,6 +102,11 @@ std::future<BatchedAnswer> RequestBatcher::submit(idx_t user) {
       // otherwise `queries` and the latency distribution describe different
       // populations, and the cache's main effect is invisible.
       e2e_.record(ms_since(accepted));
+      if (traced) {
+        trace.record_span("query.e2e", trace.to_us(accepted), trace.now_us(),
+                          {"user", static_cast<std::uint64_t>(user)},
+                          {"generation", cached_gen}, {"cache_hit", 1});
+      }
       promise.set_value(BatchedAnswer{std::move(cached), cached_gen});
       return fut;
     }
@@ -91,7 +115,7 @@ std::future<BatchedAnswer> RequestBatcher::submit(idx_t user) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++queries_;
-    pending_.push_back(Pending{user, std::move(promise), accepted});
+    pending_.push_back(Pending{user, std::move(promise), accepted, traced});
   }
   cv_.notify_one();
   return fut;
@@ -114,6 +138,7 @@ void RequestBatcher::drain() {
 }
 
 void RequestBatcher::flusher_loop() {
+  obs::TraceCollector::global().set_thread_name("batch.flusher");
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (pending_.empty()) {
@@ -154,10 +179,16 @@ void RequestBatcher::flusher_loop() {
     // Queueing delay ends when the flusher takes the query into a batch;
     // what remains of its end-to-end time is service (run_batch below).
     const auto taken = std::chrono::steady_clock::now();
+    auto& trace = obs::TraceCollector::global();
     for (const auto& p : batch) {
       queue_delay_.record(
           std::chrono::duration<double, std::milli>(taken - p.enqueued)
               .count());
+      if (p.traced) {
+        trace.record_span("batch.queue_wait", trace.to_us(p.enqueued),
+                          trace.to_us(taken),
+                          {"user", static_cast<std::uint64_t>(p.user)});
+      }
     }
     run_batch(std::move(batch));
     lock.lock();
@@ -167,6 +198,8 @@ void RequestBatcher::flusher_loop() {
 }
 
 void RequestBatcher::run_batch(std::vector<Pending> batch) {
+  obs::TraceSpan flush_span(obs::TraceCollector::global(), "batch.flush");
+  flush_span.arg("batch", batch.size());
   // Each pass either answers the batch, fails it, or strictly shrinks it
   // (a hot swap pulled users out of range mid-flight), so the loop ends.
   while (!batch.empty()) {
@@ -203,6 +236,7 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
       for (auto& p : batch) {
         if (p.user < 0 || p.user >= bound) {
           e2e_.record(ms_since(p.enqueued));
+          trace_e2e(p, 0, /*failed=*/true);
           p.promise.set_exception(std::make_exception_ptr(std::out_of_range(
               "RequestBatcher: user id " + std::to_string(p.user) +
               " left range after a factor refresh (now [0, " +
@@ -218,6 +252,7 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
         const auto error = std::current_exception();
         for (auto& p : keep) {
           e2e_.record(ms_since(p.enqueued));
+          trace_e2e(p, 0, /*failed=*/true);
           p.promise.set_exception(error);
         }
         return;
@@ -229,6 +264,7 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
       const auto error = std::current_exception();
       for (auto& p : batch) {
         e2e_.record(ms_since(p.enqueued));
+        trace_e2e(p, 0, /*failed=*/true);
         p.promise.set_exception(error);
       }
       return;
@@ -243,8 +279,10 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
         cache_.put(unique_users[i], opt_.k, results[i], scored.generation);
       }
     }
+    flush_span.arg("generation", scored.generation);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       e2e_.record(ms_since(batch[i].enqueued));
+      trace_e2e(batch[i], scored.generation, /*failed=*/false);
       batch[i].promise.set_value(
           BatchedAnswer{results[slot_of[i]], scored.generation});
     }

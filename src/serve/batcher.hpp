@@ -107,10 +107,17 @@ class RequestBatcher {
     idx_t user;
     std::promise<BatchedAnswer> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Sampled for request tracing at submit() time; a traced query emits
+    /// batch.queue_wait and query.e2e spans along its whole path.
+    bool traced = false;
   };
 
   void flusher_loop();
   void run_batch(std::vector<Pending> batch);
+  /// Emits the query.e2e span for one fulfilled query (no-op unless the
+  /// query was sampled at submit time).
+  void trace_e2e(const Pending& p, std::uint64_t generation,
+                 bool failed) const;
 
   const TopKEngine& engine_;
   BatcherOptions opt_;

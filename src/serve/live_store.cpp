@@ -3,6 +3,7 @@
 #include <exception>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace cumf::serve {
@@ -26,7 +27,11 @@ LiveFactorStore::RefreshOutcome LiveFactorStore::refresh_from_checkpoint(
     const std::string& dir) {
   util::Stopwatch load_watch;
   try {
+    // The load span covers the off-critical-path checkpoint read + shard
+    // build; the swap itself appears as a store.swap instant from install().
+    obs::TraceSpan load_span(obs::TraceCollector::global(), "store.load");
     FactorStore next = FactorStore::from_checkpoint(dir, shards_);
+    load_span.finish();
     return install(std::move(next), load_watch.milliseconds());
   } catch (const std::exception& e) {
     refresh_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -66,6 +71,11 @@ LiveFactorStore::RefreshOutcome LiveFactorStore::install(FactorStore next,
   out.swapped = true;
   swap_pause_.record(out.swap_pause_ms);
   refreshes_.fetch_add(1, std::memory_order_relaxed);
+  // Full-height marker on the trace timeline: everything after this instant
+  // was answered (or re-pinned) under the new generation.
+  obs::TraceCollector::global().record_instant(
+      "store.swap", {"generation", out.generation},
+      {"pause_us", static_cast<std::uint64_t>(out.swap_pause_ms * 1e3)});
   return out;
 }
 

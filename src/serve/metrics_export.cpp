@@ -1,0 +1,139 @@
+#include "serve/metrics_export.hpp"
+
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace cumf::serve {
+
+namespace {
+
+void fill_latency(obs::MetricsRegistry* reg, const char* stage,
+                  const LatencySummary& s) {
+  static const std::vector<double> bounds(kLatencyBucketBoundsMs.begin(),
+                                          kLatencyBucketBoundsMs.end());
+  const obs::Labels labels = {{"stage", stage}};
+  reg->histogram("cumf_serve_latency_ms",
+                 "Per-stage serving latency (lifetime histogram)", bounds,
+                 labels)
+      .merge_bins(s.bucket_counts.data(), s.bucket_counts.size(), s.sum_ms,
+                  s.total_recorded);
+  const struct {
+    const char* q;
+    double v;
+  } quantiles[] = {{"0.5", s.p50_ms}, {"0.95", s.p95_ms}, {"0.99", s.p99_ms}};
+  for (const auto& q : quantiles) {
+    reg->gauge("cumf_serve_latency_quantile_ms",
+               "Per-stage latency quantiles over the recent window",
+               {{"stage", stage}, {"q", q.q}})
+        .set(q.v);
+  }
+}
+
+}  // namespace
+
+void fill_registry(const ServeStats& stats, const NetMetrics* net,
+                   obs::MetricsRegistry* reg) {
+  reg->counter("cumf_serve_queries_total", "User queries answered")
+      .set(static_cast<double>(stats.queries));
+  reg->counter("cumf_serve_batches_total",
+               "Micro-batches flushed to the engine")
+      .set(static_cast<double>(stats.batches));
+  reg->counter("cumf_serve_cache_requests_total",
+               "Hot-user cache lookups by result", {{"result", "hit"}})
+      .set(static_cast<double>(stats.cache_hits));
+  reg->counter("cumf_serve_cache_requests_total",
+               "Hot-user cache lookups by result", {{"result", "miss"}})
+      .set(static_cast<double>(stats.cache_misses));
+  reg->counter("cumf_serve_cache_stale_evictions_total",
+               "Superseded-generation cache entries evicted lazily")
+      .set(static_cast<double>(stats.cache_stale_evictions));
+  reg->counter("cumf_serve_items_total",
+               "Candidate items by disposition (scored vs norm-bound pruned)",
+               {{"disposition", "scored"}})
+      .set(static_cast<double>(stats.items_scored));
+  reg->counter("cumf_serve_items_total",
+               "Candidate items by disposition (scored vs norm-bound pruned)",
+               {{"disposition", "pruned"}})
+      .set(static_cast<double>(stats.items_pruned));
+  reg->gauge("cumf_serve_generation", "Model generation serving right now")
+      .set(static_cast<double>(stats.generation));
+  reg->counter("cumf_serve_refreshes_total",
+               "Live-store refresh attempts by result", {{"result", "ok"}})
+      .set(static_cast<double>(stats.refreshes));
+  reg->counter("cumf_serve_refreshes_total",
+               "Live-store refresh attempts by result", {{"result", "failed"}})
+      .set(static_cast<double>(stats.refresh_failures));
+
+  fill_latency(reg, "e2e", stats.e2e);
+  fill_latency(reg, "queue", stats.queue_delay);
+  fill_latency(reg, "net_e2e", stats.net_e2e);
+  fill_latency(reg, "batch_wall", stats.batch_wall);
+  fill_latency(reg, "batch_modeled", stats.batch_modeled);
+  fill_latency(reg, "swap_pause", stats.swap_pause);
+
+  const OrchestratorStats& o = stats.orchestrator;
+  reg->counter("cumf_orchestrator_retrains_total",
+               "Retrain cycles that ran a training pass")
+      .set(static_cast<double>(o.retrains));
+  reg->counter("cumf_orchestrator_promotions_total",
+               "Candidates that passed the gate and swapped in")
+      .set(static_cast<double>(o.promotions));
+  reg->counter("cumf_orchestrator_rejections_total",
+               "Candidates the quality gate refused")
+      .set(static_cast<double>(o.rejections));
+  reg->counter("cumf_orchestrator_rollbacks_total",
+               "Reverts to the last-good checkpoint")
+      .set(static_cast<double>(o.rollbacks));
+  reg->counter("cumf_orchestrator_deltas_total",
+               "Rating deltas by ingest result", {{"result", "ingested"}})
+      .set(static_cast<double>(o.deltas_ingested));
+  reg->counter("cumf_orchestrator_deltas_total",
+               "Rating deltas by ingest result", {{"result", "rejected"}})
+      .set(static_cast<double>(o.deltas_rejected));
+  reg->gauge("cumf_orchestrator_gate_rmse",
+             "Gate RMSE of the most recent candidate")
+      .set(o.last_gate_rmse);
+  reg->gauge("cumf_orchestrator_gate_recall",
+             "Gate recall of the most recent candidate")
+      .set(o.last_gate_recall);
+  reg->gauge("cumf_orchestrator_baseline_rmse",
+             "RMSE of the currently serving model")
+      .set(o.baseline_rmse);
+  reg->gauge("cumf_orchestrator_baseline_recall",
+             "Recall of the currently serving model")
+      .set(o.baseline_recall);
+  reg->gauge("cumf_orchestrator_train_wall_ms",
+             "Wall time of the most recent training pass")
+      .set(o.last_train_wall_ms);
+  reg->gauge("cumf_orchestrator_train_modeled_s",
+             "Modeled GPU time of the most recent training pass")
+      .set(o.last_train_modeled_s);
+
+  if (net != nullptr) {
+    reg->counter("cumf_net_connections_total", "TCP connections accepted")
+        .set(static_cast<double>(net->connections_accepted));
+    reg->counter("cumf_net_protocol_errors_total",
+                 "Connections dropped for malformed frames")
+        .set(static_cast<double>(net->protocol_errors));
+  }
+
+  const auto& trace = obs::TraceCollector::global();
+  reg->counter("cumf_trace_events_total",
+               "Trace events recorded since process start")
+      .set(static_cast<double>(trace.events_recorded()));
+  reg->counter("cumf_trace_events_dropped_total",
+               "Trace events overwritten by ring wrap")
+      .set(static_cast<double>(trace.events_dropped()));
+  reg->gauge("cumf_trace_enabled", "1 when request tracing is recording")
+      .set(trace.enabled() ? 1.0 : 0.0);
+}
+
+std::string metrics_exposition(const ServeStats& stats,
+                               const NetMetrics* net) {
+  obs::MetricsRegistry reg;
+  fill_registry(stats, net, &reg);
+  return reg.expose();
+}
+
+}  // namespace cumf::serve

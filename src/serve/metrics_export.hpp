@@ -1,0 +1,39 @@
+#pragma once
+
+// Bridges a ServeStats snapshot into an obs::MetricsRegistry and renders
+// the Prometheus-style exposition text the GetMetrics protocol op serves.
+//
+// ServeStats stays the typed in-process view the components maintain; this
+// translation is the single place its fields map onto metric families, so
+// the exposition's counters agree with the stats op by construction — both
+// are rendered from the same snapshot. Latency stages share one histogram
+// family (cumf_serve_latency_ms{stage=...}) fed from the trackers' fixed
+// buckets (kLatencyBucketBoundsMs), plus window-percentile gauges.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace cumf::serve {
+
+/// Front-end counters that live outside ServeStats (TcpServer owns them).
+struct NetMetrics {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+/// Populates `reg` from one ServeStats snapshot (and optional front-end
+/// counters). Counter series are set to the snapshot's absolute values, so
+/// call it on a freshly constructed registry per exposition.
+void fill_registry(const ServeStats& stats, const NetMetrics* net,
+                   obs::MetricsRegistry* reg);
+
+/// fill_registry into a fresh registry, rendered as exposition text. Also
+/// appends the trace collector's self-metrics (events recorded/dropped,
+/// enabled flag).
+[[nodiscard]] std::string metrics_exposition(const ServeStats& stats,
+                                             const NetMetrics* net = nullptr);
+
+}  // namespace cumf::serve

@@ -129,6 +129,25 @@ Status Client::add_rating(idx_t user, idx_t item, double value) {
   return read_add_rating_response();
 }
 
+std::string Client::metrics() {
+  std::vector<std::uint8_t> frame;
+  encode_metrics_request(&frame);
+  send_all(frame.data(), frame.size());
+
+  std::size_t off = 0, len = 0;
+  read_frame(&off, &len);
+  QueryResponse query;
+  StatsResponse stats;
+  std::string text;
+  const MsgType type =
+      decode_response(buf_.data() + off, len, &query, &stats, &text);
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
+  if (type != MsgType::kMetrics) {
+    throw ProtocolError("expected a metrics response");
+  }
+  return text;
+}
+
 StatsResponse Client::stats() {
   std::vector<std::uint8_t> frame;
   encode_stats_request(&frame);

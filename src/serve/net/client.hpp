@@ -35,6 +35,10 @@ class Client {
   /// Synchronous round trip: the server's ServeStats snapshot.
   StatsResponse stats();
 
+  /// Synchronous round trip: the server's metrics in the Prometheus text
+  /// exposition format (the GetMetrics op).
+  std::string metrics();
+
   /// Synchronous round trip: hands one rating delta to the server's ingest
   /// sink (the retrain orchestrator's RatingLog). kOk = accepted, kBadUser =
   /// out-of-range ids, kBadRequest = server has no ingest sink.

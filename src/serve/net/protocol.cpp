@@ -74,6 +74,14 @@ class Reader {
     return v;
   }
 
+  /// Returns a pointer to the next `n` payload bytes and advances past them.
+  const std::uint8_t* bytes(std::size_t n) {
+    need(n);
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
   void expect_done() const {
     if (pos_ != size_) throw ProtocolError("trailing bytes in payload");
   }
@@ -153,6 +161,12 @@ void encode_stats_request(std::vector<std::uint8_t>* out) {
   seal_frame(out, mark);
 }
 
+void encode_metrics_request(std::vector<std::uint8_t>* out) {
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kMetrics));
+  seal_frame(out, mark);
+}
+
 void encode_add_rating_request(const AddRatingRequest& req,
                                std::vector<std::uint8_t>* out) {
   const std::size_t mark = open_frame(out);
@@ -219,6 +233,21 @@ void encode_stats_response(const StatsResponse& resp,
   seal_frame(out, mark);
 }
 
+void encode_metrics_response(const std::string& text,
+                             std::vector<std::uint8_t>* out) {
+  // u8 type + u8 status + u32 len ahead of the text itself.
+  constexpr std::size_t kHeader = 6;
+  std::size_t n = text.size();
+  if (n > kMaxPayload - kHeader) n = kMaxPayload - kHeader;
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kMetrics));
+  put_u8(out, static_cast<std::uint8_t>(Status::kOk));
+  put_u32(out, static_cast<std::uint32_t>(n));
+  out->insert(out->end(), text.begin(),
+              text.begin() + static_cast<std::ptrdiff_t>(n));
+  seal_frame(out, mark);
+}
+
 bool try_frame(const std::uint8_t* data, std::size_t size,
                std::size_t* payload_off, std::size_t* payload_len) {
   if (size < kFramePrefix) return false;
@@ -247,6 +276,9 @@ Request decode_request(const std::uint8_t* payload, std::size_t len) {
     case MsgType::kStats:
       req.type = MsgType::kStats;
       break;
+    case MsgType::kMetrics:
+      req.type = MsgType::kMetrics;
+      break;
     case MsgType::kAddRating:
       req.type = MsgType::kAddRating;
       req.rating.user = r.i32();
@@ -261,7 +293,8 @@ Request decode_request(const std::uint8_t* payload, std::size_t len) {
 }
 
 MsgType decode_response(const std::uint8_t* payload, std::size_t len,
-                        QueryResponse* query, StatsResponse* stats) {
+                        QueryResponse* query, StatsResponse* stats,
+                        std::string* metrics) {
   Reader r(payload, len);
   const auto type = r.u8();
   switch (static_cast<MsgType>(type)) {
@@ -314,6 +347,21 @@ MsgType decode_response(const std::uint8_t* payload, std::size_t len,
       stats->train_modeled_s = r.f64();
       r.expect_done();
       return MsgType::kStats;
+    }
+    case MsgType::kMetrics: {
+      query->status = static_cast<Status>(r.u8());
+      query->generation = 0;
+      query->items.clear();
+      const std::uint32_t count = r.u32();
+      // The declared text length can never exceed what the frame holds; a
+      // corrupt count is a protocol violation, not a giant allocation.
+      if (count > len) throw ProtocolError("metrics text exceeds payload");
+      const std::uint8_t* text = r.bytes(count);
+      if (metrics != nullptr) {
+        metrics->assign(reinterpret_cast<const char*>(text), count);
+      }
+      r.expect_done();
+      return MsgType::kMetrics;
     }
     case MsgType::kAddRating: {
       query->status = static_cast<Status>(r.u8());

@@ -5,7 +5,7 @@
 // A deliberately small, length-prefixed binary protocol: every message is one
 // frame, `u32 payload_len` followed by `payload_len` bytes of payload, all
 // integers little-endian (doubles are IEEE-754 bit patterns carried in a
-// little-endian u64). Three operations:
+// little-endian u64). Four operations:
 //
 //   QueryRequest  { u8 type=1, i32 user, i32 k }
 //   QueryResponse { u8 type=1, u8 status, u64 generation, u32 count,
@@ -27,6 +27,15 @@
 //   AddRatingRequest  { u8 type=3, i32 user, i32 item, f64 value }
 //   AddRatingResponse { u8 type=3, u8 status }
 //
+//   MetricsRequest  { u8 type=4 }
+//   MetricsResponse { u8 type=4, u8 status=0, u32 len, len bytes of UTF-8 }
+//
+// GetMetrics (type=4) returns the server's metrics in the Prometheus text
+// exposition format (serve/metrics_export.hpp): the same ServeStats
+// snapshot the stats op encodes, rendered as labeled counter/gauge/
+// histogram families. The text rides as a length-prefixed byte string
+// inside the frame; kMaxPayload bounds it like every other payload.
+//
 // AddRating feeds the retrain orchestrator's RatingLog (src/orchestrate/):
 // a server without an ingest sink attached answers kBadRequest; one with a
 // sink answers kOk when the delta was accepted and kBadUser when the user
@@ -46,6 +55,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "serve/serve_stats.hpp"
@@ -62,7 +72,12 @@ inline constexpr std::uint32_t kMaxPayload = 1u << 20;
 /// Bytes of the length prefix that fronts every frame.
 inline constexpr std::size_t kFramePrefix = 4;
 
-enum class MsgType : std::uint8_t { kQuery = 1, kStats = 2, kAddRating = 3 };
+enum class MsgType : std::uint8_t {
+  kQuery = 1,
+  kStats = 2,
+  kAddRating = 3,
+  kMetrics = 4,
+};
 
 enum class Status : std::uint8_t {
   kOk = 0,
@@ -143,12 +158,17 @@ struct Request {
 // --- encoding: append one complete frame (length prefix included) ----------
 void encode_query_request(const QueryRequest& req, std::vector<std::uint8_t>* out);
 void encode_stats_request(std::vector<std::uint8_t>* out);
+void encode_metrics_request(std::vector<std::uint8_t>* out);
 void encode_add_rating_request(const AddRatingRequest& req,
                                std::vector<std::uint8_t>* out);
 void encode_query_response(const QueryResponse& resp,
                            std::vector<std::uint8_t>* out);
 void encode_stats_response(const StatsResponse& resp,
                            std::vector<std::uint8_t>* out);
+/// Truncates `text` to fit kMaxPayload (headers included) — a metrics dump
+/// must never make the frame undecodable.
+void encode_metrics_response(const std::string& text,
+                             std::vector<std::uint8_t>* out);
 void encode_add_rating_response(Status status, std::vector<std::uint8_t>* out);
 
 // --- framing ---------------------------------------------------------------
@@ -163,9 +183,11 @@ bool try_frame(const std::uint8_t* data, std::size_t size,
 // --- decoding (payload bytes, prefix already stripped) ---------------------
 Request decode_request(const std::uint8_t* payload, std::size_t len);
 /// Decodes a response payload; *stats is filled when the frame is a stats
-/// response; for stats and add-rating responses the returned QueryResponse
-/// carries only `status`.
+/// response, *metrics (when non-null) for a metrics response; for stats,
+/// metrics and add-rating responses the returned QueryResponse carries only
+/// `status`.
 MsgType decode_response(const std::uint8_t* payload, std::size_t len,
-                        QueryResponse* query, StatsResponse* stats);
+                        QueryResponse* query, StatsResponse* stats,
+                        std::string* metrics = nullptr);
 
 }  // namespace cumf::serve::net

@@ -14,6 +14,9 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
+#include "serve/metrics_export.hpp"
+
 namespace cumf::serve::net {
 
 namespace {
@@ -184,6 +187,14 @@ bool TcpServer::handle_frame(const std::shared_ptr<Conn>& conn,
     return false;
   }
 
+  // io-thread slice of the request: frame decode + dispatch (+ inline
+  // encode on the fast path). A batched query's remaining time shows up as
+  // batch.queue_wait / batch.flush / query.e2e and the completion thread's
+  // net.reply on the same timeline.
+  obs::TraceSpan frame_span(obs::TraceCollector::global(), "net.frame");
+  frame_span.arg("fd", static_cast<std::uint64_t>(conn->fd));
+  frame_span.arg("type", static_cast<std::uint64_t>(req.type));
+
   // The inline fast path may only run when nothing for this connection is
   // still in the completion queue, otherwise replies would overtake each
   // other; inflight is decremented only after the earlier reply reached the
@@ -194,6 +205,16 @@ bool TcpServer::handle_frame(const std::shared_ptr<Conn>& conn,
   if (req.type == MsgType::kStats) {
     std::vector<std::uint8_t> encoded;
     encode_stats_response(stats_from(stats()), &encoded);
+    respond(conn, can_inline, t0, std::move(encoded));
+    return true;
+  }
+
+  if (req.type == MsgType::kMetrics) {
+    // Rendered from the same stats() snapshot the stats op encodes, so the
+    // two views agree whenever they are taken back to back.
+    const NetMetrics net{connections_accepted(), protocol_errors()};
+    std::vector<std::uint8_t> encoded;
+    encode_metrics_response(metrics_exposition(stats(), &net), &encoded);
     respond(conn, can_inline, t0, std::move(encoded));
     return true;
   }
@@ -244,6 +265,7 @@ bool TcpServer::handle_frame(const std::shared_ptr<Conn>& conn,
 }
 
 void TcpServer::completion_loop() {
+  obs::TraceCollector::global().set_thread_name("net.completion");
   for (;;) {
     Reply reply;
     {
@@ -258,6 +280,11 @@ void TcpServer::completion_loop() {
       reply = std::move(replies_.front());
       replies_.pop_front();
     }
+
+    // Future resolution + encode + outbox splice: the completion thread's
+    // slice of a pipelined reply's timeline.
+    obs::TraceSpan reply_span(obs::TraceCollector::global(), "net.reply");
+    reply_span.arg("fd", static_cast<std::uint64_t>(reply.conn->fd));
 
     std::vector<std::uint8_t> encoded;
     if (reply.is_query) {
@@ -293,6 +320,7 @@ void TcpServer::close_conn(const std::shared_ptr<Conn>& conn) {
 }
 
 void TcpServer::io_loop() {
+  obs::TraceCollector::global().set_thread_name("net.io");
   std::vector<pollfd> fds;
   std::vector<std::shared_ptr<Conn>> polled;
   char buf[4096];

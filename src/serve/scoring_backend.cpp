@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "linalg/hermitian.hpp"
+#include "obs/trace.hpp"
 #include "serve/topk.hpp"
 
 namespace cumf::serve {
@@ -213,6 +214,11 @@ int GpuSimScoringBackend::resident_models() const {
 
 SweepCounters GpuSimScoringBackend::sweep(
     const SweepTask& task, std::vector<std::vector<Recommendation>>& out) {
+  // Span over the host-side execution of this modeled launch; the modeled
+  // GPU time rides along as an arg so the trace shows both time axes.
+  auto& trace = obs::TraceCollector::global();
+  const bool traced = trace.enabled();
+  const double begin_us = traced ? trace.now_us() : 0.0;
   const SweepCounters c = reference_sweep(task, out);
 
   const auto f = static_cast<double>(task.store->f());
@@ -229,12 +235,23 @@ SweepCounters GpuSimScoringBackend::sweep(
   stats.global_write =
       static_cast<bytes_t>(block_users * static_cast<double>(task.k) * 8);
 
-  // Device accounting is not thread-safe and sweeps race on the pool; the
-  // lock also keeps the per-batch modeled sum consistent. Launches serialize
-  // on the simulated stream, so batch modeled time is the sum of launches.
-  std::lock_guard<std::mutex> lock(mu_);
-  dev_->account_kernel(stats);
-  batch_modeled_s_ += dev_->model_kernel_seconds(stats);
+  double modeled_s = 0.0;
+  {
+    // Device accounting is not thread-safe and sweeps race on the pool; the
+    // lock also keeps the per-batch modeled sum consistent. Launches
+    // serialize on the simulated stream, so batch modeled time is the sum
+    // of launches.
+    std::lock_guard<std::mutex> lock(mu_);
+    dev_->account_kernel(stats);
+    modeled_s = dev_->model_kernel_seconds(stats);
+    batch_modeled_s_ += modeled_s;
+  }
+  if (traced) {
+    trace.record_span("gpusim.kernel", begin_us, trace.now_us(),
+                      {"scored", c.scored}, {"rows_swept", c.rows_swept},
+                      {"modeled_us",
+                       static_cast<std::uint64_t>(modeled_s * 1e6)});
+  }
   return c;
 }
 

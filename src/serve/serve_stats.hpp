@@ -9,12 +9,24 @@
 // the throughput bench.
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
-#include <mutex>
+#include <iterator>
 #include <vector>
 
 namespace cumf::serve {
+
+/// Fixed histogram bucket upper bounds (milliseconds) shared by every
+/// LatencyTracker, so the metrics registry (obs/metrics.hpp) can expose
+/// cumulative latency histograms straight from per-bucket counters without
+/// touching the percentile window.
+inline constexpr std::array<double, 14> kLatencyBucketBoundsMs = {
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0};
+/// Bucket count including the final overflow (> last bound) bucket.
+inline constexpr std::size_t kLatencyBuckets = kLatencyBucketBoundsMs.size() + 1;
 
 /// Percentile snapshot of a latency distribution, in milliseconds.
 struct LatencySummary {
@@ -29,42 +41,72 @@ struct LatencySummary {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  /// Lifetime sum of recorded samples (ms) — pairs with total_recorded for
+  /// the histogram's _sum/_count exposition.
+  double sum_ms = 0.0;
+  /// Lifetime per-bucket counts (non-cumulative), aligned with
+  /// kLatencyBucketBoundsMs plus the overflow bucket. Sums to
+  /// total_recorded.
+  std::array<std::uint64_t, kLatencyBuckets> bucket_counts{};
 };
 
 /// Thread-safe latency recorder. Keeps a bounded window of the most recent
 /// samples (old ones are overwritten ring-buffer style), so long-lived
-/// servers report *current* tail behaviour, not lifetime averages.
+/// servers report *current* tail behaviour, not lifetime averages —
+/// alongside lifetime histogram buckets (kLatencyBucketBoundsMs) for the
+/// metrics exposition.
+///
+/// record() is wait-free — one fetch_add to claim a ring slot plus relaxed
+/// atomic stores — so a stats()/summary() reader can never stall the query
+/// path (the old design copied the whole 16K window under a mutex that
+/// record() also took, a visible stats-op hiccup at high qps). summary()
+/// snapshots the ring with relaxed loads and sorts its private copy; under
+/// concurrent writes a slot may read as a slightly newer sample, which only
+/// perturbs the reported window by the handful of in-flight records.
 class LatencyTracker {
  public:
-  explicit LatencyTracker(std::size_t window = 1 << 14) : window_(window) {}
+  /// `window` is rounded up to a power of two (ring indexing by mask).
+  explicit LatencyTracker(std::size_t window = 1 << 14)
+      : ring_(round_up_pow2(window == 0 ? 1 : window)) {}
+
+  LatencyTracker(const LatencyTracker&) = delete;
+  LatencyTracker& operator=(const LatencyTracker&) = delete;
 
   void record(double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (samples_.size() < window_) {
-      samples_.push_back(ms);
-    } else {
-      samples_[next_ % window_] = ms;
-    }
-    ++next_;
+    const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    ring_[ticket & (ring_.size() - 1)].store(ms, std::memory_order_relaxed);
+    buckets_[bucket_index(ms)].fetch_add(1, std::memory_order_relaxed);
+    // Nanosecond integer sum: fetch_add is wait-free where a CAS loop on an
+    // atomic<double> is not. Latencies are non-negative; sub-ns truncation
+    // is far below measurement noise.
+    sum_ns_.fetch_add(static_cast<std::uint64_t>(ms * 1e6),
+                      std::memory_order_relaxed);
   }
 
-  /// Nearest-rank percentiles over the retained window.
+  /// Nearest-rank percentiles over the retained window, plus the lifetime
+  /// histogram. Lock-free: never blocks record() callers.
   [[nodiscard]] LatencySummary summary() const {
-    std::vector<double> sorted;
-    std::uint64_t total = 0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      sorted = samples_;
-      total = next_;
-    }
     LatencySummary out;
-    out.samples = sorted.size();
+    const std::uint64_t total = next_.load(std::memory_order_acquire);
+    const std::uint64_t n =
+        std::min<std::uint64_t>(total, static_cast<std::uint64_t>(ring_.size()));
+    out.samples = n;
     out.total_recorded = total;
-    if (sorted.empty()) return out;
+    out.sum_ms =
+        static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      out.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    if (n == 0) return out;
+    std::vector<double> sorted;
+    sorted.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sorted.push_back(ring_[i].load(std::memory_order_relaxed));
+    }
     std::sort(sorted.begin(), sorted.end());
     const auto rank = [&](double q) {
-      const auto n = static_cast<double>(sorted.size());
-      const auto i = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+      const auto count = static_cast<double>(sorted.size());
+      const auto i = static_cast<std::size_t>(std::ceil(q * count)) - 1;
       return sorted[std::min(i, sorted.size() - 1)];
     };
     out.p50_ms = rank(0.50);
@@ -74,11 +116,26 @@ class LatencyTracker {
     return out;
   }
 
+  /// Bucket index into kLatencyBucketBoundsMs for one sample (the last
+  /// index is the overflow bucket).
+  static std::size_t bucket_index(double ms) {
+    const auto it = std::lower_bound(kLatencyBucketBoundsMs.begin(),
+                                     kLatencyBucketBoundsMs.end(), ms);
+    return static_cast<std::size_t>(
+        std::distance(kLatencyBucketBoundsMs.begin(), it));
+  }
+
  private:
-  std::size_t window_;
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  std::uint64_t next_ = 0;  // total recorded; ring write cursor
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<std::atomic<double>> ring_;
+  std::atomic<std::uint64_t> next_{0};  // total recorded; ring write cursor
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
 };
 
 /// Counters exported by the retrain orchestrator (src/orchestrate/) when one

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "serve/live_store.hpp"
 #include "serve/scoring_backend.hpp"
 #include "util/stopwatch.hpp"
@@ -65,6 +66,10 @@ RecommendBatch TopKEngine::recommend_batch(std::span<const idx_t> users,
 
   if (n == 0 || k <= 0) return out;
   util::Stopwatch watch;
+  obs::TraceSpan batch_span(obs::TraceCollector::global(), "engine.batch");
+  batch_span.arg("users", n);
+  batch_span.arg("k", static_cast<std::uint64_t>(k));
+  batch_span.arg("generation", out.generation);
 
   // Reject out-of-range ids before any factor access — the store indexes X
   // unchecked, and the batcher is the front door for untrusted traffic.
@@ -113,6 +118,12 @@ RecommendBatch TopKEngine::recommend_batch(std::span<const idx_t> users,
         const std::size_t t = static_cast<std::size_t>(task);
         const std::size_t b = t / static_cast<std::size_t>(num_shards);
         const int s = static_cast<int>(t % static_cast<std::size_t>(num_shards));
+        // One span per shard×block sweep, on the worker that ran it — this
+        // is the fan-out a slow engine.batch decomposes into.
+        obs::TraceSpan sweep_span(obs::TraceCollector::global(),
+                                  "engine.sweep");
+        sweep_span.arg("shard", static_cast<std::uint64_t>(s));
+        sweep_span.arg("block", b);
         auto& slots = partial[t];
         SweepTask sweep;
         sweep.store = &store;
@@ -127,6 +138,7 @@ RecommendBatch TopKEngine::recommend_batch(std::span<const idx_t> users,
         slots.resize(static_cast<std::size_t>(sweep.last - sweep.first));
         for (auto& heap : slots) heap.reserve(static_cast<std::size_t>(k));
         const SweepCounters c = backend_->sweep(sweep, slots);
+        sweep_span.arg("scored", c.scored);
         items_scored_.fetch_add(c.scored, std::memory_order_relaxed);
         items_pruned_.fetch_add(c.pruned, std::memory_order_relaxed);
       });

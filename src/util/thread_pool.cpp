@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/trace.hpp"
+
 namespace cumf::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -57,6 +59,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  obs::TraceCollector::global().set_thread_name("pool.worker");
   for (;;) {
     std::function<void()> task;
     {

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -29,6 +31,20 @@ namespace {
 using serve_test::brute_force_topk;
 using serve_test::random_factors;
 using namespace serve::net;
+
+/// Value of one exposition series, e.g. `cumf_serve_queries_total` or
+/// `cumf_serve_cache_requests_total{result="hit"}`. -1 when absent.
+double metric_value(const std::string& text, const std::string& series) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.size() > series.size() + 1 && line.compare(0, series.size(), series) == 0 &&
+        line[series.size()] == ' ') {
+      return std::stod(line.substr(series.size() + 1));
+    }
+  }
+  return -1.0;
+}
 
 // ------------------------------------------------------------- protocol ----
 
@@ -192,6 +208,77 @@ TEST(NetProtocol, StatsCarriesOrchestratorCounters) {
   EXPECT_DOUBLE_EQ(got.train_modeled_s, 0.004);
 }
 
+TEST(NetProtocol, MetricsRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  encode_metrics_request(&wire);
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  EXPECT_EQ(decode_request(wire.data() + off, len).type, MsgType::kMetrics);
+
+  const std::string text =
+      "# HELP cumf_serve_queries_total User queries answered\n"
+      "# TYPE cumf_serve_queries_total counter\n"
+      "cumf_serve_queries_total 42\n";
+  wire.clear();
+  encode_metrics_response(text, &wire);
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse query;
+  StatsResponse stats;
+  std::string got;
+  ASSERT_EQ(decode_response(wire.data() + off, len, &query, &stats, &got),
+            MsgType::kMetrics);
+  EXPECT_EQ(got, text);  // byte-exact through the length-prefixed path
+
+  // A decode with no metrics sink still consumes the frame cleanly.
+  ASSERT_EQ(decode_response(wire.data() + off, len, &query, &stats),
+            MsgType::kMetrics);
+}
+
+TEST(NetProtocol, MetricsResponseTruncatesToMaxPayload) {
+  const std::string huge(2 * kMaxPayload, 'x');
+  std::vector<std::uint8_t> wire;
+  encode_metrics_response(huge, &wire);
+  // The frame stays within protocol bounds and decodes.
+  ASSERT_LE(wire.size(), static_cast<std::size_t>(kMaxPayload) + 4);
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse query;
+  StatsResponse stats;
+  std::string got;
+  ASSERT_EQ(decode_response(wire.data() + off, len, &query, &stats, &got),
+            MsgType::kMetrics);
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kMaxPayload) - 6);
+  EXPECT_EQ(got, huge.substr(0, got.size()));
+}
+
+TEST(NetProtocol, MalformedMetricsFramesAreViolations) {
+  std::vector<std::uint8_t> wire;
+  encode_metrics_response("hello", &wire);
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse query;
+  StatsResponse stats;
+  std::string got;
+
+  // Truncated payload: the declared text length exceeds the bytes present.
+  EXPECT_THROW((void)decode_response(wire.data() + off, len - 1, &query,
+                                     &stats, &got),
+               ProtocolError);
+  // Trailing garbage after the text is a violation, not ignored padding.
+  std::vector<std::uint8_t> padded(wire.begin() + 4, wire.end());
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_response(padded.data(), padded.size(), &query,
+                                     &stats, &got),
+               ProtocolError);
+  // A bare type byte with no header is truncated too.
+  const std::uint8_t type_only = 4;
+  EXPECT_THROW((void)decode_response(&type_only, 1, &query, &stats, &got),
+               ProtocolError);
+  // Metrics *requests* carry nothing after the type byte.
+  const std::uint8_t padded_req[2] = {4, 0};
+  EXPECT_THROW((void)decode_request(padded_req, 2), ProtocolError);
+}
+
 // ---------------------------------------------------- loopback serving -----
 
 struct LoopbackFixture {
@@ -350,6 +437,48 @@ TEST(TcpServer, StatsOverTheWireAndE2eCoversBatchWall) {
             static_cast<std::uint64_t>(kQueries));
   EXPECT_GE(stats.e2e.p99_ms, stats.batch_wall.p99_ms);
   EXPECT_GE(stats.net_e2e.p99_ms, stats.e2e.p99_ms);
+}
+
+TEST(TcpServer, MetricsOverTheWireAgreeWithStats) {
+  // Cache on so the hit/miss split is non-trivial.
+  LoopbackFixture fx(/*cache_capacity=*/16);
+  Client client("127.0.0.1", fx.server->port());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(client.query(static_cast<idx_t>(i % 10), LoopbackFixture::kK)
+                  .status,
+              Status::kOk);
+  }
+
+  const std::string text = client.metrics();
+  const serve::ServeStats stats = fx.server->stats();
+
+  // The exposition is rendered from the same snapshot family the stats op
+  // serves, so the headline counters must agree exactly.
+  EXPECT_EQ(metric_value(text, "cumf_serve_queries_total"),
+            static_cast<double>(stats.queries));
+  EXPECT_EQ(metric_value(text, "cumf_serve_batches_total"),
+            static_cast<double>(stats.batches));
+  EXPECT_EQ(
+      metric_value(text, "cumf_serve_cache_requests_total{result=\"hit\"}"),
+      static_cast<double>(stats.cache_hits));
+  EXPECT_EQ(
+      metric_value(text, "cumf_serve_cache_requests_total{result=\"miss\"}"),
+      static_cast<double>(stats.cache_misses));
+  EXPECT_EQ(metric_value(text, "cumf_serve_generation"),
+            static_cast<double>(stats.generation));
+  EXPECT_EQ(metric_value(text, "cumf_net_connections_total"), 1.0);
+  EXPECT_EQ(metric_value(text, "cumf_net_protocol_errors_total"), 0.0);
+
+  // Latency histograms ride along: every query contributed one e2e sample.
+  EXPECT_EQ(metric_value(text, "cumf_serve_latency_ms_count{stage=\"e2e\"}"),
+            static_cast<double>(stats.queries));
+  EXPECT_GE(
+      metric_value(text, "cumf_serve_latency_quantile_ms{stage=\"e2e\",q=\"0.99\"}"),
+      0.0);
+
+  // The stats op and the metrics op answer on the same connection.
+  EXPECT_EQ(client.stats().queries, stats.queries);
+  EXPECT_EQ(client.query(3, LoopbackFixture::kK).status, Status::kOk);
 }
 
 TEST(TcpServer, AbruptClientDisconnectLeavesServerServing) {
