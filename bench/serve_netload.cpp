@@ -32,6 +32,11 @@
 //       enable request tracing (sample_every=1) and dump the run's Chrome
 //       trace-event JSON to FILE — load it in Perfetto/chrome://tracing to
 //       see the mid-sweep hot swap land between decomposed queries.
+//   serve_netload --devices N
+//       in-process mode only: serve from a MultiDeviceScoringBackend over N
+//       simulated devices (model-parallel scatter-gather path), wired into
+//       the live store's admission hook so the mid-run hot swap exercises
+//       all-or-nothing multi-device generation charging.
 //
 // CSV: bench_results/serve_netload.csv
 
@@ -50,8 +55,12 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "gpusim/device_group.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/topology.hpp"
 #include "obs/trace.hpp"
 #include "serve/batcher.hpp"
+#include "serve/multi_device_backend.hpp"
 #include "serve/factor_store.hpp"
 #include "serve/live_store.hpp"
 #include "serve/net/client.hpp"
@@ -245,12 +254,18 @@ int main(int argc, char** argv) {
   idx_t users = 1500;
   int k = kTopK;
 
-  // Strip --trace-out FILE before the positional --connect parsing.
+  // Strip --trace-out FILE / --devices N before the positional --connect
+  // parsing.
   std::string trace_out;
+  int devices = 1;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      devices = std::max(1, std::atoi(argv[++i]));
       continue;
     }
     args.push_back(argv[i]);
@@ -288,6 +303,9 @@ int main(int argc, char** argv) {
   // In-process loopback stack (skipped with --connect): a live store so a
   // fresh generation can be hot-swapped in mid-run.
   std::unique_ptr<serve::LiveFactorStore> live;
+  std::unique_ptr<gpusim::PcieTopology> topo;
+  std::unique_ptr<gpusim::DeviceGroup> group;
+  std::unique_ptr<serve::MultiDeviceScoringBackend> md_backend;
   std::unique_ptr<serve::TopKEngine> engine;
   std::unique_ptr<serve::RequestBatcher> batcher;
   std::unique_ptr<serve::net::TcpServer> server;
@@ -296,7 +314,24 @@ int main(int argc, char** argv) {
     live = std::make_unique<serve::LiveFactorStore>(
         serve::FactorStore(random_factors(users, kF, 701),
                            random_factors(kItems, kF, 702), 2));
-    engine = std::make_unique<serve::TopKEngine>(*live);
+    serve::TopKOptions topt_engine;
+    if (devices > 1) {
+      // Model-parallel serving: shards spread across the group, and the
+      // admission hook makes hot swaps all-or-nothing across devices.
+      topo = std::make_unique<gpusim::PcieTopology>(
+          gpusim::PcieTopology::flat(devices));
+      group = std::make_unique<gpusim::DeviceGroup>(devices, gpusim::titan_x(),
+                                                    *topo);
+      md_backend =
+          std::make_unique<serve::MultiDeviceScoringBackend>(*group, *topo);
+      topt_engine.backend = md_backend.get();
+      live->set_admission_hook(
+          [backend = md_backend.get()](
+              const std::shared_ptr<const serve::FactorStore>& s) {
+            backend->admit(s);
+          });
+    }
+    engine = std::make_unique<serve::TopKEngine>(*live, topt_engine);
     serve::BatcherOptions opt;
     opt.k = k;
     opt.max_batch = 32;
@@ -306,8 +341,9 @@ int main(int argc, char** argv) {
     server = std::make_unique<serve::net::TcpServer>(*batcher);
     port = server->port();
     std::printf("  loopback server on 127.0.0.1:%u — %d users × %d items, "
-                "f=%d, top-%d, max_batch 32, max_delay 1 ms, cache off\n",
-                port, users, kItems, kF, k);
+                "f=%d, top-%d, max_batch 32, max_delay 1 ms, cache off, "
+                "%d device(s)\n",
+                port, users, kItems, kF, k, devices);
   } else {
     std::printf("  external server %s:%u — users=%d k=%d\n", host.c_str(),
                 port, users, k);

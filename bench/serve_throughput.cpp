@@ -42,8 +42,11 @@
 #include "costmodel/machines.hpp"
 #include "costmodel/serving_fleet.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/device_group.hpp"
 #include "gpusim/device_spec.hpp"
+#include "gpusim/topology.hpp"
 #include "serve/batcher.hpp"
+#include "serve/multi_device_backend.hpp"
 #include "serve/factor_store.hpp"
 #include "serve/live_store.hpp"
 #include "serve/scoring_backend.hpp"
@@ -75,6 +78,7 @@ struct RunResult {
   std::uint64_t scored = 0;
   std::uint64_t pruned = 0;
   serve::LatencySummary modeled;
+  serve::LatencySummary interconnect;
 };
 
 RunResult run_stream(const serve::TopKEngine& engine,
@@ -95,6 +99,7 @@ RunResult run_stream(const serve::TopKEngine& engine,
   r.scored = engine.items_scored() - scored0;
   r.pruned = engine.items_pruned() - pruned0;
   r.modeled = engine.batch_modeled_summary();
+  r.interconnect = engine.batch_interconnect_summary();
   return r;
 }
 
@@ -117,9 +122,10 @@ int main() {
   util::CsvWriter csv(
       bench::results_dir() + "/serve_throughput.csv",
       {"mode", "backend", "device", "shards", "batch", "queries", "seconds",
-       "qps", "modeled_ms", "devices", "dollars_per_hr", "qps_per_dollar",
-       "items_scored", "items_pruned", "cache_hits", "generation",
-       "swap_pause_ms", "qps_before", "qps_during", "qps_after"});
+       "qps", "modeled_ms", "kernel_ms", "interconnect_ms", "devices", "nodes",
+       "dollars_per_hr", "qps_per_dollar", "items_scored", "items_pruned",
+       "cache_hits", "generation", "swap_pause_ms", "qps_before", "qps_during",
+       "qps_after"});
 
   std::printf("  model: %d users x %d items, f=%d, top-%d\n\n", kUsers, kItems,
               kF, kTopK);
@@ -150,8 +156,8 @@ int main() {
                   "-", static_cast<unsigned long long>(r.scored),
                   static_cast<unsigned long long>(r.pruned));
       csv.row("direct", "cpu", "host", shards, batch, kQueries, r.seconds,
-              r.qps, 0.0, 0, 0.0, 0.0, r.scored, r.pruned, 0, 0, 0.0, 0.0,
-              0.0, 0.0);
+              r.qps, 0.0, 0.0, 0.0, 0, 0, 0.0, 0.0, r.scored, r.pruned, 0, 0,
+              0.0, 0.0, 0.0, 0.0);
     }
   }
 
@@ -204,8 +210,76 @@ int main() {
                 static_cast<unsigned long long>(r.scored),
                 static_cast<unsigned long long>(r.pruned));
     csv.row("direct", "gpusim", run.device.spec.name, 2, kFleetBatch, kQueries,
-            r.seconds, r.qps, r.modeled.p50_ms, 0, 0.0, 0.0, r.scored,
-            r.pruned, 0, 0, 0.0, 0.0, 0.0, 0.0);
+            r.seconds, r.qps, r.modeled.p50_ms, r.modeled.p50_ms, 0.0, 1, 0,
+            0.0, 0.0, r.scored, r.pruned, 0, 0, 0.0, 0.0, 0.0, 0.0);
+  }
+
+  // Fleet requirement shared by the multi-device sweep and the fleet-sizing
+  // section: well above one device's modeled capacity, so plans actually
+  // size fleets rather than answer "one".
+  costmodel::FleetRequirement req;
+  req.target_qps = 5'000'000.0;
+  req.p99_ms = 5.0;
+  req.max_fill_ms = 2.0;
+
+  // ---- multi-device sweep: the model-parallel split across a group -------
+  // Θ's shards spread across 1/2/4 devices per spec; answers stay
+  // bit-identical to the host engine while the modeled axis splits into
+  // per-device kernel time (max over devices — they run concurrently) plus
+  // the interconnect gather of per-device candidate partials. Each
+  // configuration is priced as a node by the multi-device fleet planner, so
+  // the qps-per-dollar column answers "2×cheap vs 1×big" directly.
+  std::printf("\n  multi-device sweep (batch %d, %d shards):\n", kFleetBatch,
+              4);
+  std::printf("  %-8s %7s %9s %11s %11s %11s %11s %13s\n", "device", "devs",
+              "wall(s)", "qps", "modeled(ms)", "kernel(ms)", "gather(ms)",
+              "qps/$-hr");
+  const serve::FactorStore mdstore(x, theta, 4);
+  for (auto& run : device_runs) {
+    for (const int p : {1, 2, 4}) {
+      const auto topo = gpusim::PcieTopology::flat(p);
+      gpusim::DeviceGroup group(p, run.device.spec, topo);
+      serve::MultiDeviceScoringBackend backend(group, topo, mdstore);
+      serve::TopKOptions opt;
+      opt.user_block = kFleetBatch;
+      opt.backend = &backend;
+
+      {
+        const serve::TopKEngine parity_engine(mdstore, opt);
+        for (int q = 0; q < 8; ++q) {
+          if (parity_engine.recommend_one(stream[q], kTopK) !=
+              cpu_engine.recommend_one(stream[q], kTopK)) {
+            std::fprintf(stderr,
+                         "FATAL: multigpu backend diverged from cpu (p=%d)\n",
+                         p);
+            return 1;
+          }
+        }
+      }
+
+      const serve::TopKEngine engine(mdstore, opt);
+      const RunResult r = run_stream(engine, stream, kFleetBatch);
+      const double gather_ms = r.interconnect.p50_ms;
+      const double kernel_ms = r.modeled.p50_ms - gather_ms;
+
+      costmodel::MultiDeviceNode node;
+      node.spec = run.device.spec;
+      node.price_per_device_hr = run.device.pricing.price_per_device_hr;
+      node.devices = p;
+      node.interconnect_gbps = topo.pcie_gbps();
+      const auto plan = costmodel::plan_multi_device_fleet(
+          req, node, run.profile, kTopK, backend.placement_imbalance(mdstore));
+
+      std::printf("  %-8s %7d %9.3f %11.0f %11.3f %11.3f %11.3f %13.0f\n",
+                  run.device.spec.name.c_str(), p, r.seconds, r.qps,
+                  r.modeled.p50_ms, kernel_ms, gather_ms,
+                  plan.qps_per_dollar_hr);
+      csv.row("multidev", "multigpu", run.device.spec.name, 4, kFleetBatch,
+              kQueries, r.seconds, r.qps, r.modeled.p50_ms, kernel_ms,
+              gather_ms, p, plan.nodes, plan.dollars_per_hr,
+              plan.qps_per_dollar_hr, r.scored, r.pruned, 0, 0, 0.0, 0.0, 0.0,
+              0.0);
+    }
   }
 
   // ---- RequestBatcher + hot-user LRU cache on the same Zipf stream -------
@@ -242,9 +316,9 @@ int main() {
         100.0 * static_cast<double>(stats.cache_hits) /
             static_cast<double>(stats.queries),
         stats.batch_wall.p99_ms, stats.e2e.p99_ms, stats.queue_delay.p99_ms);
-    csv.row("batcher", "cpu", "host", 2, 32, kQueries, secs, qps, 0.0, 0, 0.0,
-            0.0, stats.items_scored, stats.items_pruned, stats.cache_hits, 0,
-            0.0, 0.0, 0.0, 0.0);
+    csv.row("batcher", "cpu", "host", 2, 32, kQueries, secs, qps, 0.0, 0.0,
+            0.0, 0, 0, 0.0, 0.0, stats.items_scored, stats.items_pruned,
+            stats.cache_hits, 0, 0.0, 0.0, 0.0, 0.0);
   }
 
   // ---- refresh under load: hot swaps while query threads stay hot --------
@@ -332,7 +406,7 @@ int main() {
                   outcome.load_ms, outcome.swap_pause_ms, qps_before,
                   qps_during, qps_after);
       csv.row("refresh", "cpu", "host", 2, kFleetBatch, kQueries, 0.0, 0.0,
-              0.0, 0, 0.0, 0.0, 0, 0, 0, outcome.generation,
+              0.0, 0.0, 0.0, 0, 0, 0.0, 0.0, 0, 0, 0, outcome.generation,
               outcome.swap_pause_ms, qps_before, qps_during, qps_after);
     }
     stop.store(true);
@@ -347,13 +421,6 @@ int main() {
   }
 
   // ---- fleet sizing: how many GPUs, at what $/hr, for the target load ----
-  // Target well above one device's modeled capacity, so the plan actually
-  // has to size a fleet rather than answer "one".
-  costmodel::FleetRequirement req;
-  req.target_qps = 5'000'000.0;
-  req.p99_ms = 5.0;
-  req.max_fill_ms = 2.0;
-
   std::printf("\n  fleet plan for %.0f qps at p99 <= %.1f ms:\n",
               req.target_qps, req.p99_ms);
   std::printf("  %-8s %11s %8s %11s %10s %13s\n", "device", "qps/device",
@@ -366,9 +433,42 @@ int main() {
                 plan.modeled_p99_ms, plan.dollars_per_hr,
                 plan.qps_per_dollar_hr, plan.feasible ? "" : "  (INFEASIBLE)");
     csv.row("fleet", "gpusim", plan.device, 2, kFleetBatch, kQueries, 0.0,
-            plan.device_qps, plan.modeled_p99_ms, plan.devices,
-            plan.dollars_per_hr, plan.qps_per_dollar_hr, 0, 0, 0, 0, 0.0, 0.0,
-            0.0, 0.0);
+            plan.device_qps, plan.modeled_p99_ms, 0.0, 0.0, plan.devices,
+            plan.nodes, plan.dollars_per_hr, plan.qps_per_dollar_hr, 0, 0, 0,
+            0, 0.0, 0.0, 0.0, 0.0);
+  }
+
+  // ---- 2×cheap vs 1×big: the CuMF_SGD cost question, answered ------------
+  // Price the same target on single big-device nodes vs dual cheap-device
+  // nodes (gather cost included) and let dollars decide.
+  {
+    const auto& big = device_runs[0];    // titan_x
+    const auto& cheap = device_runs[1];  // gk210
+    const auto big_plan = costmodel::plan_serving_fleet(
+        req, big.device.spec, big.device.pricing.price_per_device_hr,
+        big.profile);
+    costmodel::MultiDeviceNode node;
+    node.spec = cheap.device.spec;
+    node.price_per_device_hr = cheap.device.pricing.price_per_device_hr;
+    node.devices = 2;
+    const auto cheap_plan =
+        costmodel::plan_multi_device_fleet(req, node, cheap.profile, kTopK);
+    const bool cheap_wins =
+        cheap_plan.feasible &&
+        (!big_plan.feasible ||
+         cheap_plan.dollars_per_hr < big_plan.dollars_per_hr);
+    std::printf("\n  2xcheap vs 1xbig for %.0f qps: %s at $%.2f/hr vs %s at "
+                "$%.2f/hr -> %s\n",
+                req.target_qps, cheap_plan.device.c_str(),
+                cheap_plan.dollars_per_hr, big_plan.device.c_str(),
+                big_plan.dollars_per_hr,
+                cheap_wins ? cheap_plan.device.c_str()
+                           : big_plan.device.c_str());
+    csv.row("fleet", "gpusim", cheap_plan.device, 2, kFleetBatch, kQueries,
+            0.0, cheap_plan.device_qps, cheap_plan.modeled_p99_ms, 0.0,
+            cheap_plan.interconnect_ms, cheap_plan.devices, cheap_plan.nodes,
+            cheap_plan.dollars_per_hr, cheap_plan.qps_per_dollar_hr, 0, 0, 0,
+            0, 0.0, 0.0, 0.0, 0.0);
   }
 
   // ---- informational perf race (never gates: shared runners flake) -------

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed bench baselines.
+
+Compares bench_results/*.csv produced by the current build against the
+checked-in baselines in bench_results/baselines/*.csv and fails when
+
+  - a throughput metric (wall qps, achieved qps, qps per dollar) drops by
+    more than its tolerance, or
+  - a modeled-cost metric (modeled/kernel/interconnect ms, $/hr) rises by
+    more than its tolerance.
+
+Wall-clock throughput gets a wide 25% band (shared CI runners are noisy);
+modeled costs come off the deterministic simulator and get tight bands.
+
+A before/after table is appended to $GITHUB_STEP_SUMMARY when set (plain
+stdout otherwise). Refresh the baselines after an intentional perf change
+with:
+
+    python3 ci/bench_gate.py --refresh   # then commit bench_results/baselines
+"""
+
+import argparse
+import csv
+import os
+import shutil
+import sys
+
+RESULTS_DIR = "bench_results"
+BASELINE_DIR = os.path.join(RESULTS_DIR, "baselines")
+
+# Per-file gate config. `key`: columns identifying a row (an occurrence
+# counter is appended, so duplicate keys still pair up). `metrics`: column ->
+# (direction, relative tolerance); "lower" fails when value < base*(1-tol),
+# "upper" fails when value > base*(1+tol). `rows`: predicate choosing which
+# rows participate.
+GATES = {
+    "serve_throughput.csv": {
+        "key": ["mode", "backend", "device", "shards", "batch", "devices"],
+        "rows": lambda r: r["mode"] in ("direct", "batcher", "multidev", "fleet"),
+        "metrics": {
+            "qps": ("lower", 0.25),
+            "modeled_ms": ("upper", 0.10),
+            "kernel_ms": ("upper", 0.10),
+            "interconnect_ms": ("upper", 0.10),
+            "dollars_per_hr": ("upper", 0.01),
+            "qps_per_dollar": ("lower", 0.01),
+        },
+        # Wall-clock qps only exists for rows that actually ran queries;
+        # fleet rows are pure cost-model output, so their qps column is the
+        # modeled fleet capacity and far too stable to need the wide band.
+        "skip_metric": lambda r, m: (
+            (m == "qps" and r["mode"] == "fleet")
+            or (m != "qps" and r["mode"] in ("direct", "batcher")
+                and r["backend"] == "cpu")
+        ),
+    },
+    "serve_netload.csv": {
+        "key": ["mode", "conns", "offered_qps"],
+        "rows": lambda r: True,
+        "metrics": {"achieved_qps": ("lower", 0.25)},
+        "skip_metric": lambda r, m: False,
+    },
+}
+
+
+def load_rows(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def keyed(rows, cfg):
+    out = {}
+    counts = {}
+    for row in rows:
+        if not cfg["rows"](row):
+            continue
+        base = tuple(row[c] for c in cfg["key"])
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        out[base + (n,)] = row
+    return out
+
+
+def refresh():
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    copied = []
+    for name in GATES:
+        src = os.path.join(RESULTS_DIR, name)
+        if not os.path.exists(src):
+            sys.exit(f"bench_gate: cannot refresh, {src} missing — run the "
+                     "Release benches first")
+        shutil.copy(src, os.path.join(BASELINE_DIR, name))
+        copied.append(name)
+    print(f"bench_gate: baselines refreshed ({', '.join(copied)}); "
+          f"commit {BASELINE_DIR}/")
+
+
+def check():
+    failures = []
+    lines = ["## Bench perf gate", "",
+             "| file | row | metric | baseline | current | Δ | limit | ok |",
+             "|---|---|---|---|---|---|---|---|"]
+    for name, cfg in GATES.items():
+        cur_path = os.path.join(RESULTS_DIR, name)
+        base_path = os.path.join(BASELINE_DIR, name)
+        if not os.path.exists(base_path):
+            failures.append(f"{name}: no baseline at {base_path}")
+            continue
+        if not os.path.exists(cur_path):
+            failures.append(f"{name}: bench output missing at {cur_path}")
+            continue
+        base_rows = keyed(load_rows(base_path), cfg)
+        cur_rows = keyed(load_rows(cur_path), cfg)
+        for key, base_row in base_rows.items():
+            cur_row = cur_rows.get(key)
+            label = "/".join(str(k) for k in key[:-1])
+            if cur_row is None:
+                failures.append(f"{name}: row {label} missing from current "
+                                "results")
+                continue
+            for metric, (direction, tol) in cfg["metrics"].items():
+                if cfg["skip_metric"](base_row, metric):
+                    continue
+                base_v = float(base_row[metric])
+                cur_v = float(cur_row[metric])
+                if direction == "lower":
+                    limit = base_v * (1.0 - tol)
+                    ok = cur_v >= limit
+                else:
+                    limit = base_v * (1.0 + tol)
+                    ok = cur_v <= limit
+                delta = (cur_v / base_v - 1.0) * 100.0 if base_v else 0.0
+                lines.append(
+                    f"| {name} | {label} | {metric} | {base_v:.4g} "
+                    f"| {cur_v:.4g} | {delta:+.1f}% | "
+                    f"{'≥' if direction == 'lower' else '≤'} {limit:.4g} "
+                    f"| {'✅' if ok else '❌'} |")
+                if not ok:
+                    failures.append(
+                        f"{name}: {label} {metric} {cur_v:.4g} vs baseline "
+                        f"{base_v:.4g} ({delta:+.1f}%, tolerance "
+                        f"{'-' if direction == 'lower' else '+'}{tol:.0%})")
+    if failures:
+        lines += ["", "**Failures:**", ""]
+        lines += [f"- {f}" for f in failures]
+    report = "\n".join(lines) + "\n"
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(report)
+    print(report)
+    if failures:
+        print(f"bench_gate: FAILED ({len(failures)} regression(s))",
+              file=sys.stderr)
+        sys.exit(1)
+    print("bench_gate: OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--refresh", action="store_true",
+                        help="copy current bench CSVs into the baseline "
+                             "directory instead of gating")
+    args = parser.parse_args()
+    if args.refresh:
+        refresh()
+    else:
+        check()
+
+
+if __name__ == "__main__":
+    main()

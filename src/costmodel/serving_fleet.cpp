@@ -97,11 +97,61 @@ FleetPlan plan_serving_fleet(const FleetRequirement& req,
   }
 
   plan.devices = best_n;
+  plan.nodes = best_n;  // one device per node unless a caller re-derives
   plan.modeled_p99_ms = best_p99;
   plan.fleet_qps = best_n * plan.device_qps;
   plan.dollars_per_hr = best_n * price_per_device_hr;
   plan.qps_per_dollar_hr =
       plan.dollars_per_hr > 0.0 ? req.target_qps / plan.dollars_per_hr : 0.0;
+  return plan;
+}
+
+ServingProfile node_serving_profile(const ServingProfile& single,
+                                    const MultiDeviceNode& node, int k,
+                                    double shard_imbalance) {
+  ServingProfile profile = single;
+  const int p = std::max(1, node.devices);
+  if (p == 1) return profile;
+  // Kernel time: the sweep splits across devices; the batch finishes when the
+  // most loaded device does, i.e. the even share scaled by the placement's
+  // imbalance (1 = perfect split; capped at full single-device time).
+  const double imbalance = std::max(1.0, shard_imbalance);
+  const double kernel_s =
+      std::min(single.batch_seconds, single.batch_seconds * imbalance / p);
+  // Gather: every device ships batch_users × k (item, score) pairs — 8 bytes
+  // each — over the shared host link, which serializes the p transfers.
+  const double gather_bytes = static_cast<double>(p) *
+                              static_cast<double>(single.batch_users) *
+                              static_cast<double>(k) * 8.0;
+  const double gather_s = node.interconnect_gbps > 0.0
+                              ? gather_bytes / (node.interconnect_gbps * 1e9)
+                              : 0.0;
+  profile.batch_seconds = kernel_s + gather_s;
+  return profile;
+}
+
+FleetPlan plan_multi_device_fleet(const FleetRequirement& req,
+                                  const MultiDeviceNode& node,
+                                  const ServingProfile& single_device, int k,
+                                  double shard_imbalance) {
+  const int p = std::max(1, node.devices);
+  const ServingProfile profile =
+      node_serving_profile(single_device, node, k, shard_imbalance);
+  FleetPlan plan = plan_serving_fleet(req, node.spec,
+                                      node.price_per_device_hr * p, profile);
+  plan.nodes = plan.devices;  // the scan counted nodes
+  plan.devices_per_node = p;
+  plan.devices = plan.nodes * p;
+  if (p > 1) {
+    plan.device += "x" + std::to_string(p);
+    const double gather_bytes = static_cast<double>(p) *
+                                static_cast<double>(single_device.batch_users) *
+                                static_cast<double>(k) * 8.0;
+    plan.interconnect_ms = node.interconnect_gbps > 0.0
+                               ? gather_bytes / (node.interconnect_gbps * 1e9) *
+                                     1e3
+                               : 0.0;
+  }
   return plan;
 }
 

@@ -94,15 +94,22 @@ struct FleetRequirement {
 };
 
 struct FleetPlan {
-  std::string device;          // DeviceSpec preset name
+  std::string device;          // DeviceSpec preset name (node name for
+                               // multi-device plans, e.g. "gk210x2")
   bool feasible = false;       // SLO met at `devices`
   int devices = 0;             // smallest fleet meeting the SLO; with
                                // feasible=false, the fleet with the best p99
-  double device_qps = 0.0;     // modeled per-device throughput
+  double device_qps = 0.0;     // modeled per-device throughput (per-node for
+                               // multi-device plans)
   double fleet_qps = 0.0;      // devices × device_qps (capacity headroom)
   double modeled_p99_ms = 0.0;
   double dollars_per_hr = 0.0;      // devices × price/device/hr
   double qps_per_dollar_hr = 0.0;   // target_qps / dollars_per_hr
+  // Multi-device plans (plan_multi_device_fleet); single-device defaults
+  // otherwise.
+  int devices_per_node = 1;
+  int nodes = 0;                   // == devices / devices_per_node
+  double interconnect_ms = 0.0;    // candidate-gather slice of a node batch
 };
 
 /// Sizes a fleet of `spec` devices for `req`. Returns feasible=false when no
@@ -112,5 +119,34 @@ FleetPlan plan_serving_fleet(const FleetRequirement& req,
                              const gpusim::DeviceSpec& spec,
                              double price_per_device_hr,
                              const ServingProfile& profile);
+
+/// A serving node built from several identical devices sharing one PCIe
+/// interconnect — the unit plan_multi_device_fleet shops in, so the planner
+/// can answer "2×cheap vs 1×big" with the gather cost priced in.
+struct MultiDeviceNode {
+  gpusim::DeviceSpec spec;
+  double price_per_device_hr = 0.0;
+  int devices = 1;
+  /// Host-link bandwidth each device's candidate gather rides (GB/s).
+  double interconnect_gbps = 12.0;
+};
+
+/// Derives a per-*node* serving profile from a single-device profile: the
+/// item sweep splits across the node's devices (ideal 1/p kernel time,
+/// degraded by `shard_imbalance` — max per-device share over the even share,
+/// as MultiDeviceScoringBackend::placement_imbalance reports), then every
+/// device ships its k-candidate partials over the shared host link, which
+/// serializes the gather. `k` is the per-user top-k the gather carries.
+ServingProfile node_serving_profile(const ServingProfile& single,
+                                    const MultiDeviceNode& node, int k,
+                                    double shard_imbalance = 1.0);
+
+/// plan_serving_fleet over multi-device nodes: composes node_serving_profile,
+/// prices nodes at devices × price/device/hr, and reports node/device counts
+/// plus the per-batch interconnect slice.
+FleetPlan plan_multi_device_fleet(const FleetRequirement& req,
+                                  const MultiDeviceNode& node,
+                                  const ServingProfile& single_device, int k,
+                                  double shard_imbalance = 1.0);
 
 }  // namespace cumf::costmodel

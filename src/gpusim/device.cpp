@@ -39,9 +39,10 @@ double Device::model_kernel_seconds(const KernelStats& stats) const {
   const double contiguous =
       static_cast<double>(stats.global_read + stats.global_write);
   const double mem_s = contiguous / (spec_.mem_bw_gbps * 1e9);
-  const double gather_bw = stats.gathered_via_texture
-                               ? spec_.gathered_texture_bw() * stats.gather_quality
-                               : spec_.gathered_global_bw();
+  const double gather_bw =
+      stats.gathered_via_texture
+          ? spec_.gathered_texture_bw() * stats.gather_quality
+          : spec_.gathered_global_bw();
   const double gather_s =
       static_cast<double>(stats.gathered_read) / (gather_bw * 1e9);
   const double shared_s =

@@ -23,7 +23,9 @@ class DeviceGroup {
   }
 
   [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
-  [[nodiscard]] Device& operator[](int i) { return *devices_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] Device& operator[](int i) {
+    return *devices_[static_cast<std::size_t>(i)];
+  }
 
   /// Pointer view for APIs taking std::vector<Device*>.
   [[nodiscard]] std::vector<Device*> pointers() const {

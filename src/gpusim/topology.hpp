@@ -45,7 +45,8 @@ class PcieTopology {
     return static_cast<int>(socket_of_.size());
   }
   [[nodiscard]] int socket_of(int device) const {
-    return device == kHost ? host_socket_ : socket_of_[static_cast<std::size_t>(device)];
+    return device == kHost ? host_socket_
+                           : socket_of_[static_cast<std::size_t>(device)];
   }
   [[nodiscard]] int num_sockets() const { return num_sockets_; }
   [[nodiscard]] double pcie_gbps() const { return pcie_gbps_; }

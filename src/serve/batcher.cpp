@@ -8,6 +8,7 @@
 
 #include "obs/trace.hpp"
 #include "serve/live_store.hpp"
+#include "serve/scoring_backend.hpp"
 
 namespace cumf::serve {
 
@@ -168,7 +169,8 @@ void RequestBatcher::flusher_loop() {
     if (take == pending_.size()) flush_now_ = false;
     std::vector<Pending> batch;
     batch.reserve(take);
-    std::move(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take),
+    std::move(pending_.begin(),
+              pending_.begin() + static_cast<std::ptrdiff_t>(take),
               std::back_inserter(batch));
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<std::ptrdiff_t>(take));
@@ -306,6 +308,9 @@ ServeStats RequestBatcher::stats() const {
   s.items_pruned = engine_.items_pruned() - base_pruned_;
   s.batch_wall = engine_.batch_wall_summary();
   s.batch_modeled = engine_.batch_modeled_summary();
+  s.batch_interconnect = engine_.batch_interconnect_summary();
+  s.serving_devices =
+      static_cast<std::uint64_t>(engine_.backend().device_count());
   if (const auto* live = engine_.live_store()) {
     s.generation = live->generation();
     s.refreshes = live->refreshes();

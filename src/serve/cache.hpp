@@ -70,7 +70,7 @@ class ScoreCache {
     std::lock_guard<std::mutex> lock(mu_);
     if (generation > generation_) generation_ = generation;
     if (generation < generation_) return;  // scored against a stale snapshot
-    const std::uint64_t id = key(user, k);
+    const Key id = key(user, k);
     const auto it = index_.find(id);
     if (it != index_.end()) {
       it->second->generation = generation;
@@ -131,27 +131,44 @@ class ScoreCache {
   }
 
  private:
+  // Full-width key: no packing, so a wider idx_t can never silently alias
+  // user ids 2^32 apart (the old packed-uint64 key truncated idx_t to its
+  // low 32 bits and relied on a static_assert to catch a widening).
+  struct Key {
+    idx_t user;
+    int k;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      // splitmix64 finalizer over both fields — cheap and avalanche-complete
+      // regardless of idx_t's width.
+      auto h = static_cast<std::uint64_t>(key.user);
+      h = (h << 32) ^ static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(key.k));
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      h *= 0x94d049bb133111ebULL;
+      h ^= h >> 31;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   struct Entry {
-    std::uint64_t id;
+    Key id;
     std::uint64_t generation;
     std::vector<Recommendation> recs;
   };
 
-  // The packed key truncates idx_t to its low 32 bits. idx_t is 32-bit today
-  // (util/types.hpp), so no information is lost; if idx_t ever widens, user
-  // ids 2^32 apart would alias to one entry — the static_assert below turns
-  // that silent aliasing into a build error to revisit here.
-  static_assert(sizeof(idx_t) <= sizeof(std::uint32_t),
-                "ScoreCache::key packs idx_t into 32 bits");
-  static std::uint64_t key(idx_t user, int k) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(user)) << 32) |
-           static_cast<std::uint32_t>(k);
-  }
+  static Key key(idx_t user, int k) { return Key{user, k}; }
 
   std::size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> entries_;  // front = most recently used
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   std::uint64_t generation_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

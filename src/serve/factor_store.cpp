@@ -27,10 +27,13 @@ std::vector<double> row_norms(const linalg::FactorMatrix& m) {
 FactorStore::FactorStore(linalg::FactorMatrix x,
                          const linalg::FactorMatrix& theta, int shards)
     : x_(std::move(x)), num_items_(theta.rows()) {
-  if (shards < 1) throw std::invalid_argument("FactorStore: shards must be >= 1");
+  if (shards < 1) {
+    throw std::invalid_argument("FactorStore: shards must be >= 1");
+  }
   user_norms_ = row_norms(x_);
 
-  const int parts = std::max(1, std::min<int>(shards, std::max<idx_t>(num_items_, 1)));
+  const int parts =
+      std::max(1, std::min<int>(shards, std::max<idx_t>(num_items_, 1)));
   const auto ranges = sparse::split_even(num_items_, parts);
   const auto item_norms = row_norms(theta);
   const int f = theta.f();

@@ -48,6 +48,11 @@ LiveFactorStore::RefreshOutcome LiveFactorStore::refresh(FactorStore next) {
   return install(std::move(next), 0.0);
 }
 
+void LiveFactorStore::set_admission_hook(AdmissionHook hook) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  admission_hook_ = std::move(hook);
+}
+
 LiveFactorStore::RefreshOutcome LiveFactorStore::install(FactorStore next,
                                                          double load_ms) {
   // Allocate the generation wrapper before entering the critical section so
@@ -62,6 +67,22 @@ LiveFactorStore::RefreshOutcome LiveFactorStore::install(FactorStore next,
     const auto cur = current_.load(std::memory_order_acquire);
     gen->number = cur->number + 1;
     out.generation = gen->number;
+    if (admission_hook_) {
+      // Admission runs before the candidate is published anywhere: a veto
+      // (thrown exception) means no reader ever pinned it and the backend
+      // rolled back whatever it charged — the old generation keeps serving.
+      try {
+        admission_hook_(
+            std::shared_ptr<const FactorStore>(gen, &gen->store));
+      } catch (const std::exception& e) {
+        refresh_failures_.fetch_add(1, std::memory_order_relaxed);
+        out.swapped = false;
+        out.generation = cur->number;
+        out.swap_pause_ms = pause.milliseconds();
+        out.error = e.what();
+        return out;
+      }
+    }
     gen_number_.store(gen->number, std::memory_order_release);
     current_.store(std::move(gen), std::memory_order_release);
     // The superseded generation is not destroyed here: in-flight readers

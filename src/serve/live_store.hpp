@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -84,8 +85,19 @@ class LiveFactorStore {
   RefreshOutcome refresh_from_checkpoint(const std::string& dir);
 
   /// In-memory refresh path (retrain-in-process pipelines): swaps `next` in
-  /// as the new generation. Always succeeds.
+  /// as the new generation. Succeeds unless the admission hook vetoes.
   RefreshOutcome refresh(FactorStore next);
+
+  /// Called with each candidate generation inside the swap critical section,
+  /// *before* it becomes current. A throwing hook vetoes the swap: the old
+  /// generation keeps serving, the outcome carries the error, and the
+  /// candidate is destroyed. Capacity-accounting backends register here
+  /// (e.g. MultiDeviceScoringBackend::admit) so a snapshot that does not fit
+  /// the device fleet is refused up front instead of failing mid-batch —
+  /// and a multi-device placement is refused *everywhere* rather than torn.
+  using AdmissionHook =
+      std::function<void(const std::shared_ptr<const FactorStore>&)>;
+  void set_admission_hook(AdmissionHook hook);
 
   /// Successful hot swaps since construction.
   [[nodiscard]] std::uint64_t refreshes() const {
@@ -118,6 +130,7 @@ class LiveFactorStore {
   // generation() never has to materialize a shared_ptr.
   std::atomic<std::uint64_t> gen_number_{0};
   std::mutex swap_mu_;  // serializes writers; readers never take it
+  AdmissionHook admission_hook_;  // guarded by swap_mu_
   std::atomic<std::uint64_t> refreshes_{0};
   std::atomic<std::uint64_t> refresh_failures_{0};
   LatencyTracker swap_pause_;

@@ -58,6 +58,9 @@ void fill_registry(const ServeStats& stats, const NetMetrics* net,
       .set(static_cast<double>(stats.items_pruned));
   reg->gauge("cumf_serve_generation", "Model generation serving right now")
       .set(static_cast<double>(stats.generation));
+  reg->gauge("cumf_serve_devices",
+             "Devices the scoring backend spreads the model across")
+      .set(static_cast<double>(stats.serving_devices));
   reg->counter("cumf_serve_refreshes_total",
                "Live-store refresh attempts by result", {{"result", "ok"}})
       .set(static_cast<double>(stats.refreshes));
@@ -70,6 +73,7 @@ void fill_registry(const ServeStats& stats, const NetMetrics* net,
   fill_latency(reg, "net_e2e", stats.net_e2e);
   fill_latency(reg, "batch_wall", stats.batch_wall);
   fill_latency(reg, "batch_modeled", stats.batch_modeled);
+  fill_latency(reg, "batch_interconnect", stats.batch_interconnect);
   fill_latency(reg, "swap_pause", stats.swap_pause);
 
   const OrchestratorStats& o = stats.orchestrator;

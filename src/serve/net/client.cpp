@@ -93,7 +93,8 @@ QueryResponse Client::read_query_response() {
   QueryResponse query;
   StatsResponse stats;
   const MsgType type = decode_response(buf_.data() + off, len, &query, &stats);
-  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
   if (type != MsgType::kQuery) {
     throw ProtocolError("expected a query response");
   }
@@ -117,7 +118,8 @@ Status Client::read_add_rating_response() {
   QueryResponse query;
   StatsResponse stats;
   const MsgType type = decode_response(buf_.data() + off, len, &query, &stats);
-  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
   if (type != MsgType::kAddRating) {
     throw ProtocolError("expected an add-rating response");
   }
@@ -141,7 +143,8 @@ std::string Client::metrics() {
   std::string text;
   const MsgType type =
       decode_response(buf_.data() + off, len, &query, &stats, &text);
-  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
   if (type != MsgType::kMetrics) {
     throw ProtocolError("expected a metrics response");
   }
@@ -158,7 +161,8 @@ StatsResponse Client::stats() {
   QueryResponse query;
   StatsResponse stats;
   const MsgType type = decode_response(buf_.data() + off, len, &query, &stats);
-  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
   if (type != MsgType::kStats) {
     throw ProtocolError("expected a stats response");
   }

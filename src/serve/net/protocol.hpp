@@ -156,7 +156,8 @@ struct Request {
 };
 
 // --- encoding: append one complete frame (length prefix included) ----------
-void encode_query_request(const QueryRequest& req, std::vector<std::uint8_t>* out);
+void encode_query_request(const QueryRequest& req,
+                          std::vector<std::uint8_t>* out);
 void encode_stats_request(std::vector<std::uint8_t>* out);
 void encode_metrics_request(std::vector<std::uint8_t>* out);
 void encode_add_rating_request(const AddRatingRequest& req,

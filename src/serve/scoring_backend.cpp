@@ -136,6 +136,25 @@ SweepCounters reference_sweep(const SweepTask& task,
   return counters;
 }
 
+gpusim::KernelStats sweep_kernel_stats(const SweepTask& task,
+                                       const SweepCounters& c,
+                                       bool use_texture) {
+  const auto f = static_cast<double>(task.store->f());
+  const auto fbytes = f * sizeof(real_t);
+  const auto block_users = static_cast<double>(task.last - task.first);
+  gpusim::KernelStats stats;
+  stats.flops = 2.0 * f * static_cast<double>(c.scored);
+  stats.global_read =
+      static_cast<bytes_t>(static_cast<double>(c.rows_swept) * fbytes);
+  stats.gathered_read = static_cast<bytes_t>(block_users * fbytes);
+  stats.gathered_via_texture = use_texture;
+  stats.shared_read =
+      static_cast<bytes_t>(static_cast<double>(c.scored) * fbytes);
+  stats.global_write =
+      static_cast<bytes_t>(block_users * static_cast<double>(task.k) * 8);
+  return stats;
+}
+
 // ------------------------------------------------------ CpuScoringBackend --
 
 SweepCounters CpuScoringBackend::sweep(
@@ -221,19 +240,8 @@ SweepCounters GpuSimScoringBackend::sweep(
   const double begin_us = traced ? trace.now_us() : 0.0;
   const SweepCounters c = reference_sweep(task, out);
 
-  const auto f = static_cast<double>(task.store->f());
-  const auto fbytes = f * sizeof(real_t);
-  const auto block_users = static_cast<double>(task.last - task.first);
-  gpusim::KernelStats stats;
-  stats.flops = 2.0 * f * static_cast<double>(c.scored);
-  stats.global_read =
-      static_cast<bytes_t>(static_cast<double>(c.rows_swept) * fbytes);
-  stats.gathered_read = static_cast<bytes_t>(block_users * fbytes);
-  stats.gathered_via_texture = opt_.use_texture;
-  stats.shared_read =
-      static_cast<bytes_t>(static_cast<double>(c.scored) * fbytes);
-  stats.global_write =
-      static_cast<bytes_t>(block_users * static_cast<double>(task.k) * 8);
+  const gpusim::KernelStats stats =
+      sweep_kernel_stats(task, c, opt_.use_texture);
 
   double modeled_s = 0.0;
   {
@@ -255,14 +263,15 @@ SweepCounters GpuSimScoringBackend::sweep(
   return c;
 }
 
-double GpuSimScoringBackend::finish_batch() {
+BatchCost GpuSimScoringBackend::finish_batch() {
   std::lock_guard<std::mutex> lock(mu_);
   // Drained generations can also die between batches (the live store swapped
   // while this backend sat idle); sweep them out at every batch boundary.
   gc_locked();
-  const double s = batch_modeled_s_;
+  BatchCost cost;
+  cost.modeled_s = batch_modeled_s_;
   batch_modeled_s_ = 0.0;
-  return s;
+  return cost;
 }
 
 }  // namespace cumf::serve

@@ -59,12 +59,28 @@ struct SweepCounters {
   std::uint64_t rows_swept = 0;  // θ rows touched before every user pruned out
 };
 
+/// Modeled cost of one recommend() batch, reported by finish_batch().
+/// All-zero for wall-clock-only backends.
+struct BatchCost {
+  /// Total modeled seconds for the batch (kernels + interconnect).
+  double modeled_s = 0.0;
+  /// Slice of modeled_s spent gathering per-device candidates over the
+  /// interconnect; nonzero only for multi-device backends.
+  double interconnect_s = 0.0;
+};
+
 /// Reference sweep: item-major, 4-chain scoring, strict-bound pruning. All
 /// backends must reproduce its heaps bit-for-bit (GpuSimScoringBackend simply
 /// calls it). `out` is indexed by user-in-block and holds bounded min-heaps
 /// ordered by heap_cmp == ranks_before.
 SweepCounters reference_sweep(const SweepTask& task,
                               std::vector<std::vector<Recommendation>>& out);
+
+/// Analytic kernel traffic for one sweep, shared by every simulated-GPU
+/// backend (see GpuSimScoringBackend's header comment for the derivation).
+[[nodiscard]] gpusim::KernelStats sweep_kernel_stats(const SweepTask& task,
+                                                     const SweepCounters& c,
+                                                     bool use_texture);
 
 class ScoringBackend {
  public:
@@ -83,14 +99,29 @@ class ScoringBackend {
 
   /// Execute one sweep, filling `out` with per-user top-k heaps. Called
   /// concurrently from pool workers; implementations must be thread-safe.
-  virtual SweepCounters sweep(const SweepTask& task,
-                              std::vector<std::vector<Recommendation>>& out) = 0;
+  virtual SweepCounters sweep(
+      const SweepTask& task,
+      std::vector<std::vector<Recommendation>>& out) = 0;
 
   /// Called once per recommend() batch after every sweep completed. Returns
-  /// the backend's modeled seconds for the batch (0 = wall-clock-only
-  /// backend). Batches are assumed not to overlap (the RequestBatcher
-  /// serializes them through one flusher thread).
-  virtual double finish_batch() { return 0.0; }
+  /// the backend's modeled batch cost (all-zero = wall-clock-only backend).
+  /// Batches are assumed not to overlap (the RequestBatcher serializes them
+  /// through one flusher thread).
+  virtual BatchCost finish_batch() { return {}; }
+
+  /// Devices this backend spreads the model across (1 = host or a single
+  /// simulated device).
+  [[nodiscard]] virtual int device_count() const { return 1; }
+
+  /// Scatter-gather merge topology for `store`: element s is the device that
+  /// owns shard s, so the engine can merge per-device partial top-k lists
+  /// before the cross-device gather. Empty = every shard on one device (flat
+  /// merge). Must be answered for any store the backend has admitted.
+  [[nodiscard]] virtual std::vector<int> shard_devices(
+      const FactorStore& store) const {
+    (void)store;
+    return {};
+  }
 };
 
 /// Host backend: the sweep runs on pool threads and that is the whole story.
@@ -154,7 +185,7 @@ class GpuSimScoringBackend final : public ScoringBackend {
   void begin_batch(const std::shared_ptr<const FactorStore>& store) override;
   SweepCounters sweep(const SweepTask& task,
                       std::vector<std::vector<Recommendation>>& out) override;
-  double finish_batch() override;
+  BatchCost finish_batch() override;
 
   [[nodiscard]] gpusim::Device& device() const { return *dev_; }
   /// Bytes currently charged for resident model snapshots (one for a static

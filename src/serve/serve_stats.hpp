@@ -26,7 +26,8 @@ inline constexpr std::array<double, 14> kLatencyBucketBoundsMs = {
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
     500.0, 1000.0};
 /// Bucket count including the final overflow (> last bound) bucket.
-inline constexpr std::size_t kLatencyBuckets = kLatencyBucketBoundsMs.size() + 1;
+inline constexpr std::size_t kLatencyBuckets =
+    kLatencyBucketBoundsMs.size() + 1;
 
 /// Percentile snapshot of a latency distribution, in milliseconds.
 struct LatencySummary {
@@ -88,8 +89,8 @@ class LatencyTracker {
   [[nodiscard]] LatencySummary summary() const {
     LatencySummary out;
     const std::uint64_t total = next_.load(std::memory_order_acquire);
-    const std::uint64_t n =
-        std::min<std::uint64_t>(total, static_cast<std::uint64_t>(ring_.size()));
+    const std::uint64_t n = std::min<std::uint64_t>(
+        total, static_cast<std::uint64_t>(ring_.size()));
     out.samples = n;
     out.total_recorded = total;
     out.sum_ms =
@@ -169,6 +170,10 @@ struct ServeStats {
   std::uint64_t items_scored = 0;  // user×item dot products actually computed
   std::uint64_t items_pruned = 0;  // candidates skipped via the norm bound
 
+  /// Devices the scoring backend spreads the model across (1 = host or a
+  /// single simulated device).
+  std::uint64_t serving_devices = 1;
+
   /// Model generation serving right now (0 = static FactorStore, no live
   /// refresh in the stack).
   std::uint64_t generation = 0;
@@ -206,6 +211,10 @@ struct ServeStats {
   /// Backend modeled time per batch; all-zero for wall-clock-only backends,
   /// the simulated-GPU kernel time for GpuSimScoringBackend.
   LatencySummary batch_modeled;
+  /// Modeled cross-device candidate-gather time per batch; nonzero only when
+  /// a multi-device backend is serving (the interconnect slice of
+  /// batch_modeled).
+  LatencySummary batch_interconnect;
   /// Duration of each refresh's pointer-swap critical section (queries never
   /// block on it — they hold generation pins, not locks).
   LatencySummary swap_pause;

@@ -105,7 +105,8 @@ RecommendBatch TopKEngine::recommend_batch(std::span<const idx_t> users,
   const int num_shards = store.num_shards();
   const std::size_t block = static_cast<std::size_t>(opt_.user_block);
   const std::size_t num_blocks = (n + block - 1) / block;
-  const std::size_t num_tasks = num_blocks * static_cast<std::size_t>(num_shards);
+  const std::size_t num_tasks =
+      num_blocks * static_cast<std::size_t>(num_shards);
 
   // partial[block * num_shards + shard][user-in-block] = that shard's top-k.
   std::vector<std::vector<std::vector<Recommendation>>> partial(num_tasks);
@@ -117,7 +118,8 @@ RecommendBatch TopKEngine::recommend_batch(std::span<const idx_t> users,
       [&](nnz_t task) {
         const std::size_t t = static_cast<std::size_t>(task);
         const std::size_t b = t / static_cast<std::size_t>(num_shards);
-        const int s = static_cast<int>(t % static_cast<std::size_t>(num_shards));
+        const int s =
+            static_cast<int>(t % static_cast<std::size_t>(num_shards));
         // One span per shard×block sweep, on the worker that ran it — this
         // is the fan-out a slow engine.batch decomposes into.
         obs::TraceSpan sweep_span(obs::TraceCollector::global(),
@@ -143,25 +145,65 @@ RecommendBatch TopKEngine::recommend_batch(std::span<const idx_t> users,
         items_pruned_.fetch_add(c.pruned, std::memory_order_relaxed);
       });
 
-  // Merge the per-shard heaps per user and rank the union.
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t b = i / block;
-    const std::size_t bi = i % block;
-    auto& merged = result[i];
-    for (int s = 0; s < num_shards; ++s) {
-      const auto& heap =
-          partial[b * static_cast<std::size_t>(num_shards) +
-                  static_cast<std::size_t>(s)][bi];
-      merged.insert(merged.end(), heap.begin(), heap.end());
-    }
-    std::sort(merged.begin(), merged.end(), ranks_before);
-    if (merged.size() > static_cast<std::size_t>(k)) {
-      merged.resize(static_cast<std::size_t>(k));
+  // Scatter-gather merge. When the backend spreads shards across devices,
+  // shard heaps first reduce per device (the partial top-k each device would
+  // ship home), then the per-device partials merge into the final top-k.
+  // ranks_before is a strict total order over distinct items, so top-k of
+  // per-device top-ks equals the flat top-k over all shard heaps — grouping
+  // changes the gather cost, never the answer.
+  const std::vector<int> shard_dev = backend_->shard_devices(store);
+  int num_devices = 1;
+  for (const int d : shard_dev) num_devices = std::max(num_devices, d + 1);
+
+  {
+    obs::TraceSpan merge_span(obs::TraceCollector::global(), "engine.merge");
+    merge_span.arg("users", n);
+    merge_span.arg("devices", static_cast<std::uint64_t>(num_devices));
+
+    const auto rank_truncate = [k](std::vector<Recommendation>& list) {
+      std::sort(list.begin(), list.end(), ranks_before);
+      if (list.size() > static_cast<std::size_t>(k)) {
+        list.resize(static_cast<std::size_t>(k));
+      }
+    };
+
+    std::vector<Recommendation> device_partial;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t b = i / block;
+      const std::size_t bi = i % block;
+      auto& merged = result[i];
+      const auto heap_for = [&](int s) -> const std::vector<Recommendation>& {
+        return partial[b * static_cast<std::size_t>(num_shards) +
+                       static_cast<std::size_t>(s)][bi];
+      };
+      if (num_devices == 1) {
+        for (int s = 0; s < num_shards; ++s) {
+          const auto& heap = heap_for(s);
+          merged.insert(merged.end(), heap.begin(), heap.end());
+        }
+      } else {
+        for (int d = 0; d < num_devices; ++d) {
+          device_partial.clear();
+          for (int s = 0; s < num_shards; ++s) {
+            if (shard_dev[static_cast<std::size_t>(s)] != d) continue;
+            const auto& heap = heap_for(s);
+            device_partial.insert(device_partial.end(), heap.begin(),
+                                  heap.end());
+          }
+          rank_truncate(device_partial);
+          merged.insert(merged.end(), device_partial.begin(),
+                        device_partial.end());
+        }
+      }
+      rank_truncate(merged);
     }
   }
 
-  const double modeled_s = backend_->finish_batch();
-  if (modeled_s > 0.0) batch_modeled_.record(modeled_s * 1e3);
+  const BatchCost cost = backend_->finish_batch();
+  if (cost.modeled_s > 0.0) batch_modeled_.record(cost.modeled_s * 1e3);
+  if (cost.interconnect_s > 0.0) {
+    batch_interconnect_.record(cost.interconnect_s * 1e3);
+  }
   batch_wall_.record(watch.milliseconds());
   return out;
 }

@@ -54,7 +54,8 @@ struct Recommendation {
   idx_t item = 0;
   double score = 0.0;
 
-  friend bool operator==(const Recommendation&, const Recommendation&) = default;
+  friend bool operator==(const Recommendation&,
+                         const Recommendation&) = default;
 };
 
 /// Ranking order: higher score first, ties broken by ascending item id.
@@ -141,6 +142,11 @@ class TopKEngine {
   [[nodiscard]] LatencySummary batch_modeled_summary() const {
     return batch_modeled_.summary();
   }
+  /// Modeled interconnect slice of batch time — the cross-device candidate
+  /// gather. All-zero except for multi-device backends.
+  [[nodiscard]] LatencySummary batch_interconnect_summary() const {
+    return batch_interconnect_.summary();
+  }
 
  private:
   void init();  // shared constructor tail: option clamp + backend selection
@@ -154,6 +160,7 @@ class TopKEngine {
   mutable std::atomic<std::uint64_t> items_pruned_{0};
   mutable LatencyTracker batch_wall_;
   mutable LatencyTracker batch_modeled_;
+  mutable LatencyTracker batch_interconnect_;
 };
 
 }  // namespace cumf::serve

@@ -349,5 +349,92 @@ TEST(ServingFleet, GpuPricingPresets) {
   EXPECT_GT(titan_x_pricing().price_per_device_hr, 0.0);
 }
 
+// ------------------------------------------------- multi-device fleets -----
+
+TEST(MultiDeviceFleet, SingleDeviceNodeIsIdentity) {
+  ServingProfile p;
+  p.batch_seconds = 2e-3;
+  p.batch_users = 32;
+  MultiDeviceNode node{gpusim::gk210(), 0.61, 1, 12.0};
+  const auto composed = node_serving_profile(p, node, 10);
+  EXPECT_DOUBLE_EQ(composed.batch_seconds, p.batch_seconds);
+  EXPECT_EQ(composed.batch_users, p.batch_users);
+}
+
+TEST(MultiDeviceFleet, NodeProfileSplitsKernelAndPaysGather) {
+  ServingProfile p;
+  p.batch_seconds = 2e-3;
+  p.batch_users = 32;
+  MultiDeviceNode node{gpusim::gk210(), 0.61, 2, 12.0};
+  const auto composed = node_serving_profile(p, node, 10);
+  // Kernel halves; gather = 2 · 32 · 10 · 8 B over 12 GB/s.
+  const double gather_s = 2.0 * 32.0 * 10.0 * 8.0 / 12e9;
+  EXPECT_DOUBLE_EQ(composed.batch_seconds, 1e-3 + gather_s);
+  // A node outruns the single device when the gather is cheaper than the
+  // kernel time it saves.
+  EXPECT_LT(composed.batch_seconds, p.batch_seconds);
+  // A larger k ships more candidates: the gather slice grows.
+  EXPECT_GT(node_serving_profile(p, node, 100).batch_seconds,
+            composed.batch_seconds);
+}
+
+TEST(MultiDeviceFleet, ImbalanceScalesTheKernelSliceOnly) {
+  ServingProfile p;
+  p.batch_seconds = 2e-3;
+  p.batch_users = 32;
+  MultiDeviceNode node{gpusim::gk210(), 0.61, 2, 12.0};
+  const auto even = node_serving_profile(p, node, 10, 1.0);
+  const auto skewed = node_serving_profile(p, node, 10, 1.5);
+  EXPECT_NEAR(skewed.batch_seconds - even.batch_seconds,
+              1e-3 * 0.5, 1e-12);  // kernel share 1.0→1.5 of the even half
+  // Imbalance can never make a node slower than one device doing it all.
+  const auto degenerate = node_serving_profile(p, node, 10, 5.0);
+  EXPECT_LE(degenerate.batch_seconds - 2.0 * 32.0 * 10.0 * 8.0 / 12e9,
+            p.batch_seconds);
+}
+
+TEST(MultiDeviceFleet, PlanReportsNodesDevicesAndInterconnect) {
+  ServingProfile p;
+  p.batch_seconds = 2e-3;
+  p.batch_users = 32;
+  FleetRequirement req;
+  req.target_qps = 48'000.0;
+  req.p99_ms = 50.0;
+  MultiDeviceNode node{gpusim::gk210(), 0.61, 2, 12.0};
+  const auto plan = plan_multi_device_fleet(req, node, p, 10);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.device, "GK210x2");
+  EXPECT_EQ(plan.devices_per_node, 2);
+  EXPECT_EQ(plan.devices, plan.nodes * 2);
+  EXPECT_DOUBLE_EQ(plan.dollars_per_hr, plan.devices * 0.61);
+  EXPECT_GT(plan.interconnect_ms, 0.0);
+  EXPECT_LT(plan.interconnect_ms, 1.0);  // gather is µs-scale here
+}
+
+TEST(MultiDeviceFleet, TwoCheapDevicesCanBeatOneBigOne) {
+  // The ISSUE's question: a catalog-heavy profile where one big device is
+  // latency-bound. Two cheap devices halve the kernel time for a tiny gather
+  // surcharge, meeting an SLO the single big device misses — and when both
+  // are feasible, the planner's $/hr decides.
+  ServingProfile big;
+  big.batch_seconds = 6e-3;  // one Titan X batch takes 6 ms
+  big.batch_users = 32;
+  FleetRequirement req;
+  req.target_qps = 20'000.0;
+  // 6.5 ms SLO: the big device's 6 ms service time plus the 2 ms fill
+  // deadline can never fit, the node's 3.5 ms service leaves queueing room.
+  req.p99_ms = 6.5;
+  const auto one_big = plan_serving_fleet(req, gpusim::titan_x(), 0.91, big);
+  EXPECT_FALSE(one_big.feasible);
+
+  ServingProfile cheap;
+  cheap.batch_seconds = 7e-3;  // a GK210 is slower per device...
+  cheap.batch_users = 32;
+  MultiDeviceNode node{gpusim::gk210(), 0.61, 2, 12.0};
+  const auto two_cheap = plan_multi_device_fleet(req, node, cheap, 10);
+  ASSERT_TRUE(two_cheap.feasible);  // ...but ~3.5 ms as a 2-device node
+  EXPECT_GT(two_cheap.devices, 0);
+}
+
 }  // namespace
 }  // namespace cumf::costmodel

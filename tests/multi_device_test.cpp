@@ -1,0 +1,404 @@
+// Multi-device model-parallel serving: scatter-gather parity with the CPU
+// reference, capacity-aware placement, all-or-nothing generation admission,
+// and refresh-under-query consistency (the TSan job in CI runs this suite).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/device_group.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/topology.hpp"
+#include "obs/trace.hpp"
+#include "serve/factor_store.hpp"
+#include "serve/live_store.hpp"
+#include "serve/multi_device_backend.hpp"
+#include "serve/scoring_backend.hpp"
+#include "serve/topk.hpp"
+#include "serve_test_util.hpp"
+
+namespace cumf {
+namespace {
+
+using serve_test::brute_force_topk;
+using serve_test::random_factors;
+using serve_test::random_ratings;
+
+// Capacity fixture: 100 users × 2000 items at f=16. Per-device X replica =
+// 100·16·4 + 100·8 = 7200 B; Θ total = 2000·16·4 + 2000·8 = 144000 B; whole
+// model on one device = 151200 B. A 100 KB device cannot hold it alone, two
+// can (each pays the replica plus about half of Θ).
+constexpr idx_t kCapUsers = 100;
+constexpr idx_t kCapItems = 2000;
+constexpr int kCapF = 16;
+constexpr bytes_t kCapDevice = 100'000;
+
+serve::FactorStore capacity_store(int shards, std::uint64_t seed = 1) {
+  return serve::FactorStore(random_factors(kCapUsers, kCapF, seed),
+                            random_factors(kCapItems, kCapF, seed + 1),
+                            shards);
+}
+
+TEST(MultiDeviceBackend, BitIdenticalToCpuAcrossDeviceAndShardCounts) {
+  const auto x = random_factors(60, 12, 11);
+  const auto theta = random_factors(301, 12, 12);
+
+  for (const int shards : {1, 3, 4, 7}) {
+    const serve::FactorStore store(x, theta, shards);
+    const serve::TopKEngine cpu(store);
+    for (const int devices : {1, 2, 4}) {
+      const auto topo = gpusim::PcieTopology::flat(devices);
+      gpusim::DeviceGroup group(devices, gpusim::titan_x(), topo);
+      serve::MultiDeviceScoringBackend backend(group, topo, store);
+      serve::TopKOptions opt;
+      opt.backend = &backend;
+      opt.user_block = 16;
+      const serve::TopKEngine engine(store, opt);
+
+      const std::vector<idx_t> users = {0, 7, 13, 31, 59, 7};
+      const auto got = engine.recommend(users, 10);
+      const auto want = cpu.recommend(users, 10);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < users.size(); ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << "user " << users[i] << " shards=" << shards
+            << " devices=" << devices;
+        EXPECT_EQ(got[i], brute_force_topk(x, theta, users[i], 10));
+      }
+    }
+  }
+}
+
+TEST(MultiDeviceBackend, ParityWithPruningOffAndExcludeRated) {
+  const auto x = random_factors(40, 8, 21);
+  const auto theta = random_factors(150, 8, 22);
+  const auto ratings = random_ratings(40, 150, 400, 23);
+  const serve::FactorStore store(x, theta, 5);
+
+  for (const bool prune : {true, false}) {
+    const auto topo = gpusim::PcieTopology::flat(2);
+    gpusim::DeviceGroup group(2, gpusim::gk210(), topo);
+    serve::MultiDeviceScoringBackend backend(group, topo, store);
+    serve::TopKOptions opt;
+    opt.backend = &backend;
+    opt.prune = prune;
+    opt.exclude_rated = &ratings;
+    const serve::TopKEngine engine(store, opt);
+    for (const idx_t u : {0, 17, 39}) {
+      EXPECT_EQ(engine.recommend_one(u, 8),
+                brute_force_topk(x, theta, u, 8, &ratings))
+          << "user " << u << " prune=" << prune;
+    }
+  }
+}
+
+TEST(MultiDeviceBackend, KLargerThanPerDeviceCandidates) {
+  // 4 devices × 4 shards of ~13 items each: k=25 exceeds any single device's
+  // candidate pool, so the final list must interleave devices.
+  const auto x = random_factors(10, 8, 31);
+  const auto theta = random_factors(52, 8, 32);
+  const serve::FactorStore store(x, theta, 4);
+  const auto topo = gpusim::PcieTopology::flat(4);
+  gpusim::DeviceGroup group(4, gpusim::titan_x(), topo);
+  serve::MultiDeviceScoringBackend backend(group, topo, store);
+  serve::TopKOptions opt;
+  opt.backend = &backend;
+  const serve::TopKEngine engine(store, opt);
+
+  for (const idx_t u : {0, 5, 9}) {
+    const auto got = engine.recommend_one(u, 25);
+    EXPECT_EQ(got, brute_force_topk(x, theta, u, 25));
+    EXPECT_EQ(got.size(), 25u);
+  }
+  // Asking for more than the catalog returns the whole ranked catalog.
+  EXPECT_EQ(engine.recommend_one(0, 99).size(), 52u);
+}
+
+TEST(MultiDeviceBackend, CatalogTooBigForOneDeviceServesOnTwo) {
+  const auto store = capacity_store(4);
+
+  // Single simulated device: the whole model exceeds capacity.
+  {
+    gpusim::Device dev(0, gpusim::tiny_device(kCapDevice));
+    EXPECT_THROW(serve::GpuSimScoringBackend(dev, store),
+                 gpusim::DeviceOomError);
+  }
+  // Multi-device backend on one device of the same size: still OOM.
+  {
+    const auto topo = gpusim::PcieTopology::flat(1);
+    gpusim::DeviceGroup group(1, gpusim::tiny_device(kCapDevice), topo);
+    EXPECT_THROW(serve::MultiDeviceScoringBackend(group, topo, store),
+                 gpusim::DeviceOomError);
+    EXPECT_EQ(group[0].used_bytes(), 0u);  // rollback left no torn charge
+  }
+  // Two devices: the shards spread and serving matches brute force.
+  {
+    const auto topo = gpusim::PcieTopology::flat(2);
+    gpusim::DeviceGroup group(2, gpusim::tiny_device(kCapDevice), topo);
+    serve::MultiDeviceScoringBackend backend(group, topo, store);
+    EXPECT_GT(group[0].used_bytes(), 0u);
+    EXPECT_GT(group[1].used_bytes(), 0u);
+    EXPECT_EQ(backend.model_bytes(),
+              group[0].used_bytes() + group[1].used_bytes());
+    EXPECT_EQ(backend.device_count(), 2);
+
+    serve::TopKOptions opt;
+    opt.backend = &backend;
+    const serve::TopKEngine engine(store, opt);
+    const auto x2 = random_factors(kCapUsers, kCapF, 1);
+    const auto t2 = random_factors(kCapItems, kCapF, 2);
+    for (const idx_t u : {0, 50, 99}) {
+      EXPECT_EQ(engine.recommend_one(u, 10), brute_force_topk(x2, t2, u, 10));
+    }
+  }
+}
+
+TEST(MultiDeviceBackend, PlacementFollowsFreeCapacity) {
+  const auto store = capacity_store(4);
+  const auto topo = gpusim::PcieTopology::flat(2);
+  gpusim::DeviceGroup group(2, gpusim::tiny_device(200'000), topo);
+  // Ballast on device 0 (another tenant): 5 KB left cannot hold the replica
+  // plus any shard, so every shard must land on device 1.
+  group[0].charge(195'000);
+  serve::MultiDeviceScoringBackend backend(group, topo, store);
+
+  const auto placement = backend.shard_devices(store);
+  ASSERT_EQ(placement.size(), 4u);
+  for (const int d : placement) EXPECT_EQ(d, 1);
+  EXPECT_EQ(group[0].used_bytes(), 195'000u);  // ballast only, no replica
+  EXPECT_EQ(backend.placement_imbalance(store), 1.0);  // one active device
+}
+
+TEST(MultiDeviceBackend, UnevenPlacementReportsImbalance) {
+  // 3 shards on 2 devices: one device carries two shards — imbalance ≈ 4/3.
+  const auto store = capacity_store(3);
+  const auto topo = gpusim::PcieTopology::flat(2);
+  gpusim::DeviceGroup group(2, gpusim::titan_x(), topo);
+  serve::MultiDeviceScoringBackend backend(group, topo, store);
+  const double imbalance = backend.placement_imbalance(store);
+  EXPECT_GT(imbalance, 1.2);
+  EXPECT_LT(imbalance, 1.5);
+}
+
+TEST(MultiDeviceBackend, AccountsKernelsAndGatherTransfersPerDevice) {
+  const auto x = random_factors(64, 16, 41);
+  const auto theta = random_factors(400, 16, 42);
+  const serve::FactorStore store(x, theta, 4);
+  const auto topo = gpusim::PcieTopology::flat(2);
+  gpusim::DeviceGroup group(2, gpusim::titan_x(), topo);
+  serve::MultiDeviceScoringBackend backend(group, topo, store);
+  serve::TopKOptions opt;
+  opt.backend = &backend;
+  opt.user_block = 32;
+  const serve::TopKEngine engine(store, opt);
+
+  std::vector<idx_t> users(32);
+  for (idx_t u = 0; u < 32; ++u) users[static_cast<std::size_t>(u)] = u;
+  (void)engine.recommend(users, 10);
+
+  for (int d = 0; d < 2; ++d) {
+    const auto& c = group[d].counters();
+    EXPECT_EQ(c.kernels_launched, 2u) << "device " << d;  // 2 shards × 1 block
+    EXPECT_GT(c.flops, 0.0) << "device " << d;
+    // Each device shipped its 32-user × 10-candidate partials to the host.
+    EXPECT_EQ(c.transfers, 1u) << "device " << d;
+    EXPECT_EQ(c.d2h_bytes, 32u * 10u * 8u) << "device " << d;
+    EXPECT_GT(group[d].clock_seconds(), 0.0) << "device " << d;
+  }
+  // The engine recorded the modeled batch with a nonzero interconnect slice.
+  EXPECT_GT(engine.batch_modeled_summary().total_recorded, 0u);
+  EXPECT_GT(engine.batch_interconnect_summary().total_recorded, 0u);
+  EXPECT_GE(engine.batch_modeled_summary().p50_ms,
+            engine.batch_interconnect_summary().p50_ms);
+}
+
+TEST(MultiDeviceBackend, EmitsMergeKernelAndTransferSpans) {
+  const auto store = capacity_store(4, 51);
+  const auto topo = gpusim::PcieTopology::flat(2);
+  gpusim::DeviceGroup group(2, gpusim::titan_x(), topo);
+  serve::MultiDeviceScoringBackend backend(group, topo, store);
+  serve::TopKOptions opt;
+  opt.backend = &backend;
+  const serve::TopKEngine engine(store, opt);
+
+  auto& trace = obs::TraceCollector::global();
+  trace.enable();
+  (void)engine.recommend_one(3, 10);
+  trace.disable();
+
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "md_trace.json").string();
+  ASSERT_TRUE(trace.write_chrome_json(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("engine.merge"), std::string::npos);
+  EXPECT_NE(json.find("gpusim.kernel"), std::string::npos);
+  EXPECT_NE(json.find("gpusim.transfer"), std::string::npos);
+  EXPECT_NE(json.find("\"device\""), std::string::npos);
+}
+
+TEST(MultiDeviceBackend, OomOnAnyDeviceVetoesTheSwapEverywhere) {
+  // Two devices sized to hold exactly one generation each (replica + half of
+  // Θ ≈ 79.2 KB < 100 KB < 2 × 79.2 KB): admitting a second generation while
+  // the first is still serving must fail on every device and leave the old
+  // generation untouched.
+  serve::LiveFactorStore live(capacity_store(4, 61));
+  const auto topo = gpusim::PcieTopology::flat(2);
+  gpusim::DeviceGroup group(2, gpusim::tiny_device(kCapDevice), topo);
+  serve::MultiDeviceScoringBackend backend(group, topo);
+  live.set_admission_hook(
+      [&backend](const std::shared_ptr<const serve::FactorStore>& s) {
+        backend.admit(s);
+      });
+  serve::TopKOptions opt;
+  opt.backend = &backend;
+  const serve::TopKEngine engine(live, opt);
+
+  const auto before = engine.recommend_one(42, 10);
+  EXPECT_EQ(backend.resident_models(), 1);
+  const bytes_t used0 = group[0].used_bytes();
+  const bytes_t used1 = group[1].used_bytes();
+
+  const auto outcome = live.refresh(capacity_store(4, 71));
+  EXPECT_FALSE(outcome.swapped);
+  EXPECT_NE(outcome.error.find("out of memory"), std::string::npos)
+      << outcome.error;
+  EXPECT_EQ(outcome.generation, 1u);
+  EXPECT_EQ(live.generation(), 1u);
+  EXPECT_EQ(live.refresh_failures(), 1u);
+  // No torn charges: both devices hold exactly what they held before.
+  EXPECT_EQ(group[0].used_bytes(), used0);
+  EXPECT_EQ(group[1].used_bytes(), used1);
+  EXPECT_EQ(backend.resident_models(), 1);
+  // The old generation still answers, bit-identically.
+  EXPECT_EQ(engine.recommend_one(42, 10), before);
+}
+
+TEST(MultiDeviceBackend, HotSwapChargesBothGenerationsThenDrains) {
+  serve::LiveFactorStore live(capacity_store(4, 81));
+  const auto topo = gpusim::PcieTopology::flat(2);
+  gpusim::DeviceGroup group(2, gpusim::titan_x(), topo);  // plenty of room
+  serve::MultiDeviceScoringBackend backend(group, topo);
+  live.set_admission_hook(
+      [&backend](const std::shared_ptr<const serve::FactorStore>& s) {
+        backend.admit(s);
+      });
+  serve::TopKOptions opt;
+  opt.backend = &backend;
+  const serve::TopKEngine engine(live, opt);
+
+  (void)engine.recommend_one(0, 5);
+  ASSERT_EQ(backend.resident_models(), 1);
+  const bytes_t one_gen =
+      backend.peak_model_bytes(0) + backend.peak_model_bytes(1);
+
+  const auto outcome = live.refresh(capacity_store(4, 91));
+  EXPECT_TRUE(outcome.swapped);
+  EXPECT_EQ(outcome.generation, 2u);
+  // Both generations were charged at the swap instant (the old one had not
+  // drained yet): the per-device peaks sum to more than one generation.
+  EXPECT_GT(backend.peak_model_bytes(0) + backend.peak_model_bytes(1),
+            one_gen);
+
+  // The old generation's last reference was the store's current pointer;
+  // after the swap it drains, and the next batch garbage-collects it.
+  const auto x2 = random_factors(kCapUsers, kCapF, 91);
+  const auto t2 = random_factors(kCapItems, kCapF, 92);
+  EXPECT_EQ(engine.recommend_one(7, 10), brute_force_topk(x2, t2, 7, 10));
+  EXPECT_EQ(backend.resident_models(), 1);
+}
+
+TEST(MultiDeviceBackend, RefreshUnderQueryKeepsAnswersGenerationConsistent) {
+  // TSan stress: queries race hot swaps. Every answer must be bit-identical
+  // to the brute-force reference of the generation the engine reports it was
+  // answered under — never a mix of two generations' shards.
+  constexpr idx_t kUsers = 48;
+  constexpr idx_t kItems = 160;
+  constexpr int kF = 8;
+  constexpr int kGens = 4;
+  constexpr int kThreads = 3;
+
+  std::vector<linalg::FactorMatrix> xs;
+  std::vector<linalg::FactorMatrix> thetas;
+  for (int g = 0; g < kGens; ++g) {
+    xs.push_back(random_factors(kUsers, kF, 100 + 2 * g));
+    thetas.push_back(random_factors(kItems, kF, 101 + 2 * g));
+  }
+  // expected[g][u] = brute-force top-5 for generation g+1.
+  std::vector<std::vector<std::vector<serve::Recommendation>>> expected(kGens);
+  for (int g = 0; g < kGens; ++g) {
+    for (idx_t u = 0; u < kUsers; ++u) {
+      expected[static_cast<std::size_t>(g)].push_back(
+          brute_force_topk(xs[static_cast<std::size_t>(g)],
+                           thetas[static_cast<std::size_t>(g)], u, 5));
+    }
+  }
+
+  serve::LiveFactorStore live(serve::FactorStore(xs[0], thetas[0], 3));
+  const auto topo = gpusim::PcieTopology::flat(2);
+  gpusim::DeviceGroup group(2, gpusim::titan_x(), topo);
+  serve::MultiDeviceScoringBackend backend(group, topo);
+  live.set_admission_hook(
+      [&backend](const std::shared_ptr<const serve::FactorStore>& s) {
+        backend.admit(s);
+      });
+  serve::TopKOptions opt;
+  opt.backend = &backend;
+  opt.user_block = 8;
+  const serve::TopKEngine engine(live, opt);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<idx_t> users(8);
+      std::uint64_t seed = static_cast<std::uint64_t>(t) + 7;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& u : users) {
+          seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+          u = static_cast<idx_t>((seed >> 33) %
+                                 static_cast<std::uint64_t>(kUsers));
+        }
+        const auto batch = engine.recommend_batch(users, 5);
+        const auto g = static_cast<std::size_t>(batch.generation - 1);
+        for (std::size_t i = 0; i < users.size(); ++i) {
+          if (batch.lists[i] !=
+              expected[g][static_cast<std::size_t>(users[i])]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (int g = 1; g < kGens; ++g) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto outcome = live.refresh(
+        serve::FactorStore(xs[static_cast<std::size_t>(g)],
+                           thetas[static_cast<std::size_t>(g)], 3));
+    ASSERT_TRUE(outcome.swapped);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(live.generation(), static_cast<std::uint64_t>(kGens));
+  // Drained generations are garbage-collected down to the serving one.
+  (void)engine.recommend_one(0, 5);
+  EXPECT_EQ(backend.resident_models(), 1);
+}
+
+}  // namespace
+}  // namespace cumf

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <future>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -434,6 +436,45 @@ TEST(ScoreCache, CapacityOneEvictionOrder) {
   EXPECT_EQ(cache.size(), 1u);
   ASSERT_TRUE(cache.get(2, 5, &out));
   EXPECT_EQ(out[0].item, 21);
+}
+
+TEST(ScoreCache, BoundaryUserIdsNeverCollide) {
+  // Regression: the key was once packed as (user << 32) | k in a uint64 via
+  // int arithmetic, which sign-extended large user ids and truncated wide
+  // idx_t builds. Entries at the idx_t boundary must stay distinct.
+  serve::ScoreCache cache(8);
+  std::vector<serve::Recommendation> out;
+
+  constexpr idx_t hi = std::numeric_limits<idx_t>::max();
+  cache.put(hi, 5, {{1, 1.0}});
+  cache.put(hi - 1, 5, {{2, 2.0}});
+  cache.put(hi, 7, {{3, 3.0}});
+  EXPECT_EQ(cache.size(), 3u);
+
+  ASSERT_TRUE(cache.get(hi, 5, &out));
+  EXPECT_EQ(out[0].item, 1);
+  ASSERT_TRUE(cache.get(hi - 1, 5, &out));
+  EXPECT_EQ(out[0].item, 2);
+  ASSERT_TRUE(cache.get(hi, 7, &out));
+  EXPECT_EQ(out[0].item, 3);
+
+  // Invalidation targets exactly one (user, k), even at the boundary.
+  cache.invalidate(hi, 5);
+  EXPECT_FALSE(cache.get(hi, 5, &out));
+  EXPECT_TRUE(cache.get(hi - 1, 5, &out));
+  EXPECT_TRUE(cache.get(hi, 7, &out));
+
+  if constexpr (sizeof(idx_t) > 4) {
+    // On wide-index builds, ids 2^32 apart truncated to the same packed key.
+    const auto lo = static_cast<idx_t>(1);
+    const auto far = static_cast<idx_t>(std::uint64_t{1} << 32 | 1u);
+    cache.put(lo, 5, {{4, 4.0}});
+    cache.put(far, 5, {{5, 5.0}});
+    ASSERT_TRUE(cache.get(lo, 5, &out));
+    EXPECT_EQ(out[0].item, 4);
+    ASSERT_TRUE(cache.get(far, 5, &out));
+    EXPECT_EQ(out[0].item, 5);
+  }
 }
 
 TEST(ScoreCache, InvalidateAbsentKeyIsANoop) {
