@@ -37,12 +37,43 @@
 //       simulated devices (model-parallel scatter-gather path), wired into
 //       the live store's admission hook so the mid-run hot swap exercises
 //       all-or-nothing multi-device generation charging.
+//   serve_netload --conns N
+//       connection count for the sharded open-loop sweep (default 1000).
+//
+// Beyond the closed/open loops, a sharded sweep drives the server the way a
+// real edge does: N concurrent connections (default 1000) fed from one
+// epoll-based load generator, with two open-loop arrival shapes —
+//
+//  - bursty: on/off traffic, 25 ms bursts at 4× the mean rate then silence,
+//    the shape that stresses accept→reply tail latency through the io
+//    shards' completion lanes;
+//  - diurnal: a sinusoidal rate swinging ±80% around the mean (one "day"
+//    per 400 ms), the slow swell a fleet planner provisions for.
+//
+// The run then snapshots ServeStats and feeds measured_serving_profile →
+// plan_serving_fleet, so the printed fleet plan's queue floor reflects the
+// sharded front-end tail (net_e2e p99 minus one median batch), not just
+// in-process batcher queueing. Finally an *overload* row floods a second
+// server (same batcher, max_queued_replies=32) with an unthrottled dump:
+// the expected outcome is kOverloaded shedding at the edge — bounded
+// memory, connection kept, immediate recovery — and the bench fails if no
+// shed is observed.
 //
 // CSV: bench_results/serve_netload.csv
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <arpa/inet.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +86,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "costmodel/machines.hpp"
+#include "costmodel/serving_fleet.hpp"
 #include "gpusim/device_group.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/topology.hpp"
@@ -109,6 +142,7 @@ struct GenTransition {
 struct LoadResult {
   int queries = 0;
   int errors = 0;
+  int overloaded = 0;  // replies shed with Status::kOverloaded (not errors)
   double wall_s = 0.0;
   double achieved_qps = 0.0;
   serve::LatencySummary e2e;  // client-measured send→reply
@@ -229,6 +263,275 @@ LoadResult open_loop(const std::string& host, std::uint16_t port,
   return r;
 }
 
+// ---- sharded sweep: many connections, one epoll load generator ------------
+
+enum class Shape { kBursty, kDiurnal, kUnthrottled };
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::kBursty:
+      return "bursty";
+    case Shape::kDiurnal:
+      return "diurnal";
+    case Shape::kUnthrottled:
+      return "overload";
+  }
+  return "?";
+}
+
+/// Arrival offsets (seconds from run start) for `total` queries at mean rate
+/// `offered`. Bursty: 25 ms on at 4× the mean, 75 ms off. Diurnal: rate
+/// swings ±80% around the mean, one period per 400 ms. Unthrottled: all due
+/// immediately (the overload dump).
+std::vector<double> arrival_schedule(Shape shape, double offered, int total) {
+  std::vector<double> at(static_cast<std::size_t>(total), 0.0);
+  if (shape == Shape::kUnthrottled) return at;
+  if (shape == Shape::kBursty) {
+    constexpr double kCycle = 0.100, kOn = 0.025;
+    const double burst_rate = offered * (kCycle / kOn);
+    int i = 0;
+    double cycle_start = 0.0;
+    while (i < total) {
+      double t = cycle_start;
+      while (i < total && t < cycle_start + kOn) {
+        at[static_cast<std::size_t>(i++)] = t;
+        t += 1.0 / burst_rate;
+      }
+      cycle_start += kCycle;
+    }
+    return at;
+  }
+  constexpr double kPi = 3.14159265358979323846;
+  constexpr double kDay = 0.400;
+  double t = 0.0;
+  for (int i = 0; i < total; ++i) {
+    const double rate = offered * (1.0 + 0.8 * std::sin(2.0 * kPi * t / kDay));
+    t += 1.0 / std::max(rate, offered * 0.05);
+    at[static_cast<std::size_t>(i)] = t;
+  }
+  return at;
+}
+
+struct RawConn {
+  int fd = -1;
+  std::vector<std::uint8_t> out;  // encoded frames not yet written
+  std::size_t out_off = 0;
+  std::vector<std::uint8_t> in;  // read accumulation
+  std::deque<std::chrono::steady_clock::time_point> t0s;  // send times, FIFO
+  std::uint32_t armed = EPOLLIN;
+};
+
+/// Drains conn.out into the socket; false on a hard send error.
+bool raw_flush(RawConn& c) {
+  while (c.out.size() > c.out_off) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+  }
+  return true;
+}
+
+void raw_arm(int epfd, int index, RawConn& c) {
+  std::uint32_t want = EPOLLIN;
+  if (c.out.size() > c.out_off) want |= EPOLLOUT;
+  if (want == c.armed) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u32 = static_cast<std::uint32_t>(index);
+  (void)::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev);
+  c.armed = want;
+}
+
+/// Open-loop load over `conns` concurrent connections from a single epoll
+/// loop: arrivals follow `shape`, each assigned round-robin, replies parsed
+/// per connection in order. kOverloaded replies are counted separately from
+/// errors — shedding is the protocol working, not a failure.
+LoadResult open_loop_sharded(const std::string& host, std::uint16_t port,
+                             Shape shape, int conns, double offered, int total,
+                             idx_t users, int k) {
+  LoadResult r;
+  serve::LatencyTracker e2e;
+  const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) {
+    std::fprintf(stderr, "FATAL: epoll_create1: %s\n", std::strerror(errno));
+    std::exit(1);
+  }
+
+  std::vector<RawConn> pool(static_cast<std::size_t>(conns));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "FATAL: bad host %s\n", host.c_str());
+    std::exit(1);
+  }
+  for (int i = 0; i < conns; ++i) {
+    RawConn& c = pool[static_cast<std::size_t>(i)];
+    c.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (c.fd < 0 ||
+        ::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0) {
+      std::fprintf(stderr, "FATAL: connect %d/%d: %s\n", i, conns,
+                   std::strerror(errno));
+      std::exit(1);
+    }
+    int one = 1;
+    (void)setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    (void)::fcntl(c.fd, F_SETFL, O_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<std::uint32_t>(i);
+    if (::epoll_ctl(epfd, EPOLL_CTL_ADD, c.fd, &ev) < 0) {
+      std::fprintf(stderr, "FATAL: epoll_ctl: %s\n", std::strerror(errno));
+      std::exit(1);
+    }
+  }
+
+  const auto schedule = arrival_schedule(shape, offered, total);
+  const auto stream = zipf_stream(users, total, 960);
+  int sent = 0, answered = 0, lost = 0, ok = 0, overloaded = 0, errors = 0;
+  epoll_event events[256];
+  util::Stopwatch wall;
+  const auto start = std::chrono::steady_clock::now();
+
+  auto on_readable = [&](RawConn& c) {
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.insert(c.in.end(), buf, buf + n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // Server closed (or reset) the connection: its pending replies are
+      // lost. Under these sweeps that is a failure — the server is expected
+      // to shed with kOverloaded, not by killing connections.
+      lost += static_cast<int>(c.t0s.size());
+      errors += static_cast<int>(c.t0s.size());
+      c.t0s.clear();
+      (void)::epoll_ctl(epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+      ::close(c.fd);
+      c.fd = -1;
+      return;
+    }
+    std::size_t consumed = 0;
+    for (;;) {
+      std::size_t off = 0, len = 0;
+      if (!serve::net::try_frame(c.in.data() + consumed,
+                                 c.in.size() - consumed, &off, &len)) {
+        break;
+      }
+      serve::net::QueryResponse query;
+      StatsResponse stats;
+      (void)serve::net::decode_response(c.in.data() + consumed + off, len,
+                                        &query, &stats);
+      e2e.record(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - c.t0s.front())
+                     .count());
+      c.t0s.pop_front();
+      ++answered;
+      if (query.status == Status::kOk) {
+        ++ok;
+      } else if (query.status == Status::kOverloaded) {
+        ++overloaded;
+      } else {
+        ++errors;
+      }
+      consumed += off + len;
+    }
+    if (consumed > 0) {
+      c.in.erase(c.in.begin(),
+                 c.in.begin() + static_cast<std::ptrdiff_t>(consumed));
+    }
+  };
+
+  while (answered + lost < total) {
+    const auto now = std::chrono::steady_clock::now();
+    // Queue every arrival that is due onto its connection.
+    while (sent < total) {
+      const auto due =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          schedule[static_cast<std::size_t>(sent)]));
+      if (due > now) break;
+      RawConn& c = pool[static_cast<std::size_t>(sent % conns)];
+      if (c.fd < 0) {  // connection already lost; count and move on
+        ++lost;
+        ++errors;
+        ++sent;
+        continue;
+      }
+      serve::net::encode_query_request(
+          {stream[static_cast<std::size_t>(sent)], static_cast<std::int32_t>(k)},
+          &c.out);
+      c.t0s.push_back(now);
+      ++sent;
+      if (!raw_flush(c)) {
+        lost += static_cast<int>(c.t0s.size());
+        errors += static_cast<int>(c.t0s.size());
+        c.t0s.clear();
+        (void)::epoll_ctl(epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+        ::close(c.fd);
+        c.fd = -1;
+        continue;
+      }
+      raw_arm(epfd, (sent - 1) % conns, c);
+    }
+
+    int timeout_ms = 100;
+    if (sent < total) {
+      const double dt =
+          schedule[static_cast<std::size_t>(sent)] -
+          std::chrono::duration<double>(now - start).count();
+      timeout_ms = std::clamp(static_cast<int>(dt * 1e3) + 1, 0, 100);
+    }
+    const int nev = ::epoll_wait(epfd, events, 256, timeout_ms);
+    for (int i = 0; i < nev; ++i) {
+      RawConn& c = pool[events[i].data.u32];
+      if (c.fd < 0) continue;
+      if ((events[i].events & EPOLLIN) != 0) on_readable(c);
+      if (c.fd < 0) continue;
+      if ((events[i].events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) {
+        if (!raw_flush(c)) {
+          lost += static_cast<int>(c.t0s.size());
+          errors += static_cast<int>(c.t0s.size());
+          c.t0s.clear();
+          (void)::epoll_ctl(epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+          ::close(c.fd);
+          c.fd = -1;
+          continue;
+        }
+      }
+      raw_arm(epfd, static_cast<int>(events[i].data.u32), c);
+    }
+  }
+
+  r.wall_s = wall.seconds();
+  for (auto& c : pool) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  ::close(epfd);
+  r.queries = total;
+  r.errors = errors;
+  r.overloaded = overloaded;
+  r.achieved_qps = answered > 0 ? answered / r.wall_s : 0.0;
+  r.e2e = e2e.summary();
+  (void)ok;
+  return r;
+}
+
 StatsResponse wire_stats(const std::string& host, std::uint16_t port) {
   Client client(host, port);
   return client.stats();
@@ -236,14 +539,15 @@ StatsResponse wire_stats(const std::string& host, std::uint16_t port) {
 
 void emit(util::CsvWriter& csv, const char* mode, int conns,
           double offered_qps, const LoadResult& r, const StatsResponse& s) {
-  std::printf("  %-7s %6d %11.0f %11.0f %9.2f %9.2f %9.2f %11.2f %13.2f %4llu\n",
+  std::printf("  %-8s %6d %11.0f %11.0f %9.2f %9.2f %9.2f %11.2f %13.2f %6d "
+              "%4llu\n",
               mode, conns, offered_qps, r.achieved_qps, r.e2e.p50_ms,
               r.e2e.p95_ms, r.e2e.p99_ms, s.queue_p99_ms, s.batch_wall_p99_ms,
-              static_cast<unsigned long long>(s.generation));
+              r.overloaded, static_cast<unsigned long long>(s.generation));
   csv.row(mode, conns, offered_qps, r.achieved_qps, r.queries, r.e2e.p50_ms,
           r.e2e.p95_ms, r.e2e.p99_ms, r.e2e.samples, r.e2e.total_recorded,
           s.queue_p50_ms, s.queue_p99_ms, s.batch_wall_p99_ms,
-          s.net_e2e_p99_ms, s.e2e_p99_ms, s.generation);
+          s.net_e2e_p99_ms, s.e2e_p99_ms, r.overloaded, s.generation);
 }
 
 }  // namespace
@@ -254,10 +558,11 @@ int main(int argc, char** argv) {
   idx_t users = 1500;
   int k = kTopK;
 
-  // Strip --trace-out FILE / --devices N before the positional --connect
-  // parsing.
+  // Strip --trace-out FILE / --devices N / --conns N before the positional
+  // --connect parsing.
   std::string trace_out;
   int devices = 1;
+  int sweep_conns = 1000;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -268,7 +573,20 @@ int main(int argc, char** argv) {
       devices = std::max(1, std::atoi(argv[++i]));
       continue;
     }
+    if (std::strcmp(argv[i], "--conns") == 0 && i + 1 < argc) {
+      sweep_conns = std::max(4, std::atoi(argv[++i]));
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+
+  // The sharded sweep holds sweep_conns client sockets plus the server's
+  // side of each in one process; lift the fd ceiling to the hard limit.
+  rlimit nofile{};
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur < nofile.rlim_max) {
+    nofile.rlim_cur = nofile.rlim_max;
+    (void)::setrlimit(RLIMIT_NOFILE, &nofile);
   }
   const int nargs = static_cast<int>(args.size());
 
@@ -338,12 +656,17 @@ int main(int argc, char** argv) {
     opt.max_delay = std::chrono::microseconds(1000);
     opt.cache_capacity = 0;  // pure queueing measurement, no hit shortcut
     batcher = std::make_unique<serve::RequestBatcher>(*engine, opt);
-    server = std::make_unique<serve::net::TcpServer>(*batcher);
+    serve::net::ServerOptions sopt;
+    sopt.io_threads = 4;
+    sopt.backlog = 1024;
+    sopt.max_connections =
+        static_cast<std::size_t>(std::max(4096, sweep_conns * 2));
+    server = std::make_unique<serve::net::TcpServer>(*batcher, sopt);
     port = server->port();
     std::printf("  loopback server on 127.0.0.1:%u — %d users × %d items, "
                 "f=%d, top-%d, max_batch 32, max_delay 1 ms, cache off, "
-                "%d device(s)\n",
-                port, users, kItems, kF, k, devices);
+                "%d device(s), %d io shards\n",
+                port, users, kItems, kF, k, devices, server->io_shards());
   } else {
     std::printf("  external server %s:%u — users=%d k=%d\n", host.c_str(),
                 port, users, k);
@@ -354,11 +677,11 @@ int main(int argc, char** argv) {
       {"mode", "conns", "offered_qps", "achieved_qps", "queries", "e2e_p50_ms",
        "e2e_p95_ms", "e2e_p99_ms", "e2e_samples", "e2e_total", "queue_p50_ms",
        "queue_p99_ms", "batch_wall_p99_ms", "net_e2e_p99_ms",
-       "server_e2e_p99_ms", "generation"});
+       "server_e2e_p99_ms", "overloaded", "generation"});
 
-  std::printf("\n  %-7s %6s %11s %11s %9s %9s %9s %11s %13s %4s\n", "mode",
+  std::printf("\n  %-8s %6s %11s %11s %9s %9s %9s %11s %13s %6s %4s\n", "mode",
               "conns", "offered", "achieved", "p50(ms)", "p95(ms)", "p99(ms)",
-              "queue_p99", "batch_p99", "gen");
+              "queue_p99", "batch_p99", "shed", "gen");
 
   int total_errors = 0;
 
@@ -390,6 +713,89 @@ int main(int argc, char** argv) {
     total_errors += r.errors;
   }
   if (swapper.joinable()) swapper.join();
+
+  // ---- sharded sweep: 1k connections, bursty and diurnal arrivals --------
+  // Mean offered load sits well under capacity (the "pre-PR" operating
+  // point): the run must complete with zero errors and zero sheds — the
+  // tail the CSV captures is pure accept→reply latency through the shards.
+  const double sweep_qps = 2000.0;
+  const int sweep_total = 3000;
+  for (const auto& [shape, conns] :
+       {std::pair<Shape, int>{Shape::kBursty, std::max(4, sweep_conns / 4)},
+        {Shape::kBursty, sweep_conns},
+        {Shape::kDiurnal, sweep_conns}}) {
+    const auto r = open_loop_sharded(host, port, shape, conns, sweep_qps,
+                                     sweep_total, users, k);
+    emit(csv, shape_name(shape), conns, sweep_qps, r, wire_stats(host, port));
+    total_errors += r.errors + r.overloaded;  // sheds are failures *here*
+  }
+
+  // ---- fleet plan fed from the live front-end ----------------------------
+  // measured_serving_profile floors the planner's queueing on the wire tail
+  // (net_e2e p99 − one median batch) the sharded sweep just produced.
+  if (!external) {
+    const serve::ServeStats live_stats = server->stats();
+    const auto profile = costmodel::measured_serving_profile(live_stats, 32);
+    costmodel::FleetRequirement req;
+    req.target_qps = 4000.0;
+    req.p99_ms = 25.0;
+    req.max_fill_ms = 1.0;
+    std::printf("\n  fleet plan @ %.0f qps, p99 ≤ %.0f ms (queue floor "
+                "%.2f ms from the sharded front-end):\n",
+                req.target_qps, req.p99_ms, profile.queue_floor_s * 1e3);
+    for (const auto& pd : costmodel::priced_serving_devices()) {
+      const auto plan = costmodel::plan_serving_fleet(
+          req, pd.spec, pd.pricing.price_per_device_hr, profile);
+      std::printf("    %-8s %s: %d device(s), modeled p99 %.2f ms, "
+                  "$%.2f/hr, %.0f qps/$hr\n",
+                  pd.spec.name.c_str(), plan.feasible ? "ok" : "infeasible",
+                  plan.devices, plan.modeled_p99_ms, plan.dollars_per_hr,
+                  plan.qps_per_dollar_hr);
+    }
+  }
+
+  // ---- overload: unthrottled dump against a tight admission bound --------
+  // A second server shares the batcher but caps each completion lane at 32
+  // queued queries; dumping far more than capacity must surface as
+  // kOverloaded sheds at the edge (bounded memory, connections kept) — not
+  // as errors, closed sockets, or unbounded queueing.
+  if (!external) {
+    serve::net::ServerOptions oopt;
+    oopt.io_threads = 2;
+    oopt.backlog = 512;
+    oopt.max_connections = 1024;
+    oopt.max_queued_replies = 32;
+    serve::net::TcpServer overload_server(*batcher, oopt);
+    const int oconns = 200, ototal = 4000;
+    const auto r = open_loop_sharded("127.0.0.1", overload_server.port(),
+                                     Shape::kUnthrottled, oconns, 0.0, ototal,
+                                     users, k);
+    StatsResponse os;
+    {
+      Client probe("127.0.0.1", overload_server.port());
+      os = probe.stats();
+      // Recovery: with the dump drained the same admission bound serves
+      // normally again.
+      const auto after = probe.query(0, k);
+      if (after.status != Status::kOk) {
+        std::fprintf(stderr, "FATAL: no recovery after overload (status %d)\n",
+                     static_cast<int>(after.status));
+        return 1;
+      }
+    }
+    emit(csv, "overload", oconns, 0.0, r, os);
+    std::printf("    overload dump: %d queries -> %d served, %d shed "
+                "(server counter %llu), %d errors\n",
+                ototal, ototal - r.overloaded - r.errors, r.overloaded,
+                static_cast<unsigned long long>(os.net_overload_sheds),
+                r.errors);
+    total_errors += r.errors;
+    if (r.overloaded == 0) {
+      std::fprintf(stderr, "FATAL: overload dump produced no kOverloaded "
+                           "sheds — admission control is not engaging\n");
+      return 1;
+    }
+  }
 
   // ---- the accounting invariant, printed for the record ------------------
   const auto s = wire_stats(host, port);

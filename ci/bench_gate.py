@@ -30,9 +30,12 @@ BASELINE_DIR = os.path.join(RESULTS_DIR, "baselines")
 
 # Per-file gate config. `key`: columns identifying a row (an occurrence
 # counter is appended, so duplicate keys still pair up). `metrics`: column ->
-# (direction, relative tolerance); "lower" fails when value < base*(1-tol),
-# "upper" fails when value > base*(1+tol). `rows`: predicate choosing which
-# rows participate.
+# (direction, relative tolerance[, always_ok]); "lower" fails when value <
+# base*(1-tol), "upper" fails when value > base*(1+tol). The optional third
+# element is an absolute value at which the metric always passes regardless
+# of the relative band — used for tail latencies, where the baseline can
+# land on a lucky run but any value under the SLA is fine. `rows`: predicate
+# choosing which rows participate.
 GATES = {
     "serve_throughput.csv": {
         "key": ["mode", "backend", "device", "shards", "batch", "devices"],
@@ -57,8 +60,24 @@ GATES = {
     "serve_netload.csv": {
         "key": ["mode", "conns", "offered_qps"],
         "rows": lambda r: True,
-        "metrics": {"achieved_qps": ("lower", 0.25)},
-        "skip_metric": lambda r, m: False,
+        # e2e_p99_ms is the client-measured accept→reply tail through the
+        # sharded front-end; it only gates the shaped sweeps (bursty/diurnal
+        # run at a fixed offered load, so their tail is comparable across
+        # runs). Tail latency on a shared runner is noisy — one scheduler
+        # stall mid-burst moves p99 by tens of ms — so the relative band is
+        # wide and anything under 75 ms passes outright; a front-end
+        # regression at 1k connections (the old rebuild-the-pollfd-vector
+        # loop) shows up as hundreds of ms, well past both.
+        "metrics": {
+            "achieved_qps": ("lower", 0.25),
+            "e2e_p99_ms": ("upper", 1.00, 75.0),
+        },
+        "skip_metric": lambda r, m: (
+            # The overload row's "achieved" qps is the shed-dominated drain
+            # rate of an unthrottled dump, not a throughput SLO.
+            (m == "achieved_qps" and r["mode"] == "overload")
+            or (m == "e2e_p99_ms" and r["mode"] not in ("bursty", "diurnal"))
+        ),
     },
 }
 
@@ -118,7 +137,9 @@ def check():
                 failures.append(f"{name}: row {label} missing from current "
                                 "results")
                 continue
-            for metric, (direction, tol) in cfg["metrics"].items():
+            for metric, spec in cfg["metrics"].items():
+                direction, tol = spec[0], spec[1]
+                always_ok = spec[2] if len(spec) > 2 else None
                 if cfg["skip_metric"](base_row, metric):
                     continue
                 base_v = float(base_row[metric])
@@ -128,6 +149,8 @@ def check():
                     ok = cur_v >= limit
                 else:
                     limit = base_v * (1.0 + tol)
+                    if always_ok is not None:
+                        limit = max(limit, always_ok)
                     ok = cur_v <= limit
                 delta = (cur_v / base_v - 1.0) * 100.0 if base_v else 0.0
                 lines.append(

@@ -401,10 +401,8 @@ int main(int argc, char** argv) {
     if (daemon_mode) {
       // Final metrics snapshot — byte-identical in shape to what a GetMetrics
       // frame (op 4) would have returned over the wire moments earlier.
-      const serve::NetMetrics nm{server.connections_accepted(),
-                                 server.protocol_errors()};
       std::printf("\nfinal metrics exposition:\n%s",
-                  serve::metrics_exposition(net, &nm).c_str());
+                  serve::metrics_exposition(net).c_str());
     }
     std::error_code ec;
     std::filesystem::remove_all(orch_dir, ec);

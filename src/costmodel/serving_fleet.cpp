@@ -38,7 +38,17 @@ ServingProfile measured_serving_profile(const serve::ServeStats& stats,
                             ? stats.batch_modeled.p50_ms
                             : stats.batch_wall.p50_ms;
   profile.batch_seconds = p50_ms * 1e-3;
-  profile.queue_floor_s = stats.queue_delay.p99_ms * 1e-3;
+  // The batcher's own queueing-delay tail, widened by the front-end when the
+  // snapshot came from a TCP server: accept→reply p99 minus one median batch
+  // of service time is everything a wire query waited for — io-shard
+  // scheduling, completion-lane hand-off, and batcher queueing together —
+  // which the in-process queue_delay tracker alone cannot see.
+  double floor_ms = stats.queue_delay.p99_ms;
+  if (stats.net_e2e.total_recorded > 0) {
+    floor_ms =
+        std::max(floor_ms, stats.net_e2e.p99_ms - stats.batch_wall.p50_ms);
+  }
+  profile.queue_floor_s = std::max(0.0, floor_ms) * 1e-3;
   return profile;
 }
 

@@ -81,8 +81,11 @@ ServingProfile model_serving_profile(const gpusim::DeviceSpec& spec,
 /// Measured profile from a live ServeStats snapshot: batch_seconds from the
 /// per-batch p50 (modeled when `use_modeled` and the backend populated it,
 /// wall clock otherwise) and queue_floor_s from the measured queueing-delay
-/// p99 — the profile the TCP front-end's stats feed straight into
-/// plan_serving_fleet.
+/// p99 — widened to the front-end's accept→reply p99 minus one median batch
+/// of service time when the snapshot carries net_e2e samples, so a profile
+/// fed from the sharded TCP front-end floors the planner on the whole wire
+/// tail, not just the batcher's in-process queueing. The profile the TCP
+/// front-end's stats feed straight into plan_serving_fleet.
 ServingProfile measured_serving_profile(const serve::ServeStats& stats,
                                         int batch_users,
                                         bool use_modeled = false);

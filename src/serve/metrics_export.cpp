@@ -32,8 +32,7 @@ void fill_latency(obs::MetricsRegistry* reg, const char* stage,
 
 }  // namespace
 
-void fill_registry(const ServeStats& stats, const NetMetrics* net,
-                   obs::MetricsRegistry* reg) {
+void fill_registry(const ServeStats& stats, obs::MetricsRegistry* reg) {
   reg->counter("cumf_serve_queries_total", "User queries answered")
       .set(static_cast<double>(stats.queries));
   reg->counter("cumf_serve_batches_total",
@@ -114,13 +113,28 @@ void fill_registry(const ServeStats& stats, const NetMetrics* net,
              "Modeled GPU time of the most recent training pass")
       .set(o.last_train_modeled_s);
 
-  if (net != nullptr) {
-    reg->counter("cumf_net_connections_total", "TCP connections accepted")
-        .set(static_cast<double>(net->connections_accepted));
-    reg->counter("cumf_net_protocol_errors_total",
-                 "Connections dropped for malformed frames")
-        .set(static_cast<double>(net->protocol_errors));
-  }
+  const NetMetrics& net = stats.net;
+  reg->counter("cumf_net_connections_total", "TCP connections accepted")
+      .set(static_cast<double>(net.connections_accepted));
+  reg->counter("cumf_net_connections_rejected_total",
+               "Connections turned away by admission control")
+      .set(static_cast<double>(net.connections_rejected));
+  reg->counter("cumf_net_protocol_errors_total",
+               "Connections dropped for malformed frames")
+      .set(static_cast<double>(net.protocol_errors));
+  reg->counter("cumf_net_recv_errors_total",
+               "Connections closed on hard recv() errors")
+      .set(static_cast<double>(net.recv_errors));
+  reg->counter("cumf_net_slow_client_closes_total",
+               "Connections closed for unread reply backlog")
+      .set(static_cast<double>(net.slow_client_closes));
+  reg->counter("cumf_net_overload_sheds_total",
+               "Queries answered kOverloaded at the admission bound")
+      .set(static_cast<double>(net.overload_sheds));
+  reg->gauge("cumf_net_io_shards", "Epoll io threads the server runs")
+      .set(static_cast<double>(net.io_shards));
+  reg->gauge("cumf_net_open_connections", "Connections open right now")
+      .set(static_cast<double>(net.open_connections));
 
   const auto& trace = obs::TraceCollector::global();
   reg->counter("cumf_trace_events_total",
@@ -133,10 +147,9 @@ void fill_registry(const ServeStats& stats, const NetMetrics* net,
       .set(trace.enabled() ? 1.0 : 0.0);
 }
 
-std::string metrics_exposition(const ServeStats& stats,
-                               const NetMetrics* net) {
+std::string metrics_exposition(const ServeStats& stats) {
   obs::MetricsRegistry reg;
-  fill_registry(stats, net, &reg);
+  fill_registry(stats, &reg);
   return reg.expose();
 }
 

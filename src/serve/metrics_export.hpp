@@ -10,7 +10,6 @@
 // family (cumf_serve_latency_ms{stage=...}) fed from the trackers' fixed
 // buckets (kLatencyBucketBoundsMs), plus window-percentile gauges.
 
-#include <cstdint>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -18,22 +17,15 @@
 
 namespace cumf::serve {
 
-/// Front-end counters that live outside ServeStats (TcpServer owns them).
-struct NetMetrics {
-  std::uint64_t connections_accepted = 0;
-  std::uint64_t protocol_errors = 0;
-};
-
-/// Populates `reg` from one ServeStats snapshot (and optional front-end
-/// counters). Counter series are set to the snapshot's absolute values, so
-/// call it on a freshly constructed registry per exposition.
-void fill_registry(const ServeStats& stats, const NetMetrics* net,
-                   obs::MetricsRegistry* reg);
+/// Populates `reg` from one ServeStats snapshot (the front-end slice rides
+/// along as ServeStats::net). Counter series are set to the snapshot's
+/// absolute values, so call it on a freshly constructed registry per
+/// exposition.
+void fill_registry(const ServeStats& stats, obs::MetricsRegistry* reg);
 
 /// fill_registry into a fresh registry, rendered as exposition text. Also
 /// appends the trace collector's self-metrics (events recorded/dropped,
 /// enabled flag).
-[[nodiscard]] std::string metrics_exposition(const ServeStats& stats,
-                                             const NetMetrics* net = nullptr);
+[[nodiscard]] std::string metrics_exposition(const ServeStats& stats);
 
 }  // namespace cumf::serve

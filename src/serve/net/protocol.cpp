@@ -143,6 +143,13 @@ StatsResponse stats_from(const ServeStats& s) {
   w.baseline_recall = s.orchestrator.baseline_recall;
   w.train_wall_ms = s.orchestrator.last_train_wall_ms;
   w.train_modeled_s = s.orchestrator.last_train_modeled_s;
+  w.net_connections = s.net.connections_accepted;
+  w.net_rejected = s.net.connections_rejected;
+  w.net_protocol_errors = s.net.protocol_errors;
+  w.net_recv_errors = s.net.recv_errors;
+  w.net_slow_closes = s.net.slow_client_closes;
+  w.net_overload_sheds = s.net.overload_sheds;
+  w.net_io_shards = s.net.io_shards;
   return w;
 }
 
@@ -230,6 +237,13 @@ void encode_stats_response(const StatsResponse& resp,
   put_f64(out, resp.baseline_recall);
   put_f64(out, resp.train_wall_ms);
   put_f64(out, resp.train_modeled_s);
+  put_u64(out, resp.net_connections);
+  put_u64(out, resp.net_rejected);
+  put_u64(out, resp.net_protocol_errors);
+  put_u64(out, resp.net_recv_errors);
+  put_u64(out, resp.net_slow_closes);
+  put_u64(out, resp.net_overload_sheds);
+  put_u64(out, resp.net_io_shards);
   seal_frame(out, mark);
 }
 
@@ -345,6 +359,13 @@ MsgType decode_response(const std::uint8_t* payload, std::size_t len,
       stats->baseline_recall = r.f64();
       stats->train_wall_ms = r.f64();
       stats->train_modeled_s = r.f64();
+      stats->net_connections = r.u64();
+      stats->net_rejected = r.u64();
+      stats->net_protocol_errors = r.u64();
+      stats->net_recv_errors = r.u64();
+      stats->net_slow_closes = r.u64();
+      stats->net_overload_sheds = r.u64();
+      stats->net_io_shards = r.u64();
       r.expect_done();
       return MsgType::kStats;
     }

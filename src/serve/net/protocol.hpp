@@ -22,7 +22,11 @@
 //                   u64 rollbacks, u64 deltas_ingested, u64 deltas_rejected,
 //                   f64 gate_rmse, f64 gate_recall,
 //                   f64 baseline_rmse, f64 baseline_recall,
-//                   f64 train_wall_ms, f64 train_modeled_s }
+//                   f64 train_wall_ms, f64 train_modeled_s,
+//                   u64 net_connections, u64 net_rejected,
+//                   u64 net_protocol_errors, u64 net_recv_errors,
+//                   u64 net_slow_closes, u64 net_overload_sheds,
+//                   u64 net_io_shards }
 //
 //   AddRatingRequest  { u8 type=3, i32 user, i32 item, f64 value }
 //   AddRatingResponse { u8 type=3, u8 status }
@@ -84,6 +88,10 @@ enum class Status : std::uint8_t {
   kBadUser = 1,     // user id outside the serving generation's range
   kBadRequest = 2,  // malformed field (k < 1 or k > the server's configured k)
   kError = 3,       // engine failure (e.g. refresh shrank the model mid-batch)
+  /// The server's completion lane is at its admission bound: the query was
+  /// shed at the edge instead of queueing unboundedly behind the batcher.
+  /// The connection stays open — back off and retry.
+  kOverloaded = 4,
 };
 
 /// Malformed frame or payload; the server closes the offending connection and
@@ -143,6 +151,17 @@ struct StatsResponse {
   double baseline_recall = 0.0;
   double train_wall_ms = 0.0;
   double train_modeled_s = 0.0;
+  // Front-end slice (ServeStats::net): the sharded io layer's own counters,
+  // so overload shedding and client misbehaviour are observable over the
+  // same socket queries ride. All-zero when decoded from a pre-sharding
+  // server is impossible — the frame length would not match.
+  std::uint64_t net_connections = 0;       // accepted
+  std::uint64_t net_rejected = 0;          // admission control turned away
+  std::uint64_t net_protocol_errors = 0;   // closed for malformed frames
+  std::uint64_t net_recv_errors = 0;       // closed on hard recv() errors
+  std::uint64_t net_slow_closes = 0;       // closed for unread reply backlog
+  std::uint64_t net_overload_sheds = 0;    // queries answered kOverloaded
+  std::uint64_t net_io_shards = 0;         // epoll io threads serving
 };
 
 /// Builds the wire stats from a ServeStats snapshot.

@@ -162,6 +162,31 @@ struct OrchestratorStats {
   double last_train_modeled_s = 0.0;
 };
 
+/// Counters exported by the TCP front-end (net/server.hpp) when one runs in
+/// front of the serving stack. All-zero otherwise. Defined here — not in
+/// net/ — so the metrics exposition and the stats op need no dependency on
+/// the network layer.
+struct NetMetrics {
+  std::uint64_t connections_accepted = 0;
+  /// Connections turned away at accept time (ServerOptions::max_connections).
+  std::uint64_t connections_rejected = 0;
+  /// Connections dropped for malformed frames.
+  std::uint64_t protocol_errors = 0;
+  /// Connections closed on a hard recv() error (ECONNRESET and friends);
+  /// without this count a dead peer would linger until a later epoll error.
+  std::uint64_t recv_errors = 0;
+  /// Connections closed because the client stopped reading replies and its
+  /// buffered output exceeded ServerOptions::max_out_buffer.
+  std::uint64_t slow_client_closes = 0;
+  /// Queries answered Status::kOverloaded because the shard's completion
+  /// lane was at ServerOptions::max_queued_replies.
+  std::uint64_t overload_sheds = 0;
+  /// Epoll io threads (shards) the server runs; 0 when no server.
+  std::uint64_t io_shards = 0;
+  /// Connections open at snapshot time.
+  std::uint64_t open_connections = 0;
+};
+
 struct ServeStats {
   std::uint64_t queries = 0;       // user queries answered (hit or miss)
   std::uint64_t batches = 0;       // micro-batches flushed to the engine
@@ -223,6 +248,10 @@ struct ServeStats {
   /// attached. Filled by Orchestrator::merge_into (the TcpServer's
   /// augment_stats hook routes it into the stats op).
   OrchestratorStats orchestrator;
+
+  /// TCP front-end counters; all-zero when no server is attached. Filled by
+  /// TcpServer::stats().
+  NetMetrics net;
 };
 
 }  // namespace cumf::serve

@@ -208,6 +208,33 @@ TEST(NetProtocol, StatsCarriesOrchestratorCounters) {
   EXPECT_DOUBLE_EQ(got.train_modeled_s, 0.004);
 }
 
+TEST(NetProtocol, StatsCarriesNetCounters) {
+  StatsResponse s;
+  s.net_connections = 1000;
+  s.net_rejected = 24;
+  s.net_protocol_errors = 3;
+  s.net_recv_errors = 7;
+  s.net_slow_closes = 2;
+  s.net_overload_sheds = 512;
+  s.net_io_shards = 4;
+
+  std::vector<std::uint8_t> wire;
+  encode_stats_response(s, &wire);
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse query;
+  StatsResponse got;
+  ASSERT_EQ(decode_response(wire.data() + off, len, &query, &got),
+            MsgType::kStats);
+  EXPECT_EQ(got.net_connections, 1000u);
+  EXPECT_EQ(got.net_rejected, 24u);
+  EXPECT_EQ(got.net_protocol_errors, 3u);
+  EXPECT_EQ(got.net_recv_errors, 7u);
+  EXPECT_EQ(got.net_slow_closes, 2u);
+  EXPECT_EQ(got.net_overload_sheds, 512u);
+  EXPECT_EQ(got.net_io_shards, 4u);
+}
+
 TEST(NetProtocol, MetricsRoundTrip) {
   std::vector<std::uint8_t> wire;
   encode_metrics_request(&wire);
@@ -288,7 +315,8 @@ struct LoopbackFixture {
 
   LoopbackFixture(std::size_t cache_capacity = 0,
                   std::chrono::microseconds max_delay =
-                      std::chrono::microseconds(2000))
+                      std::chrono::microseconds(2000),
+                  ServerOptions sopt = {})
       : x(random_factors(kUsers, 8, 601)),
         theta(random_factors(kItems, 8, 602)),
         store(x, theta, 3),
@@ -299,7 +327,7 @@ struct LoopbackFixture {
     opt.max_delay = max_delay;
     opt.cache_capacity = cache_capacity;
     batcher = std::make_unique<serve::RequestBatcher>(engine, opt);
-    server = std::make_unique<TcpServer>(*batcher);
+    server = std::make_unique<TcpServer>(*batcher, std::move(sopt));
   }
 
   linalg::FactorMatrix x, theta;
@@ -520,6 +548,187 @@ TEST(TcpServer, MalformedFrameClosesOnlyThatConnection) {
 
   // The well-behaved connection is unaffected.
   EXPECT_EQ(good.query(2, LoopbackFixture::kK).status, Status::kOk);
+}
+
+// ------------------------------------- backpressure & admission control ----
+
+/// Spins until `pred()` holds or ~2s elapse; returns the final value.
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 400; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+TEST(TcpServer, StatsReportNetSliceOverTheWire) {
+  ServerOptions sopt;
+  sopt.io_threads = 3;
+  LoopbackFixture fx(0, std::chrono::microseconds(2000), sopt);
+  Client client("127.0.0.1", fx.server->port());
+  ASSERT_EQ(client.query(0, LoopbackFixture::kK).status, Status::kOk);
+
+  const StatsResponse wire = client.stats();
+  EXPECT_EQ(wire.net_connections, 1u);
+  EXPECT_EQ(wire.net_io_shards, 3u);
+  EXPECT_EQ(wire.net_rejected, 0u);
+  EXPECT_EQ(wire.net_overload_sheds, 0u);
+
+  const serve::ServeStats stats = fx.server->stats();
+  EXPECT_EQ(stats.net.connections_accepted, 1u);
+  EXPECT_EQ(stats.net.io_shards, 3u);
+  EXPECT_EQ(stats.net.open_connections, 1u);
+}
+
+TEST(TcpServer, SlowReaderIsDisconnectedAtTheOutBufferCap) {
+  // Tiny server-side send buffer and out cap so a reader that never drains
+  // trips the bound with a few hundred replies instead of megabytes.
+  ServerOptions sopt;
+  sopt.so_sndbuf = 4096;
+  sopt.max_out_buffer = 32 << 10;
+  LoopbackFixture fx(0, std::chrono::microseconds(200), sopt);
+
+  // Raw socket with a tiny receive buffer (set before connect so the window
+  // stays small): the kernel can only absorb a few KB of replies, so the
+  // backlog lands in the server's out buffer, not in TCP.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf)),
+            0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fx.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Pipeline far more reply bytes than sndbuf + rcvbuf + out cap can hold
+  // and never read; the server must cut the connection, not buffer without
+  // bound. A send error just means it already did.
+  std::vector<std::uint8_t> frames;
+  for (int i = 0; i < 4000; ++i) {
+    encode_query_request(
+        QueryRequest{static_cast<idx_t>(i % LoopbackFixture::kUsers),
+                     LoopbackFixture::kK},
+        &frames);
+  }
+  std::size_t sent = 0;
+  while (sent < frames.size()) {
+    const ssize_t n = ::send(fd, frames.data() + sent, frames.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  EXPECT_TRUE(eventually([&] { return fx.server->slow_client_closes() > 0; }))
+      << "slow reader was never disconnected";
+  ::close(fd);
+
+  // The rest of the server is unaffected.
+  Client healthy("127.0.0.1", fx.server->port());
+  EXPECT_EQ(healthy.query(1, LoopbackFixture::kK).status, Status::kOk);
+  EXPECT_GT(fx.server->stats().net.slow_client_closes, 0u);
+}
+
+TEST(TcpServer, FloodingWriterIsThrottledNotKilled) {
+  // A tight inflight cap forces the server to stop reading (backpressure)
+  // instead of queueing every parsed frame; a client that floods then drains
+  // still gets every reply, in order.
+  ServerOptions sopt;
+  sopt.max_inflight = 8;
+  LoopbackFixture fx(0, std::chrono::microseconds(2000), sopt);
+  Client client("127.0.0.1", fx.server->port());
+
+  constexpr int kQueries = 500;
+  for (int i = 0; i < kQueries; ++i) {
+    client.send_query(static_cast<idx_t>(i % LoopbackFixture::kUsers),
+                      LoopbackFixture::kK);
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    const idx_t u = static_cast<idx_t>(i % LoopbackFixture::kUsers);
+    const QueryResponse resp = client.read_query_response();
+    ASSERT_EQ(resp.status, Status::kOk) << "query " << i;
+    EXPECT_EQ(resp.items, fx.engine.recommend_one(u, LoopbackFixture::kK))
+        << "query " << i;
+  }
+  EXPECT_EQ(fx.server->stats().queries,
+            static_cast<std::uint64_t>(kQueries));
+  EXPECT_EQ(fx.server->slow_client_closes(), 0u);
+}
+
+TEST(TcpServer, OverloadShedsAtTheEdgeAndRecovers) {
+  // A slow batcher (50ms deadline, nothing fills a 1024 batch) holds every
+  // future, so the lane's query bound (4) trips almost immediately.
+  ServerOptions sopt;
+  sopt.max_queued_replies = 4;
+  serve::BatcherOptions bopt;
+  bopt.k = 6;
+  bopt.max_batch = 1024;
+  bopt.max_delay = std::chrono::microseconds(50000);
+
+  const auto x = random_factors(30, 8, 601);
+  const auto theta = random_factors(120, 8, 602);
+  const serve::FactorStore store(x, theta, 3);
+  const serve::TopKEngine engine(store);
+  serve::RequestBatcher batcher(engine, bopt);
+  TcpServer server(batcher, sopt);
+  Client client("127.0.0.1", server.port());
+
+  constexpr int kQueries = 100;
+  for (int i = 0; i < kQueries; ++i) client.send_query(i % 30, 6);
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    const QueryResponse resp = client.read_query_response();
+    if (resp.status == Status::kOk) {
+      ++ok;
+      EXPECT_FALSE(resp.items.empty());
+    } else {
+      ASSERT_EQ(resp.status, Status::kOverloaded) << "query " << i;
+      ++shed;
+      EXPECT_TRUE(resp.items.empty());
+    }
+  }
+  EXPECT_EQ(ok + shed, kQueries);
+  EXPECT_GE(ok, 4);       // everything admitted before the bound was answered
+  EXPECT_GT(shed, 0);     // the bound tripped
+  EXPECT_EQ(server.overload_sheds(), static_cast<std::uint64_t>(shed));
+
+  // Recovery: with the lane drained the same connection is served again.
+  const QueryResponse after = client.query(3, 6);
+  EXPECT_EQ(after.status, Status::kOk);
+  EXPECT_EQ(server.overload_sheds(), static_cast<std::uint64_t>(shed));
+}
+
+TEST(TcpServer, HardRecvErrorsAreCountedAndCloseTheConnection) {
+  LoopbackFixture fx;
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.server->port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    // Half a frame so the server has seen the connection readable at least
+    // once before the abort.
+    std::vector<std::uint8_t> frame;
+    encode_query_request(QueryRequest{0, LoopbackFixture::kK}, &frame);
+    ASSERT_EQ(::send(fd, frame.data(), 2, MSG_NOSIGNAL), 2);
+    // SO_LINGER(1, 0): close() sends RST instead of FIN, so the server's
+    // next recv() fails hard (ECONNRESET) instead of reading EOF.
+    const linger lg{1, 0};
+    ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg)), 0);
+    ::close(fd);
+  }
+  EXPECT_TRUE(eventually([&] { return fx.server->recv_errors() > 0; }))
+      << "RST was not surfaced as a recv error";
+  EXPECT_EQ(fx.server->protocol_errors(), 0u);
+
+  // Served traffic continues.
+  Client client("127.0.0.1", fx.server->port());
+  EXPECT_EQ(client.query(0, LoopbackFixture::kK).status, Status::kOk);
 }
 
 // ------------------------------------------- live refresh under traffic ----
