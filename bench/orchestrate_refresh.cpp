@@ -12,6 +12,14 @@
 // retrain + swap is the number that must not crater for the continuous-
 // refresh story to hold.
 //
+// Each (delta_rate) runs twice: once forced to the full-ALS tier and once in
+// auto tier mode (incremental SGD with consolidate_every=4, so cycle 4 of
+// each auto cell is a visible full-ALS consolidation). delta_to_promote_ms
+// is the whole run_cycle wall — snapshot + train + gate + promote — i.e. how
+// stale the freshest merged delta is by the time its generation serves. The
+// incremental tier's reason to exist is cutting that number ≥5× at equal
+// gated quality; the bench prints the measured speedup per delta rate.
+//
 // Per repo convention the perf-shaped numbers never gate: correctness of the
 // loop (zero dropped queries, bit-exact generations, gate behavior) is
 // pinned in tests/orchestrate_test.cpp; this bench exists for the CSV
@@ -54,6 +62,15 @@ using namespace cumf;
 constexpr int kF = 16;
 constexpr int kTopK = 10;
 constexpr int kQueryThreads = 3;
+
+const char* tier_mode_name(orchestrate::TrainTierMode m) {
+  switch (m) {
+    case orchestrate::TrainTierMode::kFull: return "full";
+    case orchestrate::TrainTierMode::kIncremental: return "incremental";
+    case orchestrate::TrainTierMode::kAuto: return "auto";
+  }
+  return "?";
+}
 
 const char* outcome_name(orchestrate::CycleOutcome o) {
   switch (o) {
@@ -139,21 +156,31 @@ int main(int argc, char** argv) {
 
   util::CsvWriter csv(
       bench::results_dir() + "/orchestrate_refresh.csv",
-      {"delta_rate_per_s", "cadence_ms", "cycle", "outcome", "gate_rmse",
-       "gate_recall", "train_wall_ms", "train_modeled_s", "swap_pause_ms",
+      {"delta_rate_per_s", "cadence_ms", "tier_mode", "cycle", "tier",
+       "outcome", "escalated", "gate_rmse", "gate_recall", "train_wall_ms",
+       "train_modeled_s", "delta_to_promote_ms", "swap_pause_ms",
        "qps_before", "qps_during", "qps_after", "generation",
        "deltas_merged"});
 
-  std::printf("\n  %9s %10s %5s %12s %9s %7s %10s %9s %9s %9s %9s %4s\n",
-              "deltas/s", "cadence", "cycle", "outcome", "gate_rmse",
-              "recall", "train(ms)", "qps_bef", "qps_dur", "qps_aft",
-              "pause(ms)", "gen");
+  std::printf("\n  %9s %5s %5s %12s %12s %9s %7s %10s %8s %9s %9s %9s %4s\n",
+              "deltas/s", "mode", "cycle", "tier", "outcome", "gate_rmse",
+              "recall", "train(ms)", "d2p(ms)", "qps_bef", "qps_dur",
+              "qps_aft", "gen");
 
+  constexpr int kCadenceMs = 250;
+  constexpr int kCyclesPerCell = 4;
   for (const double delta_rate : {2000.0, 8000.0}) {
-    for (const int cadence_ms : {150, 400}) {
+    // Mean run_cycle wall of promoted cycles, split by tier, for the
+    // speedup verdict printed after both tier modes have run this rate.
+    double full_ms_sum = 0.0, incr_ms_sum = 0.0;
+    int full_n = 0, incr_n = 0;
+    for (const auto tier_mode : {orchestrate::TrainTierMode::kFull,
+                                 orchestrate::TrainTierMode::kAuto}) {
+      const int cadence_ms = kCadenceMs;
       const auto work_dir = std::filesystem::temp_directory_path() /
-                            ("cumf_orch_bench_" + std::to_string(cadence_ms) +
-                             "_" + std::to_string(static_cast<int>(delta_rate)));
+                            ("cumf_orch_bench_" +
+                             std::string(tier_mode_name(tier_mode)) + "_" +
+                             std::to_string(static_cast<int>(delta_rate)));
       std::filesystem::create_directories(work_dir);
 
       orchestrate::RatingLog log(split.train);
@@ -170,11 +197,19 @@ int main(int argc, char** argv) {
 
       orchestrate::OrchestratorOptions oopt;
       oopt.trainer.solver = cfg;
-      oopt.trainer.iterations = 2;
+      oopt.trainer.iterations = 3;
       oopt.gate.k = kTopK;
       oopt.gate.max_eval_users = 150;
       oopt.gate.rmse_slack = 0.05;
       oopt.gate.recall_slack = 0.2;
+      oopt.tier_mode = tier_mode;
+      oopt.consolidate_every = 4;
+      // Gentler than the default lr, and two epochs instead of three: the
+      // bench's uniform-random delta values are pure noise, and the gate
+      // must keep passing incremental candidates for the latency comparison
+      // to be at equal gated quality.
+      oopt.sgd.lr = 0.01f;
+      oopt.sgd.epochs = 2;
       oopt.work_dir = work_dir.string();
       orchestrate::Orchestrator orch(log, live, split.test, oopt, &R);
 
@@ -198,15 +233,20 @@ int main(int argc, char** argv) {
       });
 
       const auto window = std::chrono::milliseconds(cadence_ms);
-      for (int cycle = 1; cycle <= 2; ++cycle) {
+      for (int cycle = 1; cycle <= kCyclesPerCell; ++cycle) {
         const double qps_before = measure_qps(batcher, gen.m, window);
 
         // The retrain + gate + swap runs while queries keep flowing: the
-        // "during" window brackets the whole cycle.
+        // "during" window brackets the whole cycle. cycle_ms is the
+        // delta→promoted-generation latency: everything between "the log
+        // held fresh deltas" and "the promoted model serves them".
         std::atomic<bool> cycle_done{false};
         orchestrate::CycleRecord rec;
+        double cycle_ms = 0.0;
         std::thread retrainer([&] {
+          util::Stopwatch cycle_wall;
           rec = orch.run_cycle(/*force=*/true);
+          cycle_ms = cycle_wall.seconds() * 1e3;
           cycle_done.store(true, std::memory_order_release);
         });
         std::atomic<std::uint64_t> answered{0};
@@ -230,29 +270,64 @@ int main(int argc, char** argv) {
 
         const double qps_after = measure_qps(batcher, gen.m, window);
 
-        std::printf("  %9.0f %8dms %5d %12s %9.4f %7.3f %10.1f %9.0f %9.0f "
-                    "%9.0f %9.4f %4llu\n",
-                    delta_rate, cadence_ms, cycle, outcome_name(rec.outcome),
-                    rec.gate.rmse, rec.gate.recall, rec.train_wall_ms,
-                    qps_before, qps_during, qps_after, rec.swap_pause_ms,
-                    static_cast<unsigned long long>(rec.generation));
-        csv.row(delta_rate, cadence_ms, cycle, outcome_name(rec.outcome),
-                rec.gate.rmse, rec.gate.recall, rec.train_wall_ms,
-                rec.train_modeled_s, rec.swap_pause_ms, qps_before,
-                qps_during, qps_after, rec.generation, rec.deltas_seen);
+        const bool promoted =
+            rec.outcome == orchestrate::CycleOutcome::kPromoted;
+        if (promoted && !rec.escalated) {
+          if (rec.tier == orchestrate::TrainTier::kIncrementalSgd) {
+            incr_ms_sum += cycle_ms;
+            ++incr_n;
+          } else if (tier_mode == orchestrate::TrainTierMode::kFull) {
+            full_ms_sum += cycle_ms;
+            ++full_n;
+          }
+        }
+
+        std::printf("  %9.0f %5s %5d %12s %12s %9.4f %7.3f %10.1f %8.1f "
+                    "%9.0f %9.0f %9.0f %4llu%s\n",
+                    delta_rate, tier_mode_name(tier_mode), cycle,
+                    orchestrate::tier_name(rec.tier),
+                    outcome_name(rec.outcome), rec.gate.rmse, rec.gate.recall,
+                    rec.train_wall_ms, cycle_ms, qps_before, qps_during,
+                    qps_after, static_cast<unsigned long long>(rec.generation),
+                    rec.escalated      ? "  (escalated)"
+                    : rec.consolidation ? "  (consolidation)"
+                                        : "");
+        csv.row(delta_rate, cadence_ms, tier_mode_name(tier_mode), cycle,
+                orchestrate::tier_name(rec.tier), outcome_name(rec.outcome),
+                rec.escalated ? 1 : 0, rec.gate.rmse, rec.gate.recall,
+                rec.train_wall_ms, rec.train_modeled_s, cycle_ms,
+                rec.swap_pause_ms, qps_before, qps_during, qps_after,
+                rec.generation, rec.deltas_seen);
       }
 
       stop_ingest.store(true, std::memory_order_release);
       ingest.join();
       const auto oc = orch.counters();
-      std::printf("  cell totals: %llu retrains, %llu promotions, %llu "
-                  "rejections; %llu deltas ingested\n",
+      std::printf("  cell totals: %llu retrains (%llu full / %llu "
+                  "incremental), %llu promotions, %llu rejections, %llu "
+                  "escalations, %llu consolidations; %llu deltas ingested\n",
                   static_cast<unsigned long long>(oc.retrains),
+                  static_cast<unsigned long long>(oc.retrains_full),
+                  static_cast<unsigned long long>(oc.retrains_incremental),
                   static_cast<unsigned long long>(oc.promotions),
                   static_cast<unsigned long long>(oc.rejections),
+                  static_cast<unsigned long long>(oc.escalations),
+                  static_cast<unsigned long long>(oc.consolidations),
                   static_cast<unsigned long long>(oc.deltas_ingested));
       std::error_code ec;
       std::filesystem::remove_all(work_dir, ec);
+    }
+
+    if (full_n > 0 && incr_n > 0) {
+      const double full_ms = full_ms_sum / full_n;
+      const double incr_ms = incr_ms_sum / incr_n;
+      std::printf("  %9.0f deltas/s verdict: delta→promote %.1f ms full vs "
+                  "%.1f ms incremental — %.1fx faster (target >= 5x)\n",
+                  delta_rate, full_ms, incr_ms, full_ms / incr_ms);
+    } else {
+      std::printf("  %9.0f deltas/s verdict: not enough promoted cycles to "
+                  "compare tiers (full %d, incremental %d)\n",
+                  delta_rate, full_n, incr_n);
     }
   }
 

@@ -57,6 +57,22 @@ GATES = {
                 and r["backend"] == "cpu")
         ),
     },
+    "orchestrate_refresh.csv": {
+        "key": ["delta_rate_per_s", "cadence_ms", "tier_mode", "cycle"],
+        "rows": lambda r: True,
+        # delta_to_promote_ms is the point of the incremental tier: the
+        # whole snapshot→train→gate→promote cycle must stay far under the
+        # full-ALS cycle (~80-110 ms in these cells). The wide relative band
+        # absorbs runner noise; the absolute floor means any value under
+        # 50 ms passes outright, while an incremental cycle that silently
+        # fell back to full-tier cost blows through both. Only rows that
+        # ran the incremental tier gate — full and consolidation cycles are
+        # the comparison baseline, not the regression surface.
+        "metrics": {
+            "delta_to_promote_ms": ("upper", 1.00, 50.0),
+        },
+        "skip_metric": lambda r, m: r["tier"] != "incremental",
+    },
     "serve_netload.csv": {
         "key": ["mode", "conns", "offered_qps"],
         "rows": lambda r: True,

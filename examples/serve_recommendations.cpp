@@ -19,7 +19,10 @@
 // RatingLog, the orchestrator retrains on a cadence or a delta-count
 // trigger, gates each candidate on held-out RMSE + recall@k, and hot-swaps
 // passing models under the live traffic — watch the generation column
-// advance from the other terminal.
+// advance from the other terminal. --train-tier picks the retraining tier
+// (full ALS, incremental SGD, or auto) and --consolidate-every N sets how
+// often the auto tier schedules a full-ALS consolidation cycle; the
+// shutdown audit prints per-tier cycle counts.
 //
 // With --trace-out FILE request tracing is on for the whole run and the
 // Chrome trace-event JSON is written to FILE on the way out — including after
@@ -29,7 +32,7 @@
 //
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j
-//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms] [--port N] [--daemon] [--trace-out FILE]
+//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms] [--port N] [--daemon] [--train-tier full|incremental|auto] [--consolidate-every N] [--trace-out FILE]
 //   ./build/examples/serve_recommendations 4 10 1000000 5   # fleet-sizing mode
 //   ./build/examples/serve_recommendations --port 7070 --daemon   # then, elsewhere:
 //   ./build/bench/serve_netload --connect 127.0.0.1 7070 3000 10
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
   bool daemon_mode = false;
   std::uint16_t port = 0;
   std::string trace_out;
+  auto tier_mode = orchestrate::TrainTierMode::kAuto;
+  int consolidate_every = 8;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -80,6 +85,26 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--daemon") == 0) {
       daemon_mode = true;
       serve_over_tcp = true;  // the orchestrator serves behind the socket
+    } else if (std::strcmp(argv[i], "--train-tier") == 0 && i + 1 < argc) {
+      const char* tier = argv[++i];
+      if (std::strcmp(tier, "full") == 0) {
+        tier_mode = orchestrate::TrainTierMode::kFull;
+      } else if (std::strcmp(tier, "incremental") == 0) {
+        tier_mode = orchestrate::TrainTierMode::kIncremental;
+      } else if (std::strcmp(tier, "auto") == 0) {
+        tier_mode = orchestrate::TrainTierMode::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "--train-tier must be full, incremental, or auto\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--consolidate-every") == 0 &&
+               i + 1 < argc) {
+      consolidate_every = std::atoi(argv[++i]);
+      if (consolidate_every < 1) {
+        std::fprintf(stderr, "--consolidate-every must be >= 1\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else {
@@ -94,7 +119,8 @@ int main(int argc, char** argv) {
   if (shards < 1 || top_k < 1 || target_qps < 0.0 || p99_ms <= 0.0) {
     std::fprintf(stderr,
                  "usage: %s [shards >= 1] [top_k >= 1] [target_qps] [p99_ms] "
-                 "[--port N] [--daemon] [--trace-out FILE]\n",
+                 "[--port N] [--daemon] [--train-tier full|incremental|auto] "
+                 "[--consolidate-every N] [--trace-out FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -335,6 +361,8 @@ int main(int argc, char** argv) {
       oopt.gate.k = top_k;
       oopt.cadence = std::chrono::milliseconds(5000);
       oopt.delta_trigger = 500;
+      oopt.tier_mode = tier_mode;
+      oopt.consolidate_every = consolidate_every;
       // Retrain on cadence even without deltas so the generation column
       // visibly advances in the other terminal.
       oopt.skip_when_idle = false;
@@ -377,6 +405,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(oc.deltas_rejected),
                   oc.last_gate_rmse, top_k, oc.last_gate_recall,
                   oc.last_train_wall_ms, oc.last_train_modeled_s);
+      std::printf("retraining tiers: full %llu cycles (%llu promoted, "
+                  "%llu rejected), incremental %llu cycles (%llu promoted, "
+                  "%llu rejected); %llu escalations, %llu consolidations\n",
+                  static_cast<unsigned long long>(oc.retrains_full),
+                  static_cast<unsigned long long>(oc.promotions_full),
+                  static_cast<unsigned long long>(oc.rejections_full),
+                  static_cast<unsigned long long>(oc.retrains_incremental),
+                  static_cast<unsigned long long>(oc.promotions_incremental),
+                  static_cast<unsigned long long>(oc.rejections_incremental),
+                  static_cast<unsigned long long>(oc.escalations),
+                  static_cast<unsigned long long>(oc.consolidations));
       for (const auto& rec : orch->history()) {
         const char* what =
             rec.outcome == orchestrate::CycleOutcome::kPromoted   ? "promoted"
@@ -384,9 +423,12 @@ int main(int argc, char** argv) {
             : rec.outcome == orchestrate::CycleOutcome::kRolledBack
                 ? "rolled back"
                 : "failed";
-        std::printf("  cycle %llu: %s -> generation %llu (gate rmse %.4f, "
-                    "recall %.3f)%s%s\n",
-                    static_cast<unsigned long long>(rec.cycle), what,
+        std::printf("  cycle %llu [%s%s%s]: %s -> generation %llu "
+                    "(gate rmse %.4f, recall %.3f)%s%s\n",
+                    static_cast<unsigned long long>(rec.cycle),
+                    orchestrate::tier_name(rec.tier),
+                    rec.escalated ? ", escalated" : "",
+                    rec.consolidation ? ", consolidation" : "", what,
                     static_cast<unsigned long long>(rec.generation),
                     rec.gate.rmse, rec.gate.recall,
                     rec.gate.reason.empty() ? "" : " — ",

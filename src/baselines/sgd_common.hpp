@@ -64,6 +64,27 @@ inline real_t sgd_update(real_t* xu, real_t* tv, real_t r, real_t lr,
   return e;
 }
 
+/// Eq.-(4) update restricted to one side. The incremental retraining tier
+/// (orchestrate/trainer.hpp) must leave factor rows outside the delta-touched
+/// set bit-identical to their warm start, so a rating pairing a touched user
+/// with an untouched item updates x_u only (θ_v reads as a constant), and
+/// vice versa. With both sides enabled this IS sgd_update. Returns the
+/// pre-update error.
+inline real_t sgd_update_masked(real_t* xu, real_t* tv, real_t r, real_t lr,
+                                real_t lambda, int f, bool update_x,
+                                bool update_theta) {
+  if (update_x && update_theta) return sgd_update(xu, tv, r, lr, lambda, f);
+  double pred = 0.0;
+  for (int k = 0; k < f; ++k) pred += static_cast<double>(xu[k]) * tv[k];
+  const real_t e = r - static_cast<real_t>(pred);
+  if (update_x) {
+    for (int k = 0; k < f; ++k) xu[k] += lr * (e * tv[k] - lambda * xu[k]);
+  } else if (update_theta) {
+    for (int k = 0; k < f; ++k) tv[k] += lr * (e * xu[k] - lambda * tv[k]);
+  }
+  return e;
+}
+
 /// Convergence record plus the traffic stats the machine models need.
 struct BaselineRun {
   eval::ConvergenceHistory history;

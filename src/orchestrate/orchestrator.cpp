@@ -1,7 +1,9 @@
 #include "orchestrate/orchestrator.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -17,6 +19,21 @@ std::string make_subdir(const std::string& work_dir, const char* name) {
   const auto path = std::filesystem::path(work_dir) / name;
   std::filesystem::create_directories(path);
   return path.string();
+}
+
+/// Folds `add` (sorted, unique) into `into` (sorted, unique), keeping the
+/// result sorted and unique — the carried touched-row sets.
+void merge_ids(std::vector<idx_t>* into, const std::vector<idx_t>& add) {
+  if (add.empty()) return;
+  if (into->empty()) {
+    *into = add;
+    return;
+  }
+  std::vector<idx_t> merged;
+  merged.reserve(into->size() + add.size());
+  std::set_union(into->begin(), into->end(), add.begin(), add.end(),
+                 std::back_inserter(merged));
+  *into = std::move(merged);
 }
 
 /// (X, Θ) of the snapshot a live store is serving, re-assembled from the
@@ -52,7 +69,8 @@ Orchestrator::Orchestrator(RatingLog& log, serve::LiveFactorStore& live,
       gate_(std::move(holdout), opt_.gate, exclude),
       candidate_dir_(make_subdir(opt_.work_dir, "candidate")),
       good_dir_(make_subdir(opt_.work_dir, "good")),
-      trainer_(opt_.trainer, candidate_dir_) {
+      full_trainer_(opt_.trainer, candidate_dir_, &stamps_),
+      sgd_trainer_(opt_.sgd, candidate_dir_, &stamps_) {
   // Seed the baseline and the rollback target from whatever is serving:
   // the first candidate is judged against the live model, and rollback()
   // is meaningful from the very first promotion.
@@ -64,8 +82,9 @@ Orchestrator::Orchestrator(RatingLog& log, serve::LiveFactorStore& live,
   serving_rmse_ = good_rmse_ = seed.rmse;
   serving_recall_ = good_recall_ = seed.recall;
   core::CheckpointManager good(good_dir_);
-  good.save_x(serving_x_, ckpt_stamp_);
-  good.save_theta(serving_theta_, ckpt_stamp_);
+  const int stamp = stamps_.next();
+  good.save_x(serving_x_, stamp);
+  good.save_theta(serving_theta_, stamp);
 }
 
 Orchestrator::~Orchestrator() { stop(); }
@@ -84,6 +103,12 @@ CycleRecord Orchestrator::run_cycle(bool force) {
   obs::TraceSpan cycle_span(obs::TraceCollector::global(), "orch.cycle");
   cycle_span.arg("cycle", rec.cycle);
 
+  rec.tier = choose_tier(&rec.consolidation);
+  if (rec.consolidation) {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    ++stats_.consolidations;
+  }
+
   RatingLog::Snapshot snap;
   TrainResult trained;
   try {
@@ -93,10 +118,16 @@ CycleRecord Orchestrator::run_cycle(bool force) {
       snap = log_.snapshot();
     }
     rec.deltas_seen = snap.deltas_applied;
-    obs::TraceSpan train_span(obs::TraceCollector::global(), "orch.train");
-    train_span.arg("deltas", rec.deltas_seen);
-    trained = trainer_.train(snap, &serving_x_, &serving_theta_);
-    train_span.finish();
+    // Fold this snapshot's touched rows into the carried set and hand the
+    // union to the trainer: deltas merged during a cycle whose candidate
+    // was rejected are already in the log's matrix, so keeping their rows
+    // in scope until some candidate promotes is the only way a later
+    // incremental pass can still learn them.
+    merge_ids(&carry_users_, snap.touched_users);
+    merge_ids(&carry_items_, snap.touched_items);
+    snap.touched_users = carry_users_;
+    snap.touched_items = carry_items_;
+    trained = run_training_pass(snap, rec.tier);
   } catch (const std::exception& e) {
     rec.outcome = CycleOutcome::kTrainFailed;
     rec.error = e.what();
@@ -106,22 +137,93 @@ CycleRecord Orchestrator::run_cycle(bool force) {
   }
   rec.train_wall_ms = trained.wall_ms;
   rec.train_modeled_s = trained.modeled_seconds;
-  {
-    std::lock_guard<std::mutex> lock(history_mu_);
-    ++stats_.retrains;
-    stats_.last_train_wall_ms = trained.wall_ms;
-    stats_.last_train_modeled_s = trained.modeled_seconds;
-  }
 
   try {
-    gate_and_promote(trained.x, trained.theta, /*published=*/true, &rec);
+    gate_and_promote(trained.x, trained.theta, /*published=*/true, rec.tier,
+                     &rec);
+    if (rec.outcome == CycleOutcome::kRejected &&
+        rec.tier == TrainTier::kIncrementalSgd &&
+        opt_.tier_mode != TrainTierMode::kFull) {
+      // Escalation: the gate refused the incremental candidate, so re-run
+      // the cycle's training pass as full ALS on the same snapshot rather
+      // than stalling until the next consolidation. The rejection above is
+      // already counted; the record carries the final (full) verdict and
+      // the summed cost of both passes.
+      {
+        std::lock_guard<std::mutex> lock(history_mu_);
+        ++stats_.escalations;
+      }
+      rec.escalated = true;
+      rec.tier = TrainTier::kFullAls;
+      util::log_warn(
+          "orchestrator: incremental candidate rejected; escalating to "
+          "full ALS");
+      trained = run_training_pass(snap, TrainTier::kFullAls);
+      rec.train_wall_ms += trained.wall_ms;
+      rec.train_modeled_s += trained.modeled_seconds;
+      gate_and_promote(trained.x, trained.theta, /*published=*/true,
+                       TrainTier::kFullAls, &rec);
+    }
   } catch (const std::exception& e) {
     rec.outcome = CycleOutcome::kTrainFailed;
     rec.error = e.what();  // e.g. the rollback-target checkpoint write failed
     util::log_warn("orchestrator: promotion failed: ", rec.error);
   }
+  if (rec.outcome == CycleOutcome::kPromoted) {
+    // The promoted candidate trained on every carried touched row (full ALS
+    // trains on everything); the carry is settled.
+    carry_users_.clear();
+    carry_items_.clear();
+  }
   append_record(rec);
   return rec;
+}
+
+TrainTier Orchestrator::choose_tier(bool* consolidation) const {
+  *consolidation = false;
+  switch (opt_.tier_mode) {
+    case TrainTierMode::kFull:
+      return TrainTier::kFullAls;
+    case TrainTierMode::kIncremental:
+      return TrainTier::kIncrementalSgd;
+    case TrainTierMode::kAuto:
+      break;
+  }
+  if (cycles_since_full_ + 1 >= opt_.consolidate_every) {
+    *consolidation = true;
+    return TrainTier::kFullAls;
+  }
+  return TrainTier::kIncrementalSgd;
+}
+
+TrainResult Orchestrator::run_training_pass(const RatingLog::Snapshot& snap,
+                                            TrainTier tier) {
+  obs::TraceSpan train_span(obs::TraceCollector::global(), "orch.train");
+  train_span.arg("deltas", snap.deltas_applied);
+  train_span.arg("tier", static_cast<std::uint64_t>(tier));
+  TrainerBackend& backend =
+      tier == TrainTier::kFullAls
+          ? static_cast<TrainerBackend&>(full_trainer_)
+          : static_cast<TrainerBackend&>(sgd_trainer_);
+  TrainResult trained = backend.train(snap, &serving_x_, &serving_theta_);
+  train_span.finish();
+
+  if (tier == TrainTier::kFullAls) {
+    cycles_since_full_ = 0;
+  } else {
+    ++cycles_since_full_;
+  }
+  std::lock_guard<std::mutex> lock(history_mu_);
+  ++stats_.retrains;
+  if (tier == TrainTier::kFullAls) {
+    ++stats_.retrains_full;
+  } else {
+    ++stats_.retrains_incremental;
+  }
+  stats_.last_train_tier = static_cast<std::uint64_t>(tier);
+  stats_.last_train_wall_ms = trained.wall_ms;
+  stats_.last_train_modeled_s = trained.modeled_seconds;
+  return trained;
 }
 
 CycleRecord Orchestrator::submit_candidate(const linalg::FactorMatrix& x,
@@ -131,7 +233,8 @@ CycleRecord Orchestrator::submit_candidate(const linalg::FactorMatrix& x,
   rec.cycle = ++cycles_run_;
   rec.generation = live_.generation();
   try {
-    gate_and_promote(x, theta, /*published=*/false, &rec);
+    gate_and_promote(x, theta, /*published=*/false, TrainTier::kFullAls,
+                     &rec);
   } catch (const std::exception& e) {
     rec.outcome = CycleOutcome::kTrainFailed;
     rec.error = e.what();  // candidate/rollback checkpoint write failed
@@ -143,7 +246,8 @@ CycleRecord Orchestrator::submit_candidate(const linalg::FactorMatrix& x,
 
 void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
                                     const linalg::FactorMatrix& theta,
-                                    bool published, CycleRecord* record) {
+                                    bool published, TrainTier tier,
+                                    CycleRecord* record) {
   {
     obs::TraceSpan gate_span(obs::TraceCollector::global(), "orch.gate");
     record->gate = gate_.evaluate(x, theta);
@@ -159,6 +263,11 @@ void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
     record->generation = live_.generation();
     std::lock_guard<std::mutex> lock(history_mu_);
     ++stats_.rejections;
+    if (tier == TrainTier::kFullAls) {
+      ++stats_.rejections_full;
+    } else {
+      ++stats_.rejections_incremental;
+    }
     util::log_warn("orchestrator: candidate rejected: ",
                    record->gate.reason);
     return;
@@ -168,8 +277,9 @@ void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
 
   if (!published) {
     core::CheckpointManager candidate(candidate_dir_);
-    candidate.save_x(x, ++ckpt_stamp_);
-    candidate.save_theta(theta, ckpt_stamp_);
+    const int stamp = stamps_.next();
+    candidate.save_x(x, stamp);
+    candidate.save_theta(theta, stamp);
   }
 
   const auto outcome = live_.refresh_from_checkpoint(candidate_dir_);
@@ -198,8 +308,9 @@ void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
   // validly, each factor falling back to its .prev copy).
   try {
     core::CheckpointManager good(good_dir_);
-    good.save_x(serving_x_, ++ckpt_stamp_);
-    good.save_theta(serving_theta_, ckpt_stamp_);
+    const int stamp = stamps_.next();
+    good.save_x(serving_x_, stamp);
+    good.save_theta(serving_theta_, stamp);
     good_rmse_ = serving_rmse_;
     good_recall_ = serving_recall_;
   } catch (const std::exception& e) {
@@ -213,6 +324,11 @@ void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
   gate_.set_baseline(serving_rmse_, serving_recall_);
   std::lock_guard<std::mutex> lock(history_mu_);
   ++stats_.promotions;
+  if (tier == TrainTier::kFullAls) {
+    ++stats_.promotions_full;
+  } else {
+    ++stats_.promotions_incremental;
+  }
 }
 
 bool Orchestrator::rollback() {

@@ -15,7 +15,24 @@
 // retrain (warm-started from the last-good factors), evaluate, and either
 // promote the candidate checkpoint into the live store or reject it. The
 // daemon thread (start/stop) fires cycles on a cadence or as soon as enough
-// deltas pend, whichever comes first. Every promoted model's checkpoint is
+// deltas pend, whichever comes first.
+//
+// Retraining is tiered (see orchestrate/trainer.hpp). The tier policy:
+//
+//   tier_mode = kFull         every cycle is a full warm-started ALS pass
+//   tier_mode = kIncremental  every cycle is an incremental SGD pass over
+//                             the delta-touched rows
+//   tier_mode = kAuto         incremental by default; every
+//                             consolidate_every-th training cycle runs full
+//                             ALS instead (consolidation)
+//
+// Under kAuto and kIncremental, a gate rejection of an incremental
+// candidate escalates to full ALS within the same cycle (same snapshot)
+// rather than stalling — the rejection and the escalation are both counted,
+// and the cycle's final tier is whatever produced the promoted/rejected
+// model. Touched-row ids accumulate across cycles whose candidates did not
+// promote, so deltas merged during a rejected cycle stay in scope for the
+// next incremental pass instead of being silently dropped. Every promoted model's checkpoint is
 // re-published to the last-good directory, so rollback() can always restore
 // the newest model that ever passed the gate — promotions and rollbacks both
 // go through the same refresh_from_checkpoint path queries already ride
@@ -45,9 +62,26 @@
 
 namespace cumf::orchestrate {
 
+/// Which retraining tier run_cycle picks. See the tier-policy block in the
+/// header comment.
+enum class TrainTierMode : std::uint8_t {
+  kFull = 0,
+  kIncremental = 1,
+  kAuto = 2,
+};
+
 struct OrchestratorOptions {
-  TrainerOptions trainer;
+  TrainerOptions trainer;   // the full-ALS tier
+  IncrementalSgdOptions sgd;  // the incremental tier
   GateOptions gate;
+  /// Tier policy. kAuto serves incremental cycles by default with periodic
+  /// full-ALS consolidation; rejection of an incremental candidate always
+  /// escalates to full ALS in the same cycle (kAuto and kIncremental).
+  TrainTierMode tier_mode = TrainTierMode::kAuto;
+  /// kAuto: every Nth training cycle runs full ALS (N ≤ 1 → full every
+  /// cycle). Counted over cycles that actually train; escalated full passes
+  /// also reset the countdown.
+  int consolidate_every = 8;
   /// Daemon: retrain at least this often.
   std::chrono::milliseconds cadence{2000};
   /// Daemon: retrain as soon as this many deltas pend (0 = cadence only).
@@ -74,6 +108,14 @@ struct CycleRecord {
   std::uint64_t generation = 0;   // serving generation after the cycle
   std::uint64_t deltas_seen = 0;  // lifetime deltas in the training snapshot
   GateReport gate;                // valid for kPromoted / kRejected
+  /// Tier that produced the cycle's final candidate (after any escalation).
+  TrainTier tier = TrainTier::kFullAls;
+  /// True when an incremental candidate was rejected and the cycle re-ran
+  /// full ALS on the same snapshot. The gate report is the final (full)
+  /// verdict; train_wall_ms / train_modeled_s sum both passes.
+  bool escalated = false;
+  /// True when kAuto scheduled this cycle as a full-ALS consolidation.
+  bool consolidation = false;
   double train_wall_ms = 0.0;
   double train_modeled_s = 0.0;
   double swap_pause_ms = 0.0;  // kPromoted / kRolledBack
@@ -138,10 +180,19 @@ class Orchestrator {
   /// Gate → promote/reject tail shared by run_cycle and submit_candidate.
   /// Expects cycle_mu_ held; fills `record` in place. `published` says the
   /// candidate checkpoint is already in candidate_dir_ (the trainer wrote
-  /// it); submit_candidate publishes it here after the gate passes.
+  /// it); submit_candidate publishes it here after the gate passes. `tier`
+  /// attributes the per-tier promotion/rejection counters (external
+  /// submit_candidate models count under the full tier).
   void gate_and_promote(const linalg::FactorMatrix& x,
                         const linalg::FactorMatrix& theta, bool published,
-                        CycleRecord* record);
+                        TrainTier tier, CycleRecord* record);
+  /// Picks the tier for the next training pass; sets *consolidation when
+  /// kAuto's countdown scheduled a full cycle. Expects cycle_mu_ held.
+  [[nodiscard]] TrainTier choose_tier(bool* consolidation) const;
+  /// Runs one training pass on the chosen backend, with the tier-tagged
+  /// orch.train span and per-tier retrain counters. Expects cycle_mu_ held.
+  TrainResult run_training_pass(const RatingLog::Snapshot& snap,
+                                TrainTier tier);
   void append_record(CycleRecord record);
   void daemon_loop();
 
@@ -151,7 +202,13 @@ class Orchestrator {
   QualityGate gate_;
   std::string candidate_dir_;
   std::string good_dir_;
-  Trainer trainer_;
+  /// Single stamp source for every checkpoint writer (both trainer backends
+  /// plus the orchestrator's own candidate/rollback-target saves): restore()
+  /// prefers the highest stamp, so one counter keeps publication order and
+  /// stamp order aligned across tiers.
+  CheckpointStampSource stamps_;
+  FullAlsTrainer full_trainer_;
+  IncrementalSgdTrainer sgd_trainer_;
 
   /// Serializes cycles (daemon vs. manual run_cycle / submit_candidate /
   /// rollback). Never held on the query path.
@@ -165,8 +222,17 @@ class Orchestrator {
   double serving_recall_ = 0.0;
   double good_rmse_ = 0.0;
   double good_recall_ = 0.0;
-  int ckpt_stamp_ = 0;  // monotone iteration stamp across both dirs
   std::uint64_t cycles_run_ = 0;
+  /// Training cycles since the last full-ALS pass (kAuto's consolidation
+  /// countdown; any full pass — scheduled, escalated, or kFull mode —
+  /// resets it).
+  int cycles_since_full_ = 0;
+  /// Touched-row ids accumulated across cycles whose candidate did not
+  /// promote (sorted, deduplicated). Folded into every incremental pass and
+  /// cleared when a run_cycle candidate promotes, so rejected cycles' deltas
+  /// stay in training scope.
+  std::vector<idx_t> carry_users_;
+  std::vector<idx_t> carry_items_;
 
   mutable std::mutex history_mu_;
   std::vector<CycleRecord> history_;

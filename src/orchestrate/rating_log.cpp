@@ -1,5 +1,6 @@
 #include "orchestrate/rating_log.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 #include <utility>
@@ -58,15 +59,19 @@ RatingLog::Snapshot RatingLog::snapshot() {
     deltas.swap(pending_);
   }
 
+  Snapshot s;
   if (!deltas.empty()) {
     // Last-writer-wins: overwrite in place when the pair exists, append when
     // it doesn't. The index covers merged_ exactly (rebuilt lazily per merge
-    // batch; O(base) only when deltas actually arrived).
+    // batch; O(base) only when deltas actually arrived). The touched-row id
+    // sets for the incremental retraining tier fall out of the same loop.
     std::unordered_map<std::uint64_t, std::size_t> index;
     index.reserve(merged_.val.size() + deltas.size());
     for (std::size_t i = 0; i < merged_.val.size(); ++i) {
       index.emplace(pair_key(merged_.row[i], merged_.col[i]), i);
     }
+    s.touched_users.reserve(deltas.size());
+    s.touched_items.reserve(deltas.size());
     for (const auto& d : deltas) {
       const auto [it, inserted] =
           index.try_emplace(pair_key(d.user, d.item), merged_.val.size());
@@ -75,11 +80,18 @@ RatingLog::Snapshot RatingLog::snapshot() {
       } else {
         merged_.val[it->second] = d.value;
       }
+      s.touched_users.push_back(d.user);
+      s.touched_items.push_back(d.item);
     }
     applied_ += deltas.size();
+    auto dedupe = [](std::vector<idx_t>& ids) {
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    };
+    dedupe(s.touched_users);
+    dedupe(s.touched_items);
   }
 
-  Snapshot s;
   s.coo = merged_;
   s.csr = sparse::coo_to_csr(s.coo);
   s.csr_t = sparse::csc_as_csr_of_transpose(sparse::csr_to_csc(s.csr));

@@ -67,6 +67,13 @@ class RatingLog {
     sparse::CsrMatrix csr;   // coo compiled for update-X
     sparse::CsrMatrix csr_t; // CSR of the transpose, for update-Θ
     std::uint64_t deltas_applied = 0;  // lifetime deltas merged into `coo`
+    /// Distinct user/item ids the deltas merged by THIS snapshot touched
+    /// (sorted ascending, deduplicated; empty when no deltas arrived).
+    /// Collected inside the merge loop itself — no extra pass over the base
+    /// matrix. The incremental retraining tier trains only these rows and
+    /// leaves every other factor row bit-identical to its warm start.
+    std::vector<idx_t> touched_users;
+    std::vector<idx_t> touched_items;
   };
 
   /// Merges base + all accepted deltas into a training-ready snapshot and

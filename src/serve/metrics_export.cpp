@@ -75,16 +75,40 @@ void fill_registry(const ServeStats& stats, obs::MetricsRegistry* reg) {
   fill_latency(reg, "batch_interconnect", stats.batch_interconnect);
   fill_latency(reg, "swap_pause", stats.swap_pause);
 
+  // Training-pass counters split by tier (full ALS vs incremental SGD);
+  // the per-family sum across tiers is the orchestrator's aggregate count.
   const OrchestratorStats& o = stats.orchestrator;
   reg->counter("cumf_orchestrator_retrains_total",
-               "Retrain cycles that ran a training pass")
-      .set(static_cast<double>(o.retrains));
+               "Retrain training passes by tier", {{"tier", "full"}})
+      .set(static_cast<double>(o.retrains_full));
+  reg->counter("cumf_orchestrator_retrains_total",
+               "Retrain training passes by tier", {{"tier", "incremental"}})
+      .set(static_cast<double>(o.retrains_incremental));
   reg->counter("cumf_orchestrator_promotions_total",
-               "Candidates that passed the gate and swapped in")
-      .set(static_cast<double>(o.promotions));
+               "Candidates that passed the gate and swapped in, by tier",
+               {{"tier", "full"}})
+      .set(static_cast<double>(o.promotions_full));
+  reg->counter("cumf_orchestrator_promotions_total",
+               "Candidates that passed the gate and swapped in, by tier",
+               {{"tier", "incremental"}})
+      .set(static_cast<double>(o.promotions_incremental));
   reg->counter("cumf_orchestrator_rejections_total",
-               "Candidates the quality gate refused")
-      .set(static_cast<double>(o.rejections));
+               "Candidates the quality gate refused, by tier",
+               {{"tier", "full"}})
+      .set(static_cast<double>(o.rejections_full));
+  reg->counter("cumf_orchestrator_rejections_total",
+               "Candidates the quality gate refused, by tier",
+               {{"tier", "incremental"}})
+      .set(static_cast<double>(o.rejections_incremental));
+  reg->counter("cumf_orchestrator_escalations_total",
+               "Incremental rejections escalated to full ALS in-cycle")
+      .set(static_cast<double>(o.escalations));
+  reg->counter("cumf_orchestrator_consolidations_total",
+               "Full-ALS cycles scheduled by the auto tier's cadence")
+      .set(static_cast<double>(o.consolidations));
+  reg->gauge("cumf_orchestrator_train_tier",
+             "Tier of the most recent training pass (0 full, 1 incremental)")
+      .set(static_cast<double>(o.last_train_tier));
   reg->counter("cumf_orchestrator_rollbacks_total",
                "Reverts to the last-good checkpoint")
       .set(static_cast<double>(o.rollbacks));

@@ -143,6 +143,15 @@ StatsResponse stats_from(const ServeStats& s) {
   w.baseline_recall = s.orchestrator.baseline_recall;
   w.train_wall_ms = s.orchestrator.last_train_wall_ms;
   w.train_modeled_s = s.orchestrator.last_train_modeled_s;
+  w.retrains_full = s.orchestrator.retrains_full;
+  w.retrains_incremental = s.orchestrator.retrains_incremental;
+  w.promotions_full = s.orchestrator.promotions_full;
+  w.promotions_incremental = s.orchestrator.promotions_incremental;
+  w.rejections_full = s.orchestrator.rejections_full;
+  w.rejections_incremental = s.orchestrator.rejections_incremental;
+  w.escalations = s.orchestrator.escalations;
+  w.consolidations = s.orchestrator.consolidations;
+  w.train_tier = s.orchestrator.last_train_tier;
   w.net_connections = s.net.connections_accepted;
   w.net_rejected = s.net.connections_rejected;
   w.net_protocol_errors = s.net.protocol_errors;
@@ -237,6 +246,15 @@ void encode_stats_response(const StatsResponse& resp,
   put_f64(out, resp.baseline_recall);
   put_f64(out, resp.train_wall_ms);
   put_f64(out, resp.train_modeled_s);
+  put_u64(out, resp.retrains_full);
+  put_u64(out, resp.retrains_incremental);
+  put_u64(out, resp.promotions_full);
+  put_u64(out, resp.promotions_incremental);
+  put_u64(out, resp.rejections_full);
+  put_u64(out, resp.rejections_incremental);
+  put_u64(out, resp.escalations);
+  put_u64(out, resp.consolidations);
+  put_u64(out, resp.train_tier);
   put_u64(out, resp.net_connections);
   put_u64(out, resp.net_rejected);
   put_u64(out, resp.net_protocol_errors);
@@ -359,6 +377,15 @@ MsgType decode_response(const std::uint8_t* payload, std::size_t len,
       stats->baseline_recall = r.f64();
       stats->train_wall_ms = r.f64();
       stats->train_modeled_s = r.f64();
+      stats->retrains_full = r.u64();
+      stats->retrains_incremental = r.u64();
+      stats->promotions_full = r.u64();
+      stats->promotions_incremental = r.u64();
+      stats->rejections_full = r.u64();
+      stats->rejections_incremental = r.u64();
+      stats->escalations = r.u64();
+      stats->consolidations = r.u64();
+      stats->train_tier = r.u64();
       stats->net_connections = r.u64();
       stats->net_rejected = r.u64();
       stats->net_protocol_errors = r.u64();

@@ -23,6 +23,10 @@
 //                   f64 gate_rmse, f64 gate_recall,
 //                   f64 baseline_rmse, f64 baseline_recall,
 //                   f64 train_wall_ms, f64 train_modeled_s,
+//                   u64 retrains_full, u64 retrains_incremental,
+//                   u64 promotions_full, u64 promotions_incremental,
+//                   u64 rejections_full, u64 rejections_incremental,
+//                   u64 escalations, u64 consolidations, u64 train_tier,
 //                   u64 net_connections, u64 net_rejected,
 //                   u64 net_protocol_errors, u64 net_recv_errors,
 //                   u64 net_slow_closes, u64 net_overload_sheds,
@@ -151,6 +155,19 @@ struct StatsResponse {
   double baseline_recall = 0.0;
   double train_wall_ms = 0.0;
   double train_modeled_s = 0.0;
+  // Per-tier retraining splits (0 = full ALS, 1 = incremental SGD). The
+  // aggregate counters above stay the sums; escalations counts incremental
+  // rejections that re-ran full ALS in-cycle, consolidations the auto
+  // tier's scheduled full passes, train_tier the tier of the latest pass.
+  std::uint64_t retrains_full = 0;
+  std::uint64_t retrains_incremental = 0;
+  std::uint64_t promotions_full = 0;
+  std::uint64_t promotions_incremental = 0;
+  std::uint64_t rejections_full = 0;
+  std::uint64_t rejections_incremental = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t consolidations = 0;
+  std::uint64_t train_tier = 0;
   // Front-end slice (ServeStats::net): the sharded io layer's own counters,
   // so overload shedding and client misbehaviour are observable over the
   // same socket queries ride. All-zero when decoded from a pre-sharding

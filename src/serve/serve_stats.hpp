@@ -160,6 +160,24 @@ struct OrchestratorStats {
   /// Cost of the most recent training pass, on both time axes.
   double last_train_wall_ms = 0.0;
   double last_train_modeled_s = 0.0;
+  /// Per-tier splits of retrains/promotions/rejections. The aggregate
+  /// counters above stay the sums (external submit_candidate promotions
+  /// count under the full tier). Tier values: 0 = full ALS, 1 = incremental
+  /// SGD — see orchestrate::TrainTier.
+  std::uint64_t retrains_full = 0;
+  std::uint64_t retrains_incremental = 0;
+  std::uint64_t promotions_full = 0;
+  std::uint64_t promotions_incremental = 0;
+  std::uint64_t rejections_full = 0;
+  std::uint64_t rejections_incremental = 0;
+  /// Full-ALS passes forced by the gate rejecting an incremental candidate
+  /// in the same cycle (the escalation rule: a rejection never stalls the
+  /// pipeline).
+  std::uint64_t escalations = 0;
+  /// Full-ALS cycles scheduled by the auto tier's consolidation cadence.
+  std::uint64_t consolidations = 0;
+  /// Tier of the most recent training pass (0 full, 1 incremental).
+  std::uint64_t last_train_tier = 0;
 };
 
 /// Counters exported by the TCP front-end (net/server.hpp) when one runs in

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+
 #include "baselines/ccdpp.hpp"
 #include "baselines/fpsgd.hpp"
 #include "baselines/hogwild.hpp"
@@ -70,6 +73,111 @@ TEST(SgdUpdate, RegularizationShrinksFactors) {
   sgd_update(x, t, 2.0f, 0.1f, 0.5f, f);
   EXPECT_LT(x[0], 1.0f);
   EXPECT_LT(t[0], 1.0f);
+}
+
+TEST(SgdUpdate, ZeroLambdaIsExactGradientStep) {
+  // With λ = 0 eq. (4) is a pure gradient step, hand-computable: the second
+  // line must use the PRE-update x (FunkSVD), not the already-moved one.
+  const int f = 2;
+  real_t x[2] = {1.0f, 0.0f};
+  real_t t[2] = {0.5f, 1.0f};
+  const real_t r = 2.0f;          // pred = 0.5, e = 1.5
+  const real_t lr = 0.1f;
+  const real_t e = sgd_update(x, t, r, lr, 0.0f, f);
+  EXPECT_FLOAT_EQ(e, 1.5f);
+  EXPECT_FLOAT_EQ(x[0], 1.0f + lr * (1.5f * 0.5f));  // x += α·e·θ
+  EXPECT_FLOAT_EQ(x[1], 0.0f + lr * (1.5f * 1.0f));
+  EXPECT_FLOAT_EQ(t[0], 0.5f + lr * (1.5f * 1.0f));  // θ += α·e·x_pre
+  EXPECT_FLOAT_EQ(t[1], 1.0f + lr * (1.5f * 0.0f));
+}
+
+TEST(SgdUpdate, NegativeRatingPushesPredictionDown) {
+  // Centered datasets carry negative ratings; the error sign must flow
+  // through symmetrically.
+  const int f = 3;
+  real_t x[3] = {0.4f, 0.4f, 0.4f};
+  real_t t[3] = {0.6f, 0.6f, 0.6f};
+  double before = 0.0;
+  for (int k = 0; k < f; ++k) before += static_cast<double>(x[k]) * t[k];
+  const real_t e = sgd_update(x, t, -2.0f, 0.05f, 0.0f, f);
+  EXPECT_LT(e, 0.0f);
+  double after = 0.0;
+  for (int k = 0; k < f; ++k) after += static_cast<double>(x[k]) * t[k];
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, -2.0f);  // one small step, no overshoot
+}
+
+TEST(SgdUpdate, RankOneEdgeMatchesScalarForm) {
+  // f = 1 collapses eq. (4) to scalars — the loop bounds must not assume
+  // f > 1 anywhere.
+  real_t x[1] = {2.0f};
+  real_t t[1] = {3.0f};
+  const real_t r = 7.0f;  // e = 7 - 6 = 1
+  const real_t e = sgd_update(x, t, r, 0.1f, 0.2f, 1);
+  EXPECT_FLOAT_EQ(e, 1.0f);
+  EXPECT_FLOAT_EQ(x[0], 2.0f + 0.1f * (1.0f * 3.0f - 0.2f * 2.0f));
+  EXPECT_FLOAT_EQ(t[0], 3.0f + 0.1f * (1.0f * 2.0f - 0.2f * 3.0f));
+}
+
+TEST(SgdUpdateMasked, BothSidesEnabledMatchesSgdUpdate) {
+  const int f = 4;
+  real_t x1[4] = {0.1f, 0.2f, 0.3f, 0.4f};
+  real_t t1[4] = {0.5f, 0.4f, 0.3f, 0.2f};
+  real_t x2[4] = {0.1f, 0.2f, 0.3f, 0.4f};
+  real_t t2[4] = {0.5f, 0.4f, 0.3f, 0.2f};
+  const real_t e1 = sgd_update(x1, t1, 3.5f, 0.07f, 0.03f, f);
+  const real_t e2 = sgd_update_masked(x2, t2, 3.5f, 0.07f, 0.03f, f,
+                                      /*update_x=*/true,
+                                      /*update_theta=*/true);
+  EXPECT_FLOAT_EQ(e1, e2);
+  for (int k = 0; k < f; ++k) {
+    EXPECT_FLOAT_EQ(x1[k], x2[k]);
+    EXPECT_FLOAT_EQ(t1[k], t2[k]);
+  }
+}
+
+TEST(SgdUpdateMasked, DisabledSideStaysBitIdentical) {
+  // The incremental retraining tier relies on this: an untouched row read
+  // by an update must come out bit-identical, while the touched side takes
+  // the same step sgd_update would have given it (pre-update values feed
+  // both lines of eq. (4), so one-sided updates agree with the two-sided
+  // step on the side they do write).
+  const int f = 3;
+  const real_t x0[3] = {0.3f, -0.1f, 0.7f};
+  const real_t t0[3] = {0.2f, 0.9f, -0.4f};
+  real_t x_ref[3], t_ref[3];
+  std::copy(x0, x0 + f, x_ref);
+  std::copy(t0, t0 + f, t_ref);
+  sgd_update(x_ref, t_ref, 1.5f, 0.1f, 0.05f, f);
+
+  real_t x[3], t[3];
+  std::copy(x0, x0 + f, x);
+  std::copy(t0, t0 + f, t);
+  sgd_update_masked(x, t, 1.5f, 0.1f, 0.05f, f, /*update_x=*/true,
+                    /*update_theta=*/false);
+  for (int k = 0; k < f; ++k) {
+    EXPECT_FLOAT_EQ(x[k], x_ref[k]);  // touched side: the full step
+    EXPECT_EQ(std::memcmp(t, t0, sizeof(t0)), 0);  // untouched: untouched
+  }
+
+  std::copy(x0, x0 + f, x);
+  std::copy(t0, t0 + f, t);
+  sgd_update_masked(x, t, 1.5f, 0.1f, 0.05f, f, /*update_x=*/false,
+                    /*update_theta=*/true);
+  EXPECT_EQ(std::memcmp(x, x0, sizeof(x0)), 0);
+  for (int k = 0; k < f; ++k) EXPECT_FLOAT_EQ(t[k], t_ref[k]);
+
+  // Both sides disabled: a pure error probe, nothing written.
+  std::copy(x0, x0 + f, x);
+  std::copy(t0, t0 + f, t);
+  const real_t e = sgd_update_masked(x, t, 1.5f, 0.1f, 0.05f, f,
+                                     /*update_x=*/false,
+                                     /*update_theta=*/false);
+  EXPECT_EQ(std::memcmp(x, x0, sizeof(x0)), 0);
+  EXPECT_EQ(std::memcmp(t, t0, sizeof(t0)), 0);
+  double pred = 0.0;
+  for (int k = 0; k < f; ++k) pred += static_cast<double>(x0[k]) * t0[k];
+  EXPECT_FLOAT_EQ(e, 1.5f - static_cast<real_t>(pred));
 }
 
 // ------------------------------------------------------------ solvers ------

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <future>
 #include <limits>
@@ -21,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/solver.hpp"
 #include "data/synthetic.hpp"
 #include "eval/metrics.hpp"
@@ -120,6 +122,10 @@ orchestrate::OrchestratorOptions small_options(const std::string& work_dir) {
   opt.trainer.solver.als.f = kF;
   opt.trainer.solver.als.lambda = 0.05f;
   opt.trainer.iterations = 2;
+  // Pinned to the full-ALS tier: these suites assert the original
+  // gate/promote/rollback mechanics; the tier policy has its own tests
+  // below.
+  opt.tier_mode = orchestrate::TrainTierMode::kFull;
   opt.gate.k = kTopK;
   opt.gate.max_eval_users = 120;
   // Generous slacks: these tests assert the gate's *mechanism*; the
@@ -128,6 +134,22 @@ orchestrate::OrchestratorOptions small_options(const std::string& work_dir) {
   opt.gate.recall_slack = 0.2;
   opt.work_dir = work_dir;
   return opt;
+}
+
+/// A delta batch over the trained world's id range, appended to `log`.
+/// Values are the planted ratings' scale so incremental candidates stay
+/// gate-worthy.
+void append_deltas(orchestrate::RatingLog* log, int count,
+                   std::uint64_t seed) {
+  const auto& w = world();
+  util::Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const auto u = static_cast<idx_t>(
+        rng.next_below(static_cast<std::uint64_t>(w.gen.m)));
+    const auto v = static_cast<idx_t>(
+        rng.next_below(static_cast<std::uint64_t>(w.gen.n)));
+    ASSERT_TRUE(log->append(u, v, rng.next_real() * 4.0f + 1.0f));
+  }
 }
 
 std::vector<std::vector<serve::Recommendation>> probe(
@@ -180,6 +202,31 @@ TEST(RatingLog, MergesDeltasLastWriterWins) {
   auto again = log.snapshot();
   EXPECT_EQ(again.coo.nnz(), 3u);
   EXPECT_EQ(again.deltas_applied, 3u);
+}
+
+TEST(RatingLog, SnapshotCollectsTouchedRowsFromMergedDeltas) {
+  sparse::CooMatrix base;
+  base.rows = 6;
+  base.cols = 5;
+  base.push_back(0, 0, 1.0f);
+  base.push_back(5, 4, 2.0f);
+
+  orchestrate::RatingLog log(std::move(base));
+  ASSERT_TRUE(log.append(3, 1, 4.0f));
+  ASSERT_TRUE(log.append(1, 1, 2.5f));  // second user, same item
+  ASSERT_TRUE(log.append(3, 2, 1.0f));  // same user again
+  ASSERT_TRUE(log.append(3, 1, 3.0f));  // overwrite of the first delta
+
+  // Sorted, deduplicated, and covering exactly the delta-touched ids — the
+  // base matrix's untouched rows (0 and 5) never appear.
+  auto snap = log.snapshot();
+  EXPECT_EQ(snap.touched_users, (std::vector<idx_t>{1, 3}));
+  EXPECT_EQ(snap.touched_items, (std::vector<idx_t>{1, 2}));
+
+  // Touched sets are per-snapshot: nothing pending → nothing touched.
+  auto again = log.snapshot();
+  EXPECT_TRUE(again.touched_users.empty());
+  EXPECT_TRUE(again.touched_items.empty());
 }
 
 // ---------------------------------------------------------- QualityGate ----
@@ -425,6 +472,231 @@ TEST(Orchestrator, ConcurrentIngestQueriesAndRetrainsStayConsistent) {
             static_cast<std::uint64_t>(kIngestThreads * kDeltasPerThread));
 }
 
+// ------------------------------------------------ retraining tiers ---------
+
+orchestrate::TrainerOptions small_trainer_options() {
+  orchestrate::TrainerOptions topt;
+  topt.solver.als.f = kF;
+  topt.solver.als.lambda = 0.05f;
+  topt.iterations = 1;
+  return topt;
+}
+
+TEST(TrainerBackend, AlternatingTiersAlwaysRestoreTheNewestCandidate) {
+  // Regression for the per-instance stamp bug: two backends publishing into
+  // the same candidate dir must hand out strictly increasing checkpoint
+  // stamps, or restore() (which prefers the highest stamp) can resurrect a
+  // stale candidate after the tiers alternate.
+  const auto& w = world();
+  TempWorkDir work("cumf_trainer_stamps");
+  orchestrate::CheckpointStampSource stamps;
+  orchestrate::FullAlsTrainer full(small_trainer_options(),
+                                   work.path.string(), &stamps);
+  orchestrate::IncrementalSgdTrainer inc(orchestrate::IncrementalSgdOptions{},
+                                         work.path.string(), &stamps);
+
+  orchestrate::RatingLog log(w.split.train);
+  core::CheckpointManager manager(work.path.string());
+  linalg::FactorMatrix warm_x = w.base_x;
+  linalg::FactorMatrix warm_theta = w.base_theta;
+  int last_stamp = -1;
+  for (int round = 0; round < 2; ++round) {
+    append_deltas(&log, 40, 900 + static_cast<std::uint64_t>(round));
+    const auto snap = log.snapshot();
+    for (orchestrate::TrainerBackend* backend :
+         {static_cast<orchestrate::TrainerBackend*>(&full),
+          static_cast<orchestrate::TrainerBackend*>(&inc)}) {
+      const auto result = backend->train(snap, &warm_x, &warm_theta);
+      const auto restored = manager.restore();
+      ASSERT_TRUE(restored.has_value());
+      // The restored candidate is the one just published, bit-for-bit...
+      EXPECT_EQ(restored->x.data(), result.x.data());
+      EXPECT_EQ(restored->theta.data(), result.theta.data());
+      // ...because the stamp moved strictly forward across both backends.
+      EXPECT_GT(restored->resume_iteration(), last_stamp);
+      last_stamp = restored->resume_iteration();
+      warm_x = result.x;
+      warm_theta = result.theta;
+    }
+  }
+}
+
+TEST(IncrementalSgdTrainer, TouchesOnlyDeltaAffectedRows) {
+  const auto& w = world();
+  TempWorkDir work("cumf_inc_masked");
+  orchestrate::CheckpointStampSource stamps;
+  orchestrate::IncrementalSgdTrainer inc(orchestrate::IncrementalSgdOptions{},
+                                         work.path.string(), &stamps);
+
+  orchestrate::RatingLog log(w.split.train);
+  append_deltas(&log, 60, 911);
+  const auto snap = log.snapshot();
+  ASSERT_FALSE(snap.touched_users.empty());
+  ASSERT_LT(snap.touched_users.size(), static_cast<std::size_t>(w.gen.m));
+
+  const auto result = inc.train(snap, &w.base_x, &w.base_theta);
+  EXPECT_EQ(result.tier, orchestrate::TrainTier::kIncrementalSgd);
+  EXPECT_EQ(result.users_touched,
+            static_cast<idx_t>(snap.touched_users.size()));
+  EXPECT_EQ(result.items_touched,
+            static_cast<idx_t>(snap.touched_items.size()));
+  EXPECT_GT(result.samples_per_epoch, 0u);
+  EXPECT_GT(result.modeled_seconds, 0.0);
+
+  const std::vector<char> user_touched = [&] {
+    std::vector<char> mask(static_cast<std::size_t>(w.gen.m), 0);
+    for (const idx_t u : snap.touched_users) mask[u] = 1;
+    return mask;
+  }();
+  const std::vector<char> item_touched = [&] {
+    std::vector<char> mask(static_cast<std::size_t>(w.gen.n), 0);
+    for (const idx_t v : snap.touched_items) mask[v] = 1;
+    return mask;
+  }();
+  const auto row_bytes = sizeof(real_t) * static_cast<std::size_t>(kF);
+  std::size_t changed_rows = 0;
+  for (idx_t u = 0; u < w.gen.m; ++u) {
+    if (user_touched[static_cast<std::size_t>(u)] != 0) {
+      changed_rows +=
+          std::memcmp(result.x.row(u), w.base_x.row(u), row_bytes) != 0;
+    } else {
+      // Untouched rows come out bit-identical to the warm start.
+      EXPECT_EQ(std::memcmp(result.x.row(u), w.base_x.row(u), row_bytes), 0)
+          << "untouched user row " << u << " was modified";
+    }
+  }
+  for (idx_t v = 0; v < w.gen.n; ++v) {
+    if (item_touched[static_cast<std::size_t>(v)] == 0) {
+      EXPECT_EQ(
+          std::memcmp(result.theta.row(v), w.base_theta.row(v), row_bytes), 0)
+          << "untouched item row " << v << " was modified";
+    }
+  }
+  EXPECT_GT(changed_rows, 0u);  // the touched rows actually trained
+}
+
+TEST(IncrementalSgdTrainer, SameSnapshotSameSeedIsBitIdentical) {
+  const auto& w = world();
+  TempWorkDir work_a("cumf_inc_det_a");
+  TempWorkDir work_b("cumf_inc_det_b");
+  orchestrate::CheckpointStampSource stamps_a, stamps_b;
+  orchestrate::IncrementalSgdOptions sopt;
+  orchestrate::IncrementalSgdTrainer a(sopt, work_a.path.string(), &stamps_a);
+  orchestrate::IncrementalSgdTrainer b(sopt, work_b.path.string(), &stamps_b);
+
+  orchestrate::RatingLog log(w.split.train);
+  append_deltas(&log, 80, 922);
+  const auto snap = log.snapshot();
+
+  const auto r1 = a.train(snap, &w.base_x, &w.base_theta);
+  const auto r2 = b.train(snap, &w.base_x, &w.base_theta);
+  EXPECT_EQ(r1.x.data(), r2.x.data());  // bit-identical, not approximately
+  EXPECT_EQ(r1.theta.data(), r2.theta.data());
+
+  // A different seed shuffles the sample order into a different candidate.
+  orchestrate::IncrementalSgdOptions other = sopt;
+  other.seed ^= 0xbeef;
+  TempWorkDir work_c("cumf_inc_det_c");
+  orchestrate::CheckpointStampSource stamps_c;
+  orchestrate::IncrementalSgdTrainer c(other, work_c.path.string(),
+                                       &stamps_c);
+  const auto r3 = c.train(snap, &w.base_x, &w.base_theta);
+  EXPECT_NE(r1.x.data(), r3.x.data());
+}
+
+TEST(Orchestrator, AutoTierConsolidatesOnScheduleAndSplitsCounters) {
+  const auto& w = world();
+  TempWorkDir work("cumf_orch_auto");
+  orchestrate::RatingLog log(w.split.train);
+  serve::LiveFactorStore live(serve::FactorStore(w.base_x, w.base_theta, 2));
+
+  auto opt = small_options(work.path.string());
+  opt.tier_mode = orchestrate::TrainTierMode::kAuto;
+  opt.consolidate_every = 3;
+  orchestrate::Orchestrator orch(log, live, w.split.test, opt, &w.R);
+
+  // Feed the held-out slice back in thirds — real signal, so every tier's
+  // candidate clears the gate.
+  const auto n = w.split.test.val.size();
+  std::size_t fed = 0;
+  auto feed_third = [&](int third) {
+    const std::size_t end = n * static_cast<std::size_t>(third + 1) / 3;
+    for (; fed < end; ++fed) {
+      ASSERT_TRUE(log.append(w.split.test.row[fed], w.split.test.col[fed],
+                             w.split.test.val[fed]));
+    }
+  };
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    feed_third(cycle);
+    const auto rec = orch.run_cycle();
+    ASSERT_EQ(rec.outcome, orchestrate::CycleOutcome::kPromoted)
+        << rec.error << " " << rec.gate.reason;
+    EXPECT_FALSE(rec.escalated);
+    if (cycle < 2) {
+      EXPECT_EQ(rec.tier, orchestrate::TrainTier::kIncrementalSgd);
+      EXPECT_FALSE(rec.consolidation);
+    } else {
+      // Every consolidate_every-th training cycle runs full ALS.
+      EXPECT_EQ(rec.tier, orchestrate::TrainTier::kFullAls);
+      EXPECT_TRUE(rec.consolidation);
+    }
+  }
+
+  const auto counters = orch.counters();
+  EXPECT_EQ(counters.retrains, 3u);
+  EXPECT_EQ(counters.retrains_incremental, 2u);
+  EXPECT_EQ(counters.retrains_full, 1u);
+  EXPECT_EQ(counters.promotions, 3u);
+  EXPECT_EQ(counters.promotions_incremental, 2u);
+  EXPECT_EQ(counters.promotions_full, 1u);
+  EXPECT_EQ(counters.consolidations, 1u);
+  EXPECT_EQ(counters.escalations, 0u);
+  EXPECT_EQ(counters.last_train_tier,
+            static_cast<std::uint64_t>(orchestrate::TrainTier::kFullAls));
+  EXPECT_EQ(live.generation(), 4u);  // three promotions over the seed
+}
+
+TEST(Orchestrator, RejectedIncrementalCandidateEscalatesToFullAls) {
+  const auto& w = world();
+  TempWorkDir work("cumf_orch_escalate");
+  orchestrate::RatingLog log(w.split.train);
+  serve::LiveFactorStore live(serve::FactorStore(w.base_x, w.base_theta, 2));
+
+  auto opt = small_options(work.path.string());
+  opt.tier_mode = orchestrate::TrainTierMode::kIncremental;
+  // An absurd learning rate diverges the incremental candidate, so the gate
+  // must reject it — the cycle then re-trains with full ALS on the same
+  // snapshot instead of stalling.
+  opt.sgd.lr = 10.0f;
+  orchestrate::Orchestrator orch(log, live, w.split.test, opt, &w.R);
+
+  for (std::size_t i = 0; i < w.split.test.val.size(); ++i) {
+    ASSERT_TRUE(log.append(w.split.test.row[i], w.split.test.col[i],
+                           w.split.test.val[i]));
+  }
+  const auto rec = orch.run_cycle();
+  ASSERT_EQ(rec.outcome, orchestrate::CycleOutcome::kPromoted)
+      << rec.error << " " << rec.gate.reason;
+  EXPECT_TRUE(rec.escalated);
+  EXPECT_EQ(rec.tier, orchestrate::TrainTier::kFullAls);
+  EXPECT_EQ(live.generation(), 2u);
+
+  const auto counters = orch.counters();
+  EXPECT_EQ(counters.retrains, 2u);  // both passes of the one cycle
+  EXPECT_EQ(counters.retrains_incremental, 1u);
+  EXPECT_EQ(counters.retrains_full, 1u);
+  EXPECT_EQ(counters.rejections_incremental, 1u);
+  EXPECT_EQ(counters.rejections_full, 0u);
+  EXPECT_EQ(counters.promotions_full, 1u);
+  EXPECT_EQ(counters.escalations, 1u);
+  EXPECT_EQ(counters.consolidations, 0u);  // escalation, not the schedule
+
+  // Nothing pending after the escalated promotion: the next cycle skips.
+  const auto idle = orch.run_cycle();
+  EXPECT_EQ(idle.outcome, orchestrate::CycleOutcome::kSkipped);
+}
+
 // ------------------------------------------------- end-to-end over TCP -----
 
 TEST(Orchestrator, EndToEndIngestRetrainGateSwapOverTcp) {
@@ -491,6 +763,12 @@ TEST(Orchestrator, EndToEndIngestRetrainGateSwapOverTcp) {
   EXPECT_EQ(stats.generation, 2u);
   EXPECT_EQ(stats.retrains, 1u);
   EXPECT_EQ(stats.promotions, 1u);
+  // The per-tier splits ride the same frame (this server is pinned kFull).
+  EXPECT_EQ(stats.retrains_full, 1u);
+  EXPECT_EQ(stats.retrains_incremental, 0u);
+  EXPECT_EQ(stats.promotions_full, 1u);
+  EXPECT_EQ(stats.train_tier,
+            static_cast<std::uint64_t>(orchestrate::TrainTier::kFullAls));
   EXPECT_GT(stats.train_wall_ms, 0.0);
   // Promotion moved the gate baseline to the promoted candidate's metrics.
   EXPECT_DOUBLE_EQ(stats.baseline_rmse, cycle.gate.rmse);

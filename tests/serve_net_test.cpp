@@ -185,6 +185,15 @@ TEST(NetProtocol, StatsCarriesOrchestratorCounters) {
   s.baseline_recall = 0.25;
   s.train_wall_ms = 130.5;
   s.train_modeled_s = 0.004;
+  s.retrains_full = 2;
+  s.retrains_incremental = 3;
+  s.promotions_full = 1;
+  s.promotions_incremental = 2;
+  s.rejections_full = 0;
+  s.rejections_incremental = 2;
+  s.escalations = 1;
+  s.consolidations = 1;
+  s.train_tier = 1;
 
   std::vector<std::uint8_t> wire;
   encode_stats_response(s, &wire);
@@ -206,6 +215,15 @@ TEST(NetProtocol, StatsCarriesOrchestratorCounters) {
   EXPECT_DOUBLE_EQ(got.baseline_recall, 0.25);
   EXPECT_DOUBLE_EQ(got.train_wall_ms, 130.5);
   EXPECT_DOUBLE_EQ(got.train_modeled_s, 0.004);
+  EXPECT_EQ(got.retrains_full, 2u);
+  EXPECT_EQ(got.retrains_incremental, 3u);
+  EXPECT_EQ(got.promotions_full, 1u);
+  EXPECT_EQ(got.promotions_incremental, 2u);
+  EXPECT_EQ(got.rejections_full, 0u);
+  EXPECT_EQ(got.rejections_incremental, 2u);
+  EXPECT_EQ(got.escalations, 1u);
+  EXPECT_EQ(got.consolidations, 1u);
+  EXPECT_EQ(got.train_tier, 1u);
 }
 
 TEST(NetProtocol, StatsCarriesNetCounters) {
