@@ -16,7 +16,14 @@
 // Mid-run a fresh model generation is hot-swapped into the live store, so
 // the CSV also shows the generation advancing under load. Client-measured
 // e2e percentiles ride next to the server's own ServeStats (queue-delay p99,
-// batch-wall p99, net e2e) fetched over the wire via the stats op.
+// batch-wall p99, net e2e) fetched over the wire via the stats op, and every
+// row carries the latency SLO's fast-window burn rate plus lifetime
+// violations fetched via the GetHealth op.
+//
+// The overload row doubles as a detect-and-recover check on the alerting
+// pipeline: the dump must drive the availability SLO into `page` (sheds
+// burn the error budget through 1 s / 2 s windows) and the quiet aftermath
+// must decay it back out of `page` — the bench fails on either miss.
 //
 // ServeStats e2e p99 >= batch-wall p99 holds by construction on these runs
 // (cache off: every query's end-to-end time contains its batch's wall time);
@@ -39,6 +46,12 @@
 //       all-or-nothing multi-device generation charging.
 //   serve_netload --conns N
 //       connection count for the sharded open-loop sweep (default 1000).
+//   serve_netload --slo-report
+//       print an end-of-run SLO health summary fetched over the wire with
+//       the GetHealth op (alert states, burn rates, slow-query exemplars).
+//   serve_netload --events-out FILE
+//       dump the structured event log (obs/events.hpp) as JSON lines to
+//       FILE on the way out — the overload phase's shed events included.
 //
 // Beyond the closed/open loops, a sharded sweep drives the server the way a
 // real edge does: N concurrent connections (default 1000) fed from one
@@ -91,6 +104,8 @@
 #include "gpusim/device_group.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/topology.hpp"
+#include "obs/events.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/multi_device_backend.hpp"
@@ -537,8 +552,15 @@ StatsResponse wire_stats(const std::string& host, std::uint16_t port) {
   return client.stats();
 }
 
+serve::net::HealthResponse wire_health(const std::string& host,
+                                       std::uint16_t port) {
+  Client client(host, port);
+  return client.health();
+}
+
 void emit(util::CsvWriter& csv, const char* mode, int conns,
-          double offered_qps, const LoadResult& r, const StatsResponse& s) {
+          double offered_qps, const LoadResult& r, const StatsResponse& s,
+          const serve::net::HealthResponse& h) {
   std::printf("  %-8s %6d %11.0f %11.0f %9.2f %9.2f %9.2f %11.2f %13.2f %6d "
               "%4llu\n",
               mode, conns, offered_qps, r.achieved_qps, r.e2e.p50_ms,
@@ -547,7 +569,12 @@ void emit(util::CsvWriter& csv, const char* mode, int conns,
   csv.row(mode, conns, offered_qps, r.achieved_qps, r.queries, r.e2e.p50_ms,
           r.e2e.p95_ms, r.e2e.p99_ms, r.e2e.samples, r.e2e.total_recorded,
           s.queue_p50_ms, s.queue_p99_ms, s.batch_wall_p99_ms,
-          s.net_e2e_p99_ms, s.e2e_p99_ms, r.overloaded, s.generation);
+          s.net_e2e_p99_ms, s.e2e_p99_ms, r.overloaded, s.generation,
+          h.latency_fast_burn, h.latency_violations);
+}
+
+const char* wire_state_name(std::uint8_t state) {
+  return obs::alert_state_name(static_cast<obs::AlertState>(state));
 }
 
 }  // namespace
@@ -558,15 +585,25 @@ int main(int argc, char** argv) {
   idx_t users = 1500;
   int k = kTopK;
 
-  // Strip --trace-out FILE / --devices N / --conns N before the positional
-  // --connect parsing.
+  // Strip --trace-out FILE / --devices N / --conns N / --slo-report /
+  // --events-out FILE before the positional --connect parsing.
   std::string trace_out;
+  std::string events_out;
+  bool slo_report = false;
   int devices = 1;
   int sweep_conns = 1000;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--events-out") == 0 && i + 1 < argc) {
+      events_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--slo-report") == 0) {
+      slo_report = true;
       continue;
     }
     if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
@@ -618,6 +655,15 @@ int main(int argc, char** argv) {
   bench::print_header("serve_netload",
                       "TCP front-end: e2e latency & queueing vs offered load");
 
+  // Latency + availability SLOs over the in-process server's traffic; every
+  // CSV row carries its fast-window burn. The threshold sits at 25 ms so
+  // ordinary sweeps stay inside budget while queueing spikes show up as
+  // burn. Declared before the serving stack so it outlives the batcher's
+  // flusher and the server's shed path.
+  obs::SloOptions slo_opt;
+  slo_opt.latency_threshold_ms = 25.0;
+  obs::SloMonitor slo_main(slo_opt, &obs::EventLog::global());
+
   // In-process loopback stack (skipped with --connect): a live store so a
   // fresh generation can be hot-swapped in mid-run.
   std::unique_ptr<serve::LiveFactorStore> live;
@@ -656,11 +702,13 @@ int main(int argc, char** argv) {
     opt.max_delay = std::chrono::microseconds(1000);
     opt.cache_capacity = 0;  // pure queueing measurement, no hit shortcut
     batcher = std::make_unique<serve::RequestBatcher>(*engine, opt);
+    batcher->set_slo(&slo_main);
     serve::net::ServerOptions sopt;
     sopt.io_threads = 4;
     sopt.backlog = 1024;
     sopt.max_connections =
         static_cast<std::size_t>(std::max(4096, sweep_conns * 2));
+    sopt.slo = &slo_main;
     server = std::make_unique<serve::net::TcpServer>(*batcher, sopt);
     port = server->port();
     std::printf("  loopback server on 127.0.0.1:%u — %d users × %d items, "
@@ -677,7 +725,8 @@ int main(int argc, char** argv) {
       {"mode", "conns", "offered_qps", "achieved_qps", "queries", "e2e_p50_ms",
        "e2e_p95_ms", "e2e_p99_ms", "e2e_samples", "e2e_total", "queue_p50_ms",
        "queue_p99_ms", "batch_wall_p99_ms", "net_e2e_p99_ms",
-       "server_e2e_p99_ms", "overloaded", "generation"});
+       "server_e2e_p99_ms", "overloaded", "generation", "slo_latency_burn",
+       "slo_violations"});
 
   std::printf("\n  %-8s %6s %11s %11s %9s %9s %9s %11s %13s %6s %4s\n", "mode",
               "conns", "offered", "achieved", "p50(ms)", "p95(ms)", "p99(ms)",
@@ -688,7 +737,8 @@ int main(int argc, char** argv) {
   // ---- closed loop: concurrency fills micro-batches ----------------------
   for (const int conns : {1, 4, 16}) {
     const auto r = closed_loop(host, port, conns, 250, users, k);
-    emit(csv, "closed", conns, 0.0, r, wire_stats(host, port));
+    emit(csv, "closed", conns, 0.0, r, wire_stats(host, port),
+         wire_health(host, port));
     print_transitions(r);  // hot swaps visible from the client side
     total_errors += r.errors;
   }
@@ -708,7 +758,8 @@ int main(int argc, char** argv) {
   for (const double offered : {2000.0, 8000.0, 20000.0}) {
     const int total = std::min(6000, static_cast<int>(offered * 0.4));
     const auto r = open_loop(host, port, offered, total, users, k);
-    emit(csv, "open", 1, offered, r, wire_stats(host, port));
+    emit(csv, "open", 1, offered, r, wire_stats(host, port),
+         wire_health(host, port));
     print_transitions(r);  // the mid-sweep swap (or a --daemon promotion)
     total_errors += r.errors;
   }
@@ -726,7 +777,8 @@ int main(int argc, char** argv) {
         {Shape::kDiurnal, sweep_conns}}) {
     const auto r = open_loop_sharded(host, port, shape, conns, sweep_qps,
                                      sweep_total, users, k);
-    emit(csv, shape_name(shape), conns, sweep_qps, r, wire_stats(host, port));
+    emit(csv, shape_name(shape), conns, sweep_qps, r, wire_stats(host, port),
+         wire_health(host, port));
     total_errors += r.errors + r.overloaded;  // sheds are failures *here*
   }
 
@@ -765,15 +817,29 @@ int main(int argc, char** argv) {
     oopt.backlog = 512;
     oopt.max_connections = 1024;
     oopt.max_queued_replies = 32;
+    // A dedicated monitor with tight 1 s / 2 s windows watches the overload:
+    // sheds must burn the availability budget into `page` during the dump,
+    // and the quiet aftermath must decay the alert back out of `page` —
+    // detect and recover, asserted below.
+    obs::SloOptions oslo_opt;
+    oslo_opt.latency_threshold_ms = 25.0;
+    oslo_opt.fast_window_s = 1;
+    oslo_opt.slow_window_s = 2;
+    obs::SloMonitor overload_slo(oslo_opt, &obs::EventLog::global());
+    oopt.slo = &overload_slo;
+    batcher->set_slo(&overload_slo);
     serve::net::TcpServer overload_server(*batcher, oopt);
     const int oconns = 200, ototal = 4000;
     const auto r = open_loop_sharded("127.0.0.1", overload_server.port(),
                                      Shape::kUnthrottled, oconns, 0.0, ototal,
                                      users, k);
+    const auto during = overload_slo.snapshot();
     StatsResponse os;
+    serve::net::HealthResponse oh;
     {
       Client probe("127.0.0.1", overload_server.port());
       os = probe.stats();
+      oh = probe.health();
       // Recovery: with the dump drained the same admission bound serves
       // normally again.
       const auto after = probe.query(0, k);
@@ -783,7 +849,7 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    emit(csv, "overload", oconns, 0.0, r, os);
+    emit(csv, "overload", oconns, 0.0, r, os, oh);
     std::printf("    overload dump: %d queries -> %d served, %d shed "
                 "(server counter %llu), %d errors\n",
                 ototal, ototal - r.overloaded - r.errors, r.overloaded,
@@ -795,6 +861,36 @@ int main(int argc, char** argv) {
                            "sheds — admission control is not engaging\n");
       return 1;
     }
+    if (during.availability.state != obs::AlertState::kPage) {
+      std::fprintf(stderr,
+                   "FATAL: overload dump did not page the availability SLO "
+                   "(state %s, fast burn %.1f, slow burn %.1f)\n",
+                   obs::alert_state_name(during.availability.state),
+                   during.availability.fast_burn,
+                   during.availability.slow_burn);
+      return 1;
+    }
+    std::printf("    availability SLO paged during the dump (fast burn %.0f, "
+                "slow burn %.0f); waiting for the alert to clear...\n",
+                during.availability.fast_burn, during.availability.slow_burn);
+    // Leave `page`: with the dump over, the 1 s / 2 s windows empty out and
+    // the hysteretic state machine steps down one level per evaluation.
+    obs::AlertState settled = obs::AlertState::kPage;
+    for (int i = 0; i < 40 && settled == obs::AlertState::kPage; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      settled = overload_slo.snapshot().availability.state;
+    }
+    if (settled == obs::AlertState::kPage) {
+      std::fprintf(stderr, "FATAL: availability SLO still paging 10 s after "
+                           "the overload dump ended\n");
+      return 1;
+    }
+    std::printf("    availability SLO recovered to %s after the dump "
+                "(%llu transitions)\n",
+                obs::alert_state_name(settled),
+                static_cast<unsigned long long>(
+                    overload_slo.snapshot().availability.transitions));
+    batcher->set_slo(&slo_main);  // overload_slo dies with this block
   }
 
   // ---- the accounting invariant, printed for the record ------------------
@@ -811,6 +907,46 @@ int main(int argc, char** argv) {
   if (!external) {
     std::printf("  final serving generation: %llu (one hot swap mid-sweep)\n",
                 static_cast<unsigned long long>(s.generation));
+  }
+  if (slo_report) {
+    // The same view a dashboard would poll: GetHealth over the wire.
+    const auto h = wire_health(host, port);
+    std::printf("\n  SLO report (GetHealth, threshold %.1f ms):\n"
+                "    latency      %-4s  fast burn %6.2f  slow burn %6.2f  "
+                "%llu violations, %llu transitions\n"
+                "    availability %-4s  fast burn %6.2f  slow burn %6.2f  "
+                "%llu errors, %llu transitions\n",
+                h.latency_threshold_ms, wire_state_name(h.latency_state),
+                h.latency_fast_burn, h.latency_slow_burn,
+                static_cast<unsigned long long>(h.latency_violations),
+                static_cast<unsigned long long>(h.latency_transitions),
+                wire_state_name(h.availability_state),
+                h.availability_fast_burn, h.availability_slow_burn,
+                static_cast<unsigned long long>(h.availability_errors),
+                static_cast<unsigned long long>(h.availability_transitions));
+    for (const auto& ex : h.exemplars) {
+      std::printf("    slow query: user %llu  e2e %.3f ms = queue %.3f + "
+                  "engine %.3f + finish %.3f\n",
+                  static_cast<unsigned long long>(ex.user), ex.e2e_ms,
+                  ex.queue_ms, ex.engine_ms, ex.finish_ms);
+    }
+    std::printf("    events: %llu recorded, %llu dropped\n",
+                static_cast<unsigned long long>(h.events_recorded),
+                static_cast<unsigned long long>(h.events_dropped));
+  }
+  if (!events_out.empty()) {
+    auto& events = obs::EventLog::global();
+    if (events.write_json_lines(events_out)) {
+      std::printf("  events: %llu recorded (%llu dropped by ring wrap) -> "
+                  "%s\n",
+                  static_cast<unsigned long long>(events.recorded()),
+                  static_cast<unsigned long long>(events.dropped()),
+                  events_out.c_str());
+    } else {
+      std::fprintf(stderr, "FATAL: could not write events to %s\n",
+                   events_out.c_str());
+      return 1;
+    }
   }
   if (!trace_out.empty()) {
     auto& trace = obs::TraceCollector::global();

@@ -39,6 +39,7 @@
 
 #include "bench_common.hpp"
 #include "core/checkpoint.hpp"
+#include "obs/slo.hpp"
 #include "costmodel/machines.hpp"
 #include "costmodel/serving_fleet.hpp"
 #include "gpusim/device.hpp"
@@ -289,7 +290,13 @@ int main() {
     opt.k = kTopK;
     opt.max_batch = 32;
     opt.cache_capacity = 256;
+    // SLO watch over the batcher run: burn rates computed against a 25 ms
+    // latency threshold, reported after the wave loop.
+    obs::SloOptions slo_opt;
+    slo_opt.latency_threshold_ms = 25.0;
+    obs::SloMonitor slo(slo_opt);
     serve::RequestBatcher batcher(engine, opt);
+    batcher.set_slo(&slo);
 
     // Closed-loop waves: each wave's queries resolve before the next wave
     // arrives, so hot users from earlier waves hit the LRU cache.
@@ -319,6 +326,15 @@ int main() {
     csv.row("batcher", "cpu", "host", 2, 32, kQueries, secs, qps, 0.0, 0.0,
             0.0, 0, 0, 0.0, 0.0, stats.items_scored, stats.items_pruned,
             stats.cache_hits, 0, 0.0, 0.0, 0.0, 0.0);
+    const auto health = slo.snapshot();
+    std::printf("  SLO: latency %s (fast burn %.2f, %llu violations over "
+                "%llu queries, threshold %.0f ms), availability %s\n",
+                obs::alert_state_name(health.latency.state),
+                health.latency.fast_burn,
+                static_cast<unsigned long long>(health.latency.lifetime_bad),
+                static_cast<unsigned long long>(health.latency.lifetime_total),
+                health.latency_threshold_ms,
+                obs::alert_state_name(health.availability.state));
   }
 
   // ---- refresh under load: hot swaps while query threads stay hot --------

@@ -30,9 +30,17 @@
 // timeline. In --daemon mode shutdown also prints the Prometheus-style
 // metrics exposition (the same text a GetMetrics frame returns).
 //
+// In --port mode an SLO monitor always watches the served traffic:
+// --slo-p99-ms sets the latency SLO threshold (e2e above it burns latency
+// budget) and --slo-availability the availability objective (non-kOk replies
+// and edge sheds burn it). A GetHealth frame (op 5) returns the alert
+// states, burn rates, slow-query exemplars, and recent structured events at
+// any time; the Ctrl-C shutdown audit prints the same health view plus the
+// event tail, so an incident that ended the run is visible on the way out.
+//
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j
-//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms] [--port N] [--daemon] [--train-tier full|incremental|auto] [--consolidate-every N] [--trace-out FILE]
+//   ./build/examples/serve_recommendations [shards] [top_k] [target_qps] [p99_ms] [--port N] [--daemon] [--train-tier full|incremental|auto] [--consolidate-every N] [--trace-out FILE] [--slo-p99-ms X] [--slo-availability F]
 //   ./build/examples/serve_recommendations 4 10 1000000 5   # fleet-sizing mode
 //   ./build/examples/serve_recommendations --port 7070 --daemon   # then, elsewhere:
 //   ./build/bench/serve_netload --connect 127.0.0.1 7070 3000 10
@@ -57,6 +65,8 @@
 #include "data/synthetic.hpp"
 #include "eval/metrics.hpp"
 #include "gpusim/device_group.hpp"
+#include "obs/events.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "orchestrate/orchestrator.hpp"
 #include "serve/batcher.hpp"
@@ -77,6 +87,8 @@ int main(int argc, char** argv) {
   std::string trace_out;
   auto tier_mode = orchestrate::TrainTierMode::kAuto;
   int consolidate_every = 8;
+  double slo_p99_ms = 50.0;
+  double slo_availability = 0.999;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -107,6 +119,19 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--slo-p99-ms") == 0 && i + 1 < argc) {
+      slo_p99_ms = std::atof(argv[++i]);
+      if (slo_p99_ms <= 0.0) {
+        std::fprintf(stderr, "--slo-p99-ms must be > 0\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--slo-availability") == 0 &&
+               i + 1 < argc) {
+      slo_availability = std::atof(argv[++i]);
+      if (slo_availability <= 0.0 || slo_availability >= 1.0) {
+        std::fprintf(stderr, "--slo-availability must be in (0, 1)\n");
+        return 2;
+      }
     } else {
       positional.push_back(argv[i]);
     }
@@ -120,7 +145,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [shards >= 1] [top_k >= 1] [target_qps] [p99_ms] "
                  "[--port N] [--daemon] [--train-tier full|incremental|auto] "
-                 "[--consolidate-every N] [--trace-out FILE]\n",
+                 "[--consolidate-every N] [--trace-out FILE] "
+                 "[--slo-p99-ms X] [--slo-availability F]\n",
                  argv[0]);
     return 2;
   }
@@ -351,8 +377,18 @@ int main(int argc, char** argv) {
     const auto orch_dir =
         std::filesystem::temp_directory_path() / "cumf_serve_demo_orch";
 
+    // SLO monitor for the wire-served traffic: the batcher feeds it every
+    // answered query (latency + availability), the server feeds it edge
+    // sheds, and GetHealth frames read it back.
+    obs::SloOptions slo_opt;
+    slo_opt.latency_threshold_ms = slo_p99_ms;
+    slo_opt.availability_objective = slo_availability;
+    obs::SloMonitor slo(slo_opt, &obs::EventLog::global());
+    batcher.set_slo(&slo);
+
     serve::net::ServerOptions sopt;
     sopt.port = port;
+    sopt.slo = &slo;
     if (daemon_mode) {
       std::filesystem::create_directories(orch_dir);
       orchestrate::OrchestratorOptions oopt;
@@ -440,12 +476,49 @@ int main(int argc, char** argv) {
                 "accept→reply p99 %.3f ms (queueing p99 %.3f ms)\n",
                 static_cast<unsigned long long>(net.queries - stats.queries),
                 net.net_e2e.p99_ms, net.queue_delay.p99_ms);
+
+    // Health on the way out — the same view a GetHealth frame (op 5) would
+    // have returned moments earlier, so an incident that ended the run is
+    // not lost with the process.
+    {
+      const obs::HealthSnapshot health = slo.snapshot();
+      std::printf("\nSLO health at shutdown:\n"
+                  "  latency      %-4s  fast burn %6.2f  slow burn %6.2f  "
+                  "(threshold %.1f ms, %llu violations, %llu transitions)\n"
+                  "  availability %-4s  fast burn %6.2f  slow burn %6.2f  "
+                  "(%llu errors incl. sheds, %llu transitions)\n",
+                  obs::alert_state_name(health.latency.state),
+                  health.latency.fast_burn, health.latency.slow_burn,
+                  health.latency_threshold_ms,
+                  static_cast<unsigned long long>(health.latency.lifetime_bad),
+                  static_cast<unsigned long long>(health.latency.transitions),
+                  obs::alert_state_name(health.availability.state),
+                  health.availability.fast_burn, health.availability.slow_burn,
+                  static_cast<unsigned long long>(
+                      health.availability.lifetime_bad),
+                  static_cast<unsigned long long>(
+                      health.availability.transitions));
+      for (const auto& ex : health.exemplars) {
+        std::printf("  slow query: user %llu  e2e %.3f ms = queue %.3f + "
+                    "engine %.3f + finish %.3f\n",
+                    static_cast<unsigned long long>(ex.user), ex.e2e_ms,
+                    ex.queue_ms, ex.engine_ms, ex.finish_ms);
+      }
+      auto& events = obs::EventLog::global();
+      std::printf("\nevent tail (%llu recorded, %llu dropped):\n%s",
+                  static_cast<unsigned long long>(events.recorded()),
+                  static_cast<unsigned long long>(events.dropped()),
+                  events.export_json_lines(16).c_str());
+    }
     if (daemon_mode) {
       // Final metrics snapshot — byte-identical in shape to what a GetMetrics
       // frame (op 4) would have returned over the wire moments earlier.
       std::printf("\nfinal metrics exposition:\n%s",
                   serve::metrics_exposition(net).c_str());
     }
+    // Detach before the monitor leaves this scope: the batcher (and its
+    // flusher thread) outlives the block.
+    batcher.set_slo(nullptr);
     std::error_code ec;
     std::filesystem::remove_all(orch_dir, ec);
   }

@@ -1,0 +1,156 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace cumf::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EventLog::EventLog(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity == 0 ? 1 : capacity);
+  ring_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+double EventLog::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void EventLog::record(Severity severity, Component component,
+                      const char* message, EventArg a, EventArg b,
+                      EventArg c) {
+  const std::uint64_t ticket =
+      cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring_[ticket & mask_];
+  // Odd = this writer owns the slot; readers that loaded the old even value
+  // before the store will fail the recheck after copying.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.message.store(message, std::memory_order_relaxed);
+  slot.severity.store(static_cast<std::uint8_t>(severity),
+                      std::memory_order_relaxed);
+  slot.component.store(static_cast<std::uint8_t>(component),
+                       std::memory_order_relaxed);
+  slot.ts_us.store(now_us(), std::memory_order_relaxed);
+  slot.k0.store(a.key, std::memory_order_relaxed);
+  slot.v0.store(a.value, std::memory_order_relaxed);
+  slot.k1.store(b.key, std::memory_order_relaxed);
+  slot.v1.store(b.value, std::memory_order_relaxed);
+  slot.k2.store(c.key, std::memory_order_relaxed);
+  slot.v2.store(c.value, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::uint64_t EventLog::dropped() const {
+  const std::uint64_t total = cursor_.load(std::memory_order_relaxed);
+  const std::uint64_t cap = mask_ + 1;
+  return total > cap ? total - cap : 0;
+}
+
+std::vector<Event> EventLog::snapshot(std::size_t max_events) const {
+  const std::uint64_t total = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t cap = mask_ + 1;
+  std::uint64_t first = total > cap ? total - cap : 0;
+  const std::uint64_t want =
+      std::min<std::uint64_t>(total - first, max_events);
+  first = total - want;
+
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(want));
+  for (std::uint64_t ticket = first; ticket < total; ++ticket) {
+    const Slot& slot = ring_[ticket & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != 2 * ticket + 2) {
+      continue;  // being overwritten (or already wrapped past)
+    }
+    Event ev;
+    ev.ticket = ticket;
+    ev.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+    ev.severity =
+        static_cast<Severity>(slot.severity.load(std::memory_order_relaxed));
+    ev.component =
+        static_cast<Component>(slot.component.load(std::memory_order_relaxed));
+    ev.message = slot.message.load(std::memory_order_relaxed);
+    ev.args[0] = {slot.k0.load(std::memory_order_relaxed),
+                  slot.v0.load(std::memory_order_relaxed)};
+    ev.args[1] = {slot.k1.load(std::memory_order_relaxed),
+                  slot.v1.load(std::memory_order_relaxed)};
+    ev.args[2] = {slot.k2.load(std::memory_order_relaxed),
+                  slot.v2.load(std::memory_order_relaxed)};
+    // Seqlock recheck: a writer may have started overwriting mid-copy.
+    if (slot.seq.load(std::memory_order_acquire) != 2 * ticket + 2) continue;
+    if (ev.message == nullptr) continue;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+std::string EventLog::export_json_lines(std::size_t max_events) const {
+  const std::vector<Event> events = snapshot(max_events);
+  std::ostringstream out;
+  for (const Event& ev : events) {
+    out << "{\"ticket\":" << ev.ticket << ",\"ts_us\":" << ev.ts_us
+        << ",\"severity\":\"" << severity_name(ev.severity)
+        << "\",\"component\":\"" << component_name(ev.component)
+        << "\",\"message\":\"" << ev.message << "\",\"args\":{";
+    bool first = true;
+    for (const EventArg& arg : ev.args) {
+      if (arg.key == nullptr) continue;
+      if (!first) out << ",";
+      out << "\"" << arg.key << "\":" << arg.value;
+      first = false;
+    }
+    out << "}}\n";
+  }
+  return out.str();
+}
+
+bool EventLog::write_json_lines(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << export_json_lines();
+  return static_cast<bool>(out);
+}
+
+const char* EventLog::severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+const char* EventLog::component_name(Component c) {
+  switch (c) {
+    case Component::kStore:
+      return "store";
+    case Component::kOrch:
+      return "orchestrator";
+    case Component::kNet:
+      return "net";
+    case Component::kSlo:
+      return "slo";
+  }
+  return "unknown";
+}
+
+}  // namespace cumf::obs

@@ -1,0 +1,138 @@
+#pragma once
+
+// Structured event log: a bounded, lock-free ring of operational events —
+// the discrete state transitions that explain a latency or availability
+// excursion after the fact. Where tracing (obs/trace.hpp) answers "where did
+// this sampled query spend its time" and metrics answer "how much, in
+// aggregate", the event log answers "what *happened*": a hot swap landed, a
+// gate rejected a candidate, the edge shed queries, a slow client was cut.
+//
+// Every silent transition in the serving stack records here: the
+// LiveFactorStore on swap / refresh failure / admission veto, the
+// orchestrator on gate reject / escalate / consolidate / promote / rollback,
+// the TCP front-end on shed / slow-client close / recv error, and the
+// SloMonitor (obs/slo.hpp) on every alert-state change. The ring is always
+// on — recording is a handful of relaxed atomic stores, messages are static
+// string literals, and the ring wraps by overwriting the oldest events, so
+// there is nothing to configure and nothing to leak.
+//
+// The slot design is the TraceCollector seqlock: a writer claims a ticket
+// with one fetch_add, marks the slot odd (2·ticket+1) while filling it, and
+// even (2·ticket+2) once stable. Readers validate the seq word before and
+// after copying; a slot mid-overwrite is skipped, never torn. Concurrent
+// record / export is data-race-free by construction (every field a writer
+// touches is a std::atomic).
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cumf::obs {
+
+enum class Severity : std::uint8_t {
+  kInfo = 0,
+  kWarn = 1,
+  kError = 2,
+};
+
+/// Subsystem that emitted the event (the "component" column of the log).
+enum class Component : std::uint8_t {
+  kStore = 0,  // LiveFactorStore: swaps, refresh failures, admission vetoes
+  kOrch = 1,   // orchestrator: gate verdicts, escalations, rollbacks
+  kNet = 2,    // TCP front-end: sheds, slow-client closes, recv errors
+  kSlo = 3,    // SloMonitor alert-state transitions
+};
+
+/// One event argument: a static key and an integer value. A
+/// default-constructed arg (null key) is an unused slot.
+struct EventArg {
+  const char* key = nullptr;  // must be a string literal (never freed)
+  std::uint64_t value = 0;
+};
+
+/// One stable event copied out of the ring.
+struct Event {
+  std::uint64_t ticket = 0;  // monotonic sequence number (0-based)
+  double ts_us = 0.0;        // microseconds since the log's epoch
+  Severity severity = Severity::kInfo;
+  Component component = Component::kStore;
+  const char* message = nullptr;  // static string literal
+  EventArg args[3];
+};
+
+class EventLog {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit EventLog(std::size_t capacity = 1 << 10);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Process-wide log every emission site records into.
+  static EventLog& global();
+
+  /// Records one event. Never blocks, never allocates; `message` and every
+  /// arg key must be string literals.
+  void record(Severity severity, Component component, const char* message,
+              EventArg a = {}, EventArg b = {}, EventArg c = {});
+
+  /// Events recorded over the log's lifetime (survivors + overwritten).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten by ring wrap (recorded - retained).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Stable retained events, oldest first. `max_events` keeps only the
+  /// newest that many (the tail an operator wants after an incident).
+  [[nodiscard]] std::vector<Event> snapshot(
+      std::size_t max_events = static_cast<std::size_t>(-1)) const;
+
+  /// Renders snapshot(max_events) as JSON lines, one object per event:
+  ///   {"ticket":N,"ts_us":T,"severity":"warn","component":"net",
+  ///    "message":"overload_shed","args":{"shard":0}}
+  [[nodiscard]] std::string export_json_lines(
+      std::size_t max_events = static_cast<std::size_t>(-1)) const;
+
+  /// export_json_lines() to a file; false when the file cannot be written.
+  bool write_json_lines(const std::string& path) const;
+
+  /// Microseconds since the log's epoch (steady clock) — the timescale of
+  /// Event::ts_us.
+  [[nodiscard]] double now_us() const;
+
+  static const char* severity_name(Severity s);
+  static const char* component_name(Component c);
+
+ private:
+  struct Slot {
+    /// Seqlock word: 2·ticket+1 while the owning writer fills the payload,
+    /// 2·ticket+2 once stable (ticket-keyed like the trace ring).
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<const char*> message{nullptr};
+    std::atomic<std::uint8_t> severity{0};
+    std::atomic<std::uint8_t> component{0};
+    std::atomic<double> ts_us{0.0};
+    std::atomic<const char*> k0{nullptr};
+    std::atomic<const char*> k1{nullptr};
+    std::atomic<const char*> k2{nullptr};
+    std::atomic<std::uint64_t> v0{0};
+    std::atomic<std::uint64_t> v1{0};
+    std::atomic<std::uint64_t> v2{0};
+  };
+
+  std::unique_ptr<Slot[]> ring_;
+  std::size_t mask_ = 0;  // capacity - 1
+  std::atomic<std::uint64_t> cursor_{0};
+
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace cumf::obs

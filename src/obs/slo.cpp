@@ -1,0 +1,231 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace cumf::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* alert_state_name(AlertState s) {
+  switch (s) {
+    case AlertState::kOk:
+      return "ok";
+    case AlertState::kWarn:
+      return "warn";
+    case AlertState::kPage:
+      return "page";
+  }
+  return "unknown";
+}
+
+SloMonitor::SloMonitor(SloOptions opt, EventLog* events, ClockFn clock)
+    : opt_(opt), events_(events), clock_(std::move(clock)) {
+  if (opt_.fast_window_s == 0) opt_.fast_window_s = 1;
+  if (opt_.slow_window_s < opt_.fast_window_s) {
+    opt_.slow_window_s = opt_.fast_window_s;
+  }
+  init_series(&latency_, opt_.latency_objective, "latency_slo_state");
+  init_series(&availability_, opt_.availability_objective,
+              "availability_slo_state");
+}
+
+void SloMonitor::init_series(Series* s, double objective,
+                             const char* message) {
+  // One bucket per second; the ring must hold the whole slow window plus the
+  // current (partial) second without index collisions.
+  const std::size_t cap =
+      round_up_pow2(static_cast<std::size_t>(opt_.slow_window_s) + 1);
+  s->ring = std::make_unique<Bucket[]>(cap);
+  s->mask = cap - 1;
+  s->budget = std::max(1e-9, 1.0 - objective);
+  s->transition_message = message;
+}
+
+std::uint64_t SloMonitor::now_ms() const {
+  if (clock_) return clock_();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SloMonitor::add(Series* s, std::uint64_t now_s, bool bad) {
+  Bucket& bucket = s->ring[now_s & s->mask];
+  std::uint64_t stamp = bucket.stamp.load(std::memory_order_relaxed);
+  if (stamp != now_s) {
+    // First write of this second: the CAS winner rotates the bucket. A
+    // concurrent add that lands between the CAS and the resets can be lost —
+    // bounded to one sample per racing thread per rotation, and burn rates
+    // are ratios, so the loss is noise.
+    if (bucket.stamp.compare_exchange_strong(stamp, now_s,
+                                             std::memory_order_acq_rel)) {
+      bucket.total.store(0, std::memory_order_relaxed);
+      bucket.bad.store(0, std::memory_order_relaxed);
+    }
+  }
+  bucket.total.fetch_add(1, std::memory_order_relaxed);
+  if (bad) bucket.bad.fetch_add(1, std::memory_order_relaxed);
+  s->lifetime_total.fetch_add(1, std::memory_order_relaxed);
+  if (bad) s->lifetime_bad.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SloMonitor::observe(double e2e_ms, bool ok) {
+  const std::uint64_t now_s = now_ms() / 1000;
+  add(&availability_, now_s, !ok);
+  if (ok) add(&latency_, now_s, e2e_ms > opt_.latency_threshold_ms);
+  // Opportunistic evaluation: one observer at a time runs the state
+  // machines; contenders skip — snapshot() always evaluates.
+  if (state_mu_.try_lock()) {
+    evaluate_locked(&latency_, now_s);
+    evaluate_locked(&availability_, now_s);
+    state_mu_.unlock();
+  }
+}
+
+void SloMonitor::shed() {
+  const std::uint64_t now_s = now_ms() / 1000;
+  add(&availability_, now_s, true);
+  if (state_mu_.try_lock()) {
+    evaluate_locked(&availability_, now_s);
+    state_mu_.unlock();
+  }
+}
+
+void SloMonitor::window_counts(const Series& s, std::uint64_t now_s,
+                               std::uint64_t window_s, std::uint64_t* total,
+                               std::uint64_t* bad) const {
+  *total = 0;
+  *bad = 0;
+  const std::uint64_t span = std::min<std::uint64_t>(window_s, now_s + 1);
+  for (std::uint64_t age = 0; age < span; ++age) {
+    const std::uint64_t second = now_s - age;
+    const Bucket& bucket = s.ring[second & s.mask];
+    if (bucket.stamp.load(std::memory_order_relaxed) != second) continue;
+    *total += bucket.total.load(std::memory_order_relaxed);
+    *bad += bucket.bad.load(std::memory_order_relaxed);
+  }
+}
+
+double SloMonitor::burn(std::uint64_t total, std::uint64_t bad,
+                        double budget) const {
+  if (total == 0) return 0.0;  // zero-traffic window burns nothing
+  return (static_cast<double>(bad) / static_cast<double>(total)) / budget;
+}
+
+void SloMonitor::evaluate_locked(Series* s, std::uint64_t now_s) {
+  std::uint64_t fast_total = 0, fast_bad = 0, slow_total = 0, slow_bad = 0;
+  window_counts(*s, now_s, opt_.fast_window_s, &fast_total, &fast_bad);
+  window_counts(*s, now_s, opt_.slow_window_s, &slow_total, &slow_bad);
+  const double fast = burn(fast_total, fast_bad, s->budget);
+  const double slow = burn(slow_total, slow_bad, s->budget);
+
+  // Multi-window raw level: both windows must burn past a threshold.
+  AlertState raw = AlertState::kOk;
+  if (fast >= opt_.page_burn && slow >= opt_.page_burn) {
+    raw = AlertState::kPage;
+  } else if (fast >= opt_.warn_burn && slow >= opt_.warn_burn) {
+    raw = AlertState::kWarn;
+  }
+
+  const auto cur =
+      static_cast<AlertState>(s->state.load(std::memory_order_relaxed));
+  AlertState next = cur;
+  if (raw > cur) {
+    next = raw;  // upgrades are immediate: paging latency matters
+  } else if (raw < cur) {
+    // Hysteretic downgrade: both burns must fall clearly below the level
+    // that holds the current state, and the state steps down one notch per
+    // evaluation — a burn oscillating around the line cannot flap.
+    const double hold = (cur == AlertState::kPage ? opt_.page_burn
+                                                  : opt_.warn_burn) *
+                        opt_.clear_factor;
+    if (fast < hold && slow < hold) {
+      next = cur == AlertState::kPage ? AlertState::kWarn : AlertState::kOk;
+    }
+  }
+  if (next == cur) return;
+
+  s->state.store(static_cast<std::uint8_t>(next), std::memory_order_relaxed);
+  ++s->transitions;
+  if (events_ != nullptr) {
+    const Severity sev = next == AlertState::kPage  ? Severity::kError
+                         : next == AlertState::kWarn ? Severity::kWarn
+                                                     : Severity::kInfo;
+    events_->record(sev, Component::kSlo, s->transition_message,
+                    {"from", static_cast<std::uint64_t>(cur)},
+                    {"to", static_cast<std::uint64_t>(next)},
+                    {"fast_burn_milli",
+                     static_cast<std::uint64_t>(std::max(0.0, fast) * 1e3)});
+  }
+}
+
+void SloMonitor::fill_burn_state(const Series& s, std::uint64_t now_s,
+                                 BurnState* out) const {
+  window_counts(s, now_s, opt_.fast_window_s, &out->fast_total,
+                &out->fast_bad);
+  window_counts(s, now_s, opt_.slow_window_s, &out->slow_total,
+                &out->slow_bad);
+  out->fast_burn = burn(out->fast_total, out->fast_bad, s.budget);
+  out->slow_burn = burn(out->slow_total, out->slow_bad, s.budget);
+  out->lifetime_total = s.lifetime_total.load(std::memory_order_relaxed);
+  out->lifetime_bad = s.lifetime_bad.load(std::memory_order_relaxed);
+  out->state = static_cast<AlertState>(s.state.load(std::memory_order_relaxed));
+  out->transitions = s.transitions;
+}
+
+HealthSnapshot SloMonitor::snapshot() {
+  const std::uint64_t now_s = now_ms() / 1000;
+  HealthSnapshot out;
+  out.latency_threshold_ms = opt_.latency_threshold_ms;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    evaluate_locked(&latency_, now_s);
+    evaluate_locked(&availability_, now_s);
+    fill_burn_state(latency_, now_s, &out.latency);
+    fill_burn_state(availability_, now_s, &out.availability);
+  }
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    out.exemplars = exemplars_;
+  }
+  std::sort(out.exemplars.begin(), out.exemplars.end(),
+            [](const SloExemplar& a, const SloExemplar& b) {
+              return a.e2e_ms > b.e2e_ms;
+            });
+  return out;
+}
+
+void SloMonitor::capture_exemplar(std::uint64_t user, double e2e_ms,
+                                  double queue_ms, double engine_ms) {
+  SloExemplar ex;
+  ex.ticket = exemplar_tickets_.fetch_add(1, std::memory_order_relaxed);
+  ex.user = user;
+  ex.e2e_ms = e2e_ms;
+  ex.queue_ms = queue_ms;
+  ex.engine_ms = engine_ms;
+  ex.finish_ms = std::max(0.0, e2e_ms - queue_ms - engine_ms);
+
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_.size() < opt_.exemplar_capacity) {
+    exemplars_.push_back(ex);
+    return;
+  }
+  if (exemplars_.empty()) return;  // capacity configured to zero
+  auto min_it = std::min_element(exemplars_.begin(), exemplars_.end(),
+                                 [](const SloExemplar& a,
+                                    const SloExemplar& b) {
+                                   return a.e2e_ms < b.e2e_ms;
+                                 });
+  if (e2e_ms > min_it->e2e_ms) *min_it = ex;
+}
+
+}  // namespace cumf::obs

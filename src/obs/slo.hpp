@@ -1,0 +1,223 @@
+#pragma once
+
+// SLO engine: rolling multi-window burn-rate alerting over the serving
+// path, SRE-workbook style.
+//
+// Two objectives are tracked, each as a good/bad event stream bucketed into
+// a lock-free ring of one-second windows:
+//
+//  - latency:       a query is *bad* when its end-to-end latency exceeds
+//                   SloOptions::latency_threshold_ms (the p-target, e.g.
+//                   "p99 <= 25 ms" becomes threshold 25, objective 0.99).
+//  - availability:  a reply is *bad* when it is not Status::kOk — engine
+//                   errors, bad ids, and queries shed at the admission edge.
+//
+// For each objective the monitor computes the *burn rate* over a fast and a
+// slow window: bad-fraction ÷ error-budget, where the budget is
+// 1 − objective. Burn 1.0 means the budget is being consumed exactly at the
+// sustainable rate; burn 10 means ten times too fast. Alerting keys on both
+// windows (the workbook's multi-window rule): the fast window makes pages
+// prompt, the slow window keeps one latency spike from paging. The alert
+// state is hysteretic — entering `warn`/`page` is immediate once both
+// windows cross the threshold, but leaving requires the burn to fall below
+// threshold × clear_factor and steps down one state per evaluation, so a
+// burn rate oscillating around the line cannot flap the pager.
+//
+// The clock is injectable (milliseconds, monotonic) so every window
+// rotation, burn value, and state transition is deterministic under test;
+// the default reads steady_clock. Observation is wait-free: bucket the
+// sample by second, one CAS on the bucket's stamp when the second rolls
+// over, one fetch_add. A write racing the once-per-second rotation can be
+// dropped; burn rates are statistical and the loss is bounded by the number
+// of racing threads, once per second.
+//
+// Slow-query exemplars: when a *traced* query's e2e crosses the latency
+// threshold, the serving layer captures its per-stage breakdown (queue wait,
+// engine batch, fulfillment remainder — the stages sum to the e2e) into a
+// keep-the-slowest ring here, so a health dump answers "where did the p99
+// go" with concrete offenders, not just a histogram.
+//
+// Alert-state transitions are recorded into an EventLog (obs/events.hpp) so
+// the incident timeline interleaves "latency SLO paged" with the swaps /
+// rejections / sheds that explain it.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace cumf::obs {
+
+enum class AlertState : std::uint8_t {
+  kOk = 0,
+  kWarn = 1,
+  kPage = 2,
+};
+
+const char* alert_state_name(AlertState s);
+
+struct SloOptions {
+  /// Latency SLO threshold: a query slower than this is an SLO violation.
+  double latency_threshold_ms = 50.0;
+  /// Fraction of queries that must meet the threshold (budget = 1 - this).
+  double latency_objective = 0.999;
+  /// Fraction of replies that must be kOk.
+  double availability_objective = 0.999;
+  /// Fast / slow alerting windows, in whole seconds (bucket granularity).
+  std::uint64_t fast_window_s = 5;
+  std::uint64_t slow_window_s = 60;
+  /// Enter kWarn when both windows burn at >= warn_burn; kPage at
+  /// >= page_burn.
+  double warn_burn = 2.0;
+  double page_burn = 10.0;
+  /// Hysteresis: leave a state only when the fast-window burn drops below
+  /// its entry threshold times this factor (and one state per evaluation).
+  double clear_factor = 0.8;
+  /// Slowest-query exemplars retained (keep-the-slowest replacement).
+  std::size_t exemplar_capacity = 8;
+};
+
+/// Burn-rate view of one objective at snapshot time.
+struct BurnState {
+  AlertState state = AlertState::kOk;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  std::uint64_t fast_total = 0;  // events in the fast window
+  std::uint64_t fast_bad = 0;
+  std::uint64_t slow_total = 0;
+  std::uint64_t slow_bad = 0;
+  std::uint64_t lifetime_total = 0;
+  std::uint64_t lifetime_bad = 0;
+  std::uint64_t transitions = 0;  // alert-state changes so far
+};
+
+/// One captured slow query: stage breakdown sums to ~e2e_ms by construction
+/// (finish_ms is the remainder).
+struct SloExemplar {
+  std::uint64_t ticket = 0;  // capture order (monotonic)
+  std::uint64_t user = 0;
+  double e2e_ms = 0.0;
+  double queue_ms = 0.0;
+  double engine_ms = 0.0;
+  double finish_ms = 0.0;
+};
+
+struct HealthSnapshot {
+  BurnState latency;
+  BurnState availability;
+  double latency_threshold_ms = 0.0;
+  /// Slowest first.
+  std::vector<SloExemplar> exemplars;
+};
+
+class SloMonitor {
+ public:
+  /// Monotonic clock in milliseconds. The default reads steady_clock.
+  using ClockFn = std::function<std::uint64_t()>;
+
+  /// `events` receives alert-state transition events; nullptr disables
+  /// emission (tests that only exercise the math).
+  explicit SloMonitor(SloOptions opt = {}, EventLog* events = nullptr,
+                      ClockFn clock = {});
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  /// One answered query: feeds availability (ok?) and, for ok replies, the
+  /// latency objective. Wait-free except for an opportunistic (try_lock)
+  /// state evaluation.
+  void observe(double e2e_ms, bool ok);
+
+  /// One query shed at the admission edge: availability-bad with no
+  /// meaningful latency sample.
+  void shed();
+
+  /// Captures one slow traced query. `finish_ms` is derived:
+  /// e2e − queue − engine, clamped at zero. Rare path (only queries already
+  /// past the threshold); takes a short mutex.
+  void capture_exemplar(std::uint64_t user, double e2e_ms, double queue_ms,
+                        double engine_ms);
+
+  [[nodiscard]] double latency_threshold_ms() const {
+    return opt_.latency_threshold_ms;
+  }
+  [[nodiscard]] const SloOptions& options() const { return opt_; }
+
+  /// Evaluates both state machines at the current clock and returns the
+  /// full health view.
+  HealthSnapshot snapshot();
+
+  [[nodiscard]] AlertState latency_state() const {
+    return static_cast<AlertState>(
+        latency_.state.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] AlertState availability_state() const {
+    return static_cast<AlertState>(
+        availability_.state.load(std::memory_order_relaxed));
+  }
+  /// Lifetime latency-SLO violations (bad samples).
+  [[nodiscard]] std::uint64_t latency_violations() const {
+    return latency_.lifetime_bad.load(std::memory_order_relaxed);
+  }
+  /// Lifetime non-kOk replies (sheds included).
+  [[nodiscard]] std::uint64_t availability_errors() const {
+    return availability_.lifetime_bad.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t exemplars_captured() const {
+    return exemplar_tickets_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Bucket {
+    /// Second this bucket currently covers; kNeverStamp = untouched.
+    std::atomic<std::uint64_t> stamp{kNeverStamp};
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> bad{0};
+  };
+  static constexpr std::uint64_t kNeverStamp = ~std::uint64_t{0};
+
+  struct Series {
+    std::unique_ptr<Bucket[]> ring;
+    std::size_t mask = 0;
+    std::atomic<std::uint64_t> lifetime_total{0};
+    std::atomic<std::uint64_t> lifetime_bad{0};
+    std::atomic<std::uint8_t> state{0};
+    std::uint64_t transitions = 0;  // guarded by state_mu_
+    double budget = 0.001;
+    const char* transition_message = nullptr;  // static, for the EventLog
+  };
+
+  void init_series(Series* s, double objective, const char* message);
+  void add(Series* s, std::uint64_t now_s, bool bad);
+  /// Events in [now_s - window + 1, now_s]; returns {total, bad}.
+  void window_counts(const Series& s, std::uint64_t now_s,
+                     std::uint64_t window_s, std::uint64_t* total,
+                     std::uint64_t* bad) const;
+  [[nodiscard]] double burn(std::uint64_t total, std::uint64_t bad,
+                            double budget) const;
+  /// Runs one series' hysteretic state machine; caller holds state_mu_.
+  void evaluate_locked(Series* s, std::uint64_t now_s);
+  void fill_burn_state(const Series& s, std::uint64_t now_s,
+                       BurnState* out) const;
+  [[nodiscard]] std::uint64_t now_ms() const;
+
+  SloOptions opt_;
+  EventLog* events_;
+  ClockFn clock_;
+
+  Series latency_;
+  Series availability_;
+
+  std::mutex state_mu_;  // transition bookkeeping (evaluate/snapshot)
+
+  std::mutex exemplar_mu_;
+  std::vector<SloExemplar> exemplars_;  // unordered; min replaced on insert
+  std::atomic<std::uint64_t> exemplar_tickets_{0};
+};
+
+}  // namespace cumf::obs

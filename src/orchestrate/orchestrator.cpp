@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/checkpoint.hpp"
+#include "obs/events.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -105,8 +106,13 @@ CycleRecord Orchestrator::run_cycle(bool force) {
 
   rec.tier = choose_tier(&rec.consolidation);
   if (rec.consolidation) {
-    std::lock_guard<std::mutex> lock(history_mu_);
-    ++stats_.consolidations;
+    {
+      std::lock_guard<std::mutex> lock(history_mu_);
+      ++stats_.consolidations;
+    }
+    obs::EventLog::global().record(obs::Severity::kInfo,
+                                   obs::Component::kOrch, "consolidation",
+                                   {"cycle", rec.cycle});
   }
 
   RatingLog::Snapshot snap;
@@ -153,6 +159,9 @@ CycleRecord Orchestrator::run_cycle(bool force) {
         std::lock_guard<std::mutex> lock(history_mu_);
         ++stats_.escalations;
       }
+      obs::EventLog::global().record(obs::Severity::kWarn,
+                                     obs::Component::kOrch, "escalation",
+                                     {"cycle", rec.cycle});
       rec.escalated = true;
       rec.tier = TrainTier::kFullAls;
       util::log_warn(
@@ -261,13 +270,20 @@ void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
   if (!record->gate.passed) {
     record->outcome = CycleOutcome::kRejected;
     record->generation = live_.generation();
-    std::lock_guard<std::mutex> lock(history_mu_);
-    ++stats_.rejections;
-    if (tier == TrainTier::kFullAls) {
-      ++stats_.rejections_full;
-    } else {
-      ++stats_.rejections_incremental;
+    {
+      std::lock_guard<std::mutex> lock(history_mu_);
+      ++stats_.rejections;
+      if (tier == TrainTier::kFullAls) {
+        ++stats_.rejections_full;
+      } else {
+        ++stats_.rejections_incremental;
+      }
     }
+    obs::EventLog::global().record(
+        obs::Severity::kWarn, obs::Component::kOrch, "gate_reject",
+        {"cycle", record->cycle},
+        {"tier", static_cast<std::uint64_t>(tier)},
+        {"generation", record->generation});
     util::log_warn("orchestrator: candidate rejected: ",
                    record->gate.reason);
     return;
@@ -298,6 +314,10 @@ void Orchestrator::gate_and_promote(const linalg::FactorMatrix& x,
   record->generation = outcome.generation;
   record->swap_pause_ms = outcome.swap_pause_ms;
   promote_span.arg("generation", outcome.generation);
+  obs::EventLog::global().record(
+      obs::Severity::kInfo, obs::Component::kOrch, "promotion",
+      {"cycle", record->cycle}, {"generation", outcome.generation},
+      {"tier", static_cast<std::uint64_t>(tier)});
 
   // The swap landed: persist the *outgoing* model as the rollback target so
   // a promotion that later proves bad can be reverted to what it replaced.
@@ -359,6 +379,9 @@ bool Orchestrator::rollback() {
     std::lock_guard<std::mutex> lock(history_mu_);
     ++stats_.rollbacks;
   }
+  obs::EventLog::global().record(obs::Severity::kError,
+                                 obs::Component::kOrch, "rollback",
+                                 {"generation", outcome.generation});
   append_record(rec);
   return true;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/live_store.hpp"
 #include "serve/scoring_backend.hpp"
@@ -49,6 +50,18 @@ void RequestBatcher::trace_e2e(const Pending& p, std::uint64_t generation,
                     {"generation", generation}, {"failed", failed ? 1u : 0u});
 }
 
+void RequestBatcher::slo_observe(idx_t user, bool traced, double e2e_ms,
+                                 bool ok, double queue_ms,
+                                 double engine_ms) const {
+  auto* slo = slo_.load(std::memory_order_acquire);
+  if (slo == nullptr) return;
+  slo->observe(e2e_ms, ok);
+  if (ok && traced && e2e_ms > slo->latency_threshold_ms()) {
+    slo->capture_exemplar(static_cast<std::uint64_t>(user), e2e_ms, queue_ms,
+                          engine_ms);
+  }
+}
+
 std::future<BatchedAnswer> RequestBatcher::submit(idx_t user) {
   const auto accepted = std::chrono::steady_clock::now();
   // One sampling decision per query covers its whole traced path: a sampled
@@ -72,7 +85,9 @@ std::future<BatchedAnswer> RequestBatcher::submit(idx_t user) {
     // Samples are recorded *before* the promise is fulfilled, here and in
     // run_batch: a caller that wakes on the future and reads stats() must
     // find its own query already accounted.
-    e2e_.record(ms_since(accepted));
+    const double reject_ms = ms_since(accepted);
+    e2e_.record(reject_ms);
+    slo_observe(user, traced, reject_ms, /*ok=*/false, 0.0, 0.0);
     if (traced) {
       trace.record_span("query.e2e", trace.to_us(accepted), trace.now_us(),
                         {"user", static_cast<std::uint64_t>(user)},
@@ -102,7 +117,9 @@ std::future<BatchedAnswer> RequestBatcher::submit(idx_t user) {
       // percentiles cover every answered query, not just miss traffic —
       // otherwise `queries` and the latency distribution describe different
       // populations, and the cache's main effect is invisible.
-      e2e_.record(ms_since(accepted));
+      const double hit_ms = ms_since(accepted);
+      e2e_.record(hit_ms);
+      slo_observe(user, traced, hit_ms, /*ok=*/true, 0.0, 0.0);
       if (traced) {
         trace.record_span("query.e2e", trace.to_us(accepted), trace.now_us(),
                           {"user", static_cast<std::uint64_t>(user)},
@@ -192,14 +209,15 @@ void RequestBatcher::flusher_loop() {
                           {"user", static_cast<std::uint64_t>(p.user)});
       }
     }
-    run_batch(std::move(batch));
+    run_batch(std::move(batch), taken);
     lock.lock();
     batch_in_flight_ = false;
     drained_cv_.notify_all();
   }
 }
 
-void RequestBatcher::run_batch(std::vector<Pending> batch) {
+void RequestBatcher::run_batch(std::vector<Pending> batch,
+                               std::chrono::steady_clock::time_point taken) {
   obs::TraceSpan flush_span(obs::TraceCollector::global(), "batch.flush");
   flush_span.arg("batch", batch.size());
   // Each pass either answers the batch, fails it, or strictly shrinks it
@@ -225,6 +243,7 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
     // An engine failure must fail futures, not unwind through the flusher
     // thread and terminate the server.
     RecommendBatch scored;
+    const auto engine_t0 = std::chrono::steady_clock::now();
     try {
       scored = engine_.recommend_batch(unique_users, opt_.k);
     } catch (const std::out_of_range&) {
@@ -237,7 +256,9 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
       keep.reserve(batch.size());
       for (auto& p : batch) {
         if (p.user < 0 || p.user >= bound) {
-          e2e_.record(ms_since(p.enqueued));
+          const double e2e_ms = ms_since(p.enqueued);
+          e2e_.record(e2e_ms);
+          slo_observe(p.user, p.traced, e2e_ms, /*ok=*/false, 0.0, 0.0);
           trace_e2e(p, 0, /*failed=*/true);
           p.promise.set_exception(std::make_exception_ptr(std::out_of_range(
               "RequestBatcher: user id " + std::to_string(p.user) +
@@ -253,7 +274,9 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
         // rather than retry forever.
         const auto error = std::current_exception();
         for (auto& p : keep) {
-          e2e_.record(ms_since(p.enqueued));
+          const double e2e_ms = ms_since(p.enqueued);
+          e2e_.record(e2e_ms);
+          slo_observe(p.user, p.traced, e2e_ms, /*ok=*/false, 0.0, 0.0);
           trace_e2e(p, 0, /*failed=*/true);
           p.promise.set_exception(error);
         }
@@ -265,12 +288,15 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
       // OOM charging a new generation, and anything else non-recoverable.
       const auto error = std::current_exception();
       for (auto& p : batch) {
-        e2e_.record(ms_since(p.enqueued));
+        const double e2e_ms = ms_since(p.enqueued);
+        e2e_.record(e2e_ms);
+        slo_observe(p.user, p.traced, e2e_ms, /*ok=*/false, 0.0, 0.0);
         trace_e2e(p, 0, /*failed=*/true);
         p.promise.set_exception(error);
       }
       return;
     }
+    const double engine_ms = ms_since(engine_t0);
     const auto& results = scored.lists;
 
     if (opt_.cache_capacity > 0) {
@@ -283,7 +309,14 @@ void RequestBatcher::run_batch(std::vector<Pending> batch) {
     }
     flush_span.arg("generation", scored.generation);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      e2e_.record(ms_since(batch[i].enqueued));
+      const double e2e_ms = ms_since(batch[i].enqueued);
+      e2e_.record(e2e_ms);
+      const double queue_ms =
+          std::chrono::duration<double, std::milli>(taken -
+                                                    batch[i].enqueued)
+              .count();
+      slo_observe(batch[i].user, batch[i].traced, e2e_ms, /*ok=*/true,
+                  queue_ms, engine_ms);
       trace_e2e(batch[i], scored.generation, /*failed=*/false);
       batch[i].promise.set_value(
           BatchedAnswer{results[slot_of[i]], scored.generation});
@@ -316,6 +349,23 @@ ServeStats RequestBatcher::stats() const {
     s.refreshes = live->refreshes();
     s.refresh_failures = live->refresh_failures();
     s.swap_pause = live->swap_pause_summary();
+  }
+  if (auto* slo = slo_.load(std::memory_order_acquire)) {
+    const obs::HealthSnapshot h = slo->snapshot();
+    s.slo.attached = true;
+    s.slo.latency_threshold_ms = h.latency_threshold_ms;
+    s.slo.latency_state = static_cast<std::uint64_t>(h.latency.state);
+    s.slo.availability_state =
+        static_cast<std::uint64_t>(h.availability.state);
+    s.slo.latency_fast_burn = h.latency.fast_burn;
+    s.slo.latency_slow_burn = h.latency.slow_burn;
+    s.slo.availability_fast_burn = h.availability.fast_burn;
+    s.slo.availability_slow_burn = h.availability.slow_burn;
+    s.slo.latency_violations = h.latency.lifetime_bad;
+    s.slo.availability_errors = h.availability.lifetime_bad;
+    s.slo.latency_transitions = h.latency.transitions;
+    s.slo.availability_transitions = h.availability.transitions;
+    s.slo.exemplars_captured = slo->exemplars_captured();
   }
   return s;
 }

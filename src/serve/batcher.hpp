@@ -27,6 +27,7 @@
 // user id) fails that batch's futures instead of tearing down the flusher
 // thread.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -39,6 +40,10 @@
 #include "serve/cache.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/topk.hpp"
+
+namespace cumf::obs {
+class SloMonitor;
+}
 
 namespace cumf::serve {
 
@@ -102,6 +107,18 @@ class RequestBatcher {
   /// traffic outside this batcher those samples are included too.
   [[nodiscard]] ServeStats stats() const;
 
+  /// Attaches an SLO monitor (obs/slo.hpp): every fulfilled query feeds the
+  /// availability and latency objectives, traced queries past the latency
+  /// threshold capture slow-query exemplars, and stats() carries the burn
+  /// snapshot (ServeStats::slo). The monitor must outlive the batcher (or be
+  /// detached with nullptr first).
+  void set_slo(obs::SloMonitor* slo) {
+    slo_.store(slo, std::memory_order_release);
+  }
+  [[nodiscard]] obs::SloMonitor* slo() const {
+    return slo_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Pending {
     idx_t user;
@@ -113,11 +130,18 @@ class RequestBatcher {
   };
 
   void flusher_loop();
-  void run_batch(std::vector<Pending> batch);
+  void run_batch(std::vector<Pending> batch,
+                 std::chrono::steady_clock::time_point taken);
   /// Emits the query.e2e span for one fulfilled query (no-op unless the
   /// query was sampled at submit time).
   void trace_e2e(const Pending& p, std::uint64_t generation,
                  bool failed) const;
+  /// Feeds one fulfilled query to the attached SLO monitor (no-op without
+  /// one): availability by `ok`, the latency objective for ok replies, and —
+  /// for traced queries past the threshold — a slow-query exemplar whose
+  /// queue/engine/finish stages sum to the e2e.
+  void slo_observe(idx_t user, bool traced, double e2e_ms, bool ok,
+                   double queue_ms, double engine_ms) const;
 
   const TopKEngine& engine_;
   BatcherOptions opt_;
@@ -141,6 +165,9 @@ class RequestBatcher {
   // Engine counters at construction; stats() reports this batcher's share.
   std::uint64_t base_scored_ = 0;
   std::uint64_t base_pruned_ = 0;
+
+  /// Optional SLO monitor (set_slo); loaded per fulfillment with acquire.
+  std::atomic<obs::SloMonitor*> slo_{nullptr};
 
   std::thread flusher_;
 };

@@ -3,6 +3,7 @@
 #include <exception>
 #include <utility>
 
+#include "obs/events.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
@@ -40,6 +41,10 @@ LiveFactorStore::RefreshOutcome LiveFactorStore::refresh_from_checkpoint(
     out.generation = generation();
     out.load_ms = load_watch.milliseconds();
     out.error = e.what();
+    obs::EventLog::global().record(
+        obs::Severity::kError, obs::Component::kStore, "refresh_failed",
+        {"generation", out.generation},
+        {"load_ms", static_cast<std::uint64_t>(out.load_ms)});
     return out;
   }
 }
@@ -80,6 +85,10 @@ LiveFactorStore::RefreshOutcome LiveFactorStore::install(FactorStore next,
         out.generation = cur->number;
         out.swap_pause_ms = pause.milliseconds();
         out.error = e.what();
+        obs::EventLog::global().record(
+            obs::Severity::kWarn, obs::Component::kStore, "admission_veto",
+            {"candidate_generation", cur->number + 1},
+            {"serving_generation", cur->number});
         return out;
       }
     }
@@ -96,6 +105,10 @@ LiveFactorStore::RefreshOutcome LiveFactorStore::install(FactorStore next,
   // was answered (or re-pinned) under the new generation.
   obs::TraceCollector::global().record_instant(
       "store.swap", {"generation", out.generation},
+      {"pause_us", static_cast<std::uint64_t>(out.swap_pause_ms * 1e3)});
+  obs::EventLog::global().record(
+      obs::Severity::kInfo, obs::Component::kStore, "generation_swap",
+      {"generation", out.generation},
       {"pause_us", static_cast<std::uint64_t>(out.swap_pause_ms * 1e3)});
   return out;
 }

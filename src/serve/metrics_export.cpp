@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/events.hpp"
 #include "obs/trace.hpp"
 
 namespace cumf::serve {
@@ -159,6 +160,60 @@ void fill_registry(const ServeStats& stats, obs::MetricsRegistry* reg) {
       .set(static_cast<double>(net.io_shards));
   reg->gauge("cumf_net_open_connections", "Connections open right now")
       .set(static_cast<double>(net.open_connections));
+
+  // SLO slice: zero/absent-attached servers still expose the family so
+  // dashboards do not 404 on a server without a monitor.
+  const SloStats& slo = stats.slo;
+  reg->gauge("cumf_slo_attached", "1 when an SLO monitor is attached")
+      .set(slo.attached ? 1.0 : 0.0);
+  reg->gauge("cumf_slo_latency_threshold_ms",
+             "Latency SLO threshold (e2e above it burns budget)")
+      .set(slo.latency_threshold_ms);
+  reg->gauge("cumf_slo_state", "Alert state (0 ok, 1 warn, 2 page) by SLO",
+             {{"slo", "latency"}})
+      .set(static_cast<double>(slo.latency_state));
+  reg->gauge("cumf_slo_state", "Alert state (0 ok, 1 warn, 2 page) by SLO",
+             {{"slo", "availability"}})
+      .set(static_cast<double>(slo.availability_state));
+  reg->gauge("cumf_slo_burn_rate",
+             "Error-budget burn rate by SLO and window",
+             {{"slo", "latency"}, {"window", "fast"}})
+      .set(slo.latency_fast_burn);
+  reg->gauge("cumf_slo_burn_rate",
+             "Error-budget burn rate by SLO and window",
+             {{"slo", "latency"}, {"window", "slow"}})
+      .set(slo.latency_slow_burn);
+  reg->gauge("cumf_slo_burn_rate",
+             "Error-budget burn rate by SLO and window",
+             {{"slo", "availability"}, {"window", "fast"}})
+      .set(slo.availability_fast_burn);
+  reg->gauge("cumf_slo_burn_rate",
+             "Error-budget burn rate by SLO and window",
+             {{"slo", "availability"}, {"window", "slow"}})
+      .set(slo.availability_slow_burn);
+  reg->counter("cumf_slo_bad_total", "Budget-burning samples by SLO",
+               {{"slo", "latency"}})
+      .set(static_cast<double>(slo.latency_violations));
+  reg->counter("cumf_slo_bad_total", "Budget-burning samples by SLO",
+               {{"slo", "availability"}})
+      .set(static_cast<double>(slo.availability_errors));
+  reg->counter("cumf_slo_transitions_total",
+               "Alert-state transitions by SLO", {{"slo", "latency"}})
+      .set(static_cast<double>(slo.latency_transitions));
+  reg->counter("cumf_slo_transitions_total",
+               "Alert-state transitions by SLO", {{"slo", "availability"}})
+      .set(static_cast<double>(slo.availability_transitions));
+  reg->counter("cumf_slo_exemplars_total",
+               "Slow-query exemplars captured from traced queries")
+      .set(static_cast<double>(slo.exemplars_captured));
+
+  const auto& events = obs::EventLog::global();
+  reg->counter("cumf_events_total",
+               "Structured operational events recorded since process start")
+      .set(static_cast<double>(events.recorded()));
+  reg->counter("cumf_events_dropped_total",
+               "Structured events overwritten by ring wrap")
+      .set(static_cast<double>(events.dropped()));
 
   const auto& trace = obs::TraceCollector::global();
   reg->counter("cumf_trace_events_total",

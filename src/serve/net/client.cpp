@@ -151,6 +151,26 @@ std::string Client::metrics() {
   return text;
 }
 
+HealthResponse Client::health() {
+  std::vector<std::uint8_t> frame;
+  encode_health_request(&frame);
+  send_all(frame.data(), frame.size());
+
+  std::size_t off = 0, len = 0;
+  read_frame(&off, &len);
+  QueryResponse query;
+  StatsResponse stats;
+  HealthResponse health;
+  const MsgType type = decode_response(buf_.data() + off, len, &query, &stats,
+                                       nullptr, &health);
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(off + len));
+  if (type != MsgType::kHealth) {
+    throw ProtocolError("expected a health response");
+  }
+  return health;
+}
+
 StatsResponse Client::stats() {
   std::vector<std::uint8_t> frame;
   encode_stats_request(&frame);

@@ -39,6 +39,10 @@ class Client {
   /// exposition format (the GetMetrics op).
   std::string metrics();
 
+  /// Synchronous round trip: the server's SLO health view — alert states,
+  /// burn rates, slow-query exemplars, recent events (the GetHealth op).
+  HealthResponse health();
+
   /// Synchronous round trip: hands one rating delta to the server's ingest
   /// sink (the retrain orchestrator's RatingLog). kOk = accepted, kBadUser =
   /// out-of-range ids, kBadRequest = server has no ingest sink.

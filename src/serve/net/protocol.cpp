@@ -183,6 +183,12 @@ void encode_metrics_request(std::vector<std::uint8_t>* out) {
   seal_frame(out, mark);
 }
 
+void encode_health_request(std::vector<std::uint8_t>* out) {
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kHealth));
+  seal_frame(out, mark);
+}
+
 void encode_add_rating_request(const AddRatingRequest& req,
                                std::vector<std::uint8_t>* out) {
   const std::size_t mark = open_frame(out);
@@ -280,6 +286,58 @@ void encode_metrics_response(const std::string& text,
   seal_frame(out, mark);
 }
 
+void encode_health_response(const HealthResponse& resp,
+                            std::vector<std::uint8_t>* out) {
+  // 4 × u8, 5 × f64, 6 × u64, u32 exemplar count: bytes ahead of exemplars.
+  constexpr std::size_t kHeader = 4 + 5 * 8 + 6 * 8 + 4;
+  constexpr std::size_t kExemplarBytes = 2 * 8 + 4 * 8;
+  std::size_t n_ex = resp.exemplars.size();
+  if (n_ex > kMaxHealthExemplars) n_ex = kMaxHealthExemplars;
+  // Events budget after the fixed part and the trailing u32 text length.
+  const std::size_t budget = kMaxPayload - kHeader - n_ex * kExemplarBytes - 4;
+  // Trim oldest lines first: keep the largest suffix that fits, then advance
+  // past the partial first line so every surviving line is intact JSON.
+  std::size_t start = 0;
+  if (resp.events_json.size() > budget) {
+    start = resp.events_json.size() - budget;
+    const std::size_t nl = resp.events_json.find('\n', start);
+    start = nl == std::string::npos ? resp.events_json.size() : nl + 1;
+  }
+  const std::size_t text_len = resp.events_json.size() - start;
+
+  const std::size_t mark = open_frame(out);
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kHealth));
+  put_u8(out, static_cast<std::uint8_t>(Status::kOk));
+  put_u8(out, resp.latency_state);
+  put_u8(out, resp.availability_state);
+  put_f64(out, resp.latency_threshold_ms);
+  put_f64(out, resp.latency_fast_burn);
+  put_f64(out, resp.latency_slow_burn);
+  put_f64(out, resp.availability_fast_burn);
+  put_f64(out, resp.availability_slow_burn);
+  put_u64(out, resp.latency_violations);
+  put_u64(out, resp.availability_errors);
+  put_u64(out, resp.latency_transitions);
+  put_u64(out, resp.availability_transitions);
+  put_u64(out, resp.events_recorded);
+  put_u64(out, resp.events_dropped);
+  put_u32(out, static_cast<std::uint32_t>(n_ex));
+  for (std::size_t i = 0; i < n_ex; ++i) {
+    const auto& ex = resp.exemplars[i];
+    put_u64(out, ex.ticket);
+    put_u64(out, ex.user);
+    put_f64(out, ex.e2e_ms);
+    put_f64(out, ex.queue_ms);
+    put_f64(out, ex.engine_ms);
+    put_f64(out, ex.finish_ms);
+  }
+  put_u32(out, static_cast<std::uint32_t>(text_len));
+  out->insert(out->end(),
+              resp.events_json.begin() + static_cast<std::ptrdiff_t>(start),
+              resp.events_json.end());
+  seal_frame(out, mark);
+}
+
 bool try_frame(const std::uint8_t* data, std::size_t size,
                std::size_t* payload_off, std::size_t* payload_len) {
   if (size < kFramePrefix) return false;
@@ -311,6 +369,9 @@ Request decode_request(const std::uint8_t* payload, std::size_t len) {
     case MsgType::kMetrics:
       req.type = MsgType::kMetrics;
       break;
+    case MsgType::kHealth:
+      req.type = MsgType::kHealth;
+      break;
     case MsgType::kAddRating:
       req.type = MsgType::kAddRating;
       req.rating.user = r.i32();
@@ -326,7 +387,7 @@ Request decode_request(const std::uint8_t* payload, std::size_t len) {
 
 MsgType decode_response(const std::uint8_t* payload, std::size_t len,
                         QueryResponse* query, StatsResponse* stats,
-                        std::string* metrics) {
+                        std::string* metrics, HealthResponse* health) {
   Reader r(payload, len);
   const auto type = r.u8();
   switch (static_cast<MsgType>(type)) {
@@ -410,6 +471,50 @@ MsgType decode_response(const std::uint8_t* payload, std::size_t len,
       }
       r.expect_done();
       return MsgType::kMetrics;
+    }
+    case MsgType::kHealth: {
+      query->status = static_cast<Status>(r.u8());
+      query->generation = 0;
+      query->items.clear();
+      HealthResponse scratch;
+      HealthResponse& h = health != nullptr ? *health : scratch;
+      h.latency_state = r.u8();
+      h.availability_state = r.u8();
+      h.latency_threshold_ms = r.f64();
+      h.latency_fast_burn = r.f64();
+      h.latency_slow_burn = r.f64();
+      h.availability_fast_burn = r.f64();
+      h.availability_slow_burn = r.f64();
+      h.latency_violations = r.u64();
+      h.availability_errors = r.u64();
+      h.latency_transitions = r.u64();
+      h.availability_transitions = r.u64();
+      h.events_recorded = r.u64();
+      h.events_dropped = r.u64();
+      const std::uint32_t n_ex = r.u32();
+      // 48 payload bytes per exemplar; reject counts the frame cannot hold
+      // (and anything past the encoder's own cap) before reserving.
+      if (n_ex > kMaxHealthExemplars || n_ex > len / 48) {
+        throw ProtocolError("exemplar count exceeds payload");
+      }
+      h.exemplars.clear();
+      h.exemplars.reserve(n_ex);
+      for (std::uint32_t i = 0; i < n_ex; ++i) {
+        HealthExemplar ex;
+        ex.ticket = r.u64();
+        ex.user = r.u64();
+        ex.e2e_ms = r.f64();
+        ex.queue_ms = r.f64();
+        ex.engine_ms = r.f64();
+        ex.finish_ms = r.f64();
+        h.exemplars.push_back(ex);
+      }
+      const std::uint32_t text_len = r.u32();
+      if (text_len > len) throw ProtocolError("events text exceeds payload");
+      const std::uint8_t* text = r.bytes(text_len);
+      h.events_json.assign(reinterpret_cast<const char*>(text), text_len);
+      r.expect_done();
+      return MsgType::kHealth;
     }
     case MsgType::kAddRating: {
       query->status = static_cast<Status>(r.u8());

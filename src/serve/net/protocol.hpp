@@ -38,11 +38,34 @@
 //   MetricsRequest  { u8 type=4 }
 //   MetricsResponse { u8 type=4, u8 status=0, u32 len, len bytes of UTF-8 }
 //
+//   HealthRequest  { u8 type=5 }
+//   HealthResponse { u8 type=5, u8 status=0,
+//                    u8 latency_state, u8 availability_state,
+//                    f64 latency_threshold_ms,
+//                    f64 latency_fast_burn, f64 latency_slow_burn,
+//                    f64 availability_fast_burn, f64 availability_slow_burn,
+//                    u64 latency_violations, u64 availability_errors,
+//                    u64 latency_transitions, u64 availability_transitions,
+//                    u64 events_recorded, u64 events_dropped,
+//                    u32 n_exemplars, n × { u64 ticket, u64 user, f64 e2e_ms,
+//                                           f64 queue_ms, f64 engine_ms,
+//                                           f64 finish_ms },
+//                    u32 events_len, events_len bytes of UTF-8 }
+//
 // GetMetrics (type=4) returns the server's metrics in the Prometheus text
 // exposition format (serve/metrics_export.hpp): the same ServeStats
 // snapshot the stats op encodes, rendered as labeled counter/gauge/
 // histogram families. The text rides as a length-prefixed byte string
 // inside the frame; kMaxPayload bounds it like every other payload.
+//
+// GetHealth (type=5) is the SLO/incident view (obs/slo.hpp, obs/events.hpp):
+// alert states (0 ok / 1 warn / 2 page) and fast/slow burn rates for the
+// latency and availability objectives, the slowest-query exemplars with
+// their per-stage breakdown, and a JSON-lines tail of recent operational
+// events. Like GetMetrics it is length-capped: exemplars are bounded by
+// kMaxHealthExemplars and the event text is trimmed (oldest lines first) to
+// keep the frame within kMaxPayload. A server with no SloMonitor attached
+// answers with all-zero states and burns — the events tail still rides.
 //
 // AddRating feeds the retrain orchestrator's RatingLog (src/orchestrate/):
 // a server without an ingest sink attached answers kBadRequest; one with a
@@ -85,7 +108,13 @@ enum class MsgType : std::uint8_t {
   kStats = 2,
   kAddRating = 3,
   kMetrics = 4,
+  kHealth = 5,
 };
+
+/// Most slow-query exemplars a health response carries. The SloMonitor's own
+/// ring is typically smaller; the cap exists so a corrupt count can never
+/// expand past the payload bound.
+inline constexpr std::uint32_t kMaxHealthExemplars = 32;
 
 enum class Status : std::uint8_t {
   kOk = 0,
@@ -184,6 +213,39 @@ struct StatsResponse {
 /// Builds the wire stats from a ServeStats snapshot.
 StatsResponse stats_from(const ServeStats& s);
 
+/// One slow-query exemplar on the wire: a traced query whose end-to-end time
+/// crossed the latency SLO threshold, with its per-stage breakdown
+/// (queue + engine + finish ≈ e2e by construction).
+struct HealthExemplar {
+  std::uint64_t ticket = 0;
+  std::uint64_t user = 0;
+  double e2e_ms = 0.0;
+  double queue_ms = 0.0;
+  double engine_ms = 0.0;
+  double finish_ms = 0.0;
+};
+
+/// Wire form of the GetHealth reply: SLO alert states and burn rates, the
+/// slowest traced queries, and a JSON-lines tail of recent events. States are
+/// 0 ok / 1 warn / 2 page (obs::AlertState).
+struct HealthResponse {
+  std::uint8_t latency_state = 0;
+  std::uint8_t availability_state = 0;
+  double latency_threshold_ms = 0.0;
+  double latency_fast_burn = 0.0;
+  double latency_slow_burn = 0.0;
+  double availability_fast_burn = 0.0;
+  double availability_slow_burn = 0.0;
+  std::uint64_t latency_violations = 0;
+  std::uint64_t availability_errors = 0;
+  std::uint64_t latency_transitions = 0;
+  std::uint64_t availability_transitions = 0;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dropped = 0;
+  std::vector<HealthExemplar> exemplars;  // slowest first
+  std::string events_json;                // JSON lines, newest last
+};
+
 /// A decoded request frame (the server side of the protocol).
 struct Request {
   MsgType type = MsgType::kQuery;
@@ -196,6 +258,7 @@ void encode_query_request(const QueryRequest& req,
                           std::vector<std::uint8_t>* out);
 void encode_stats_request(std::vector<std::uint8_t>* out);
 void encode_metrics_request(std::vector<std::uint8_t>* out);
+void encode_health_request(std::vector<std::uint8_t>* out);
 void encode_add_rating_request(const AddRatingRequest& req,
                                std::vector<std::uint8_t>* out);
 void encode_query_response(const QueryResponse& resp,
@@ -207,6 +270,10 @@ void encode_stats_response(const StatsResponse& resp,
 void encode_metrics_response(const std::string& text,
                              std::vector<std::uint8_t>* out);
 void encode_add_rating_response(Status status, std::vector<std::uint8_t>* out);
+/// Caps exemplars at kMaxHealthExemplars and trims the events text — oldest
+/// (front) lines first, at line boundaries — until the frame fits kMaxPayload.
+void encode_health_response(const HealthResponse& resp,
+                            std::vector<std::uint8_t>* out);
 
 // --- framing ---------------------------------------------------------------
 
@@ -220,11 +287,12 @@ bool try_frame(const std::uint8_t* data, std::size_t size,
 // --- decoding (payload bytes, prefix already stripped) ---------------------
 Request decode_request(const std::uint8_t* payload, std::size_t len);
 /// Decodes a response payload; *stats is filled when the frame is a stats
-/// response, *metrics (when non-null) for a metrics response; for stats,
-/// metrics and add-rating responses the returned QueryResponse carries only
-/// `status`.
+/// response, *metrics (when non-null) for a metrics response, *health (when
+/// non-null) for a health response; for everything but kQuery the returned
+/// QueryResponse carries only `status`.
 MsgType decode_response(const std::uint8_t* payload, std::size_t len,
                         QueryResponse* query, StatsResponse* stats,
-                        std::string* metrics = nullptr);
+                        std::string* metrics = nullptr,
+                        HealthResponse* health = nullptr);
 
 }  // namespace cumf::serve::net

@@ -15,6 +15,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/events.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/metrics_export.hpp"
 
@@ -55,6 +57,44 @@ const char* lane_thread_name(int shard) {
                                        "net.lane3", "net.lane4", "net.lane5",
                                        "net.lane6", "net.lane7"};
   return shard < 8 ? kNames[shard] : "net.lane";
+}
+
+/// Most recent events a health response carries; the encoder trims further
+/// if the frame would overflow, but 64 lines is an incident tail, not a dump.
+constexpr std::size_t kHealthEventTail = 64;
+
+HealthResponse build_health(obs::SloMonitor* slo) {
+  HealthResponse h;
+  if (slo != nullptr) {
+    obs::HealthSnapshot snap = slo->snapshot();
+    h.latency_state = static_cast<std::uint8_t>(snap.latency.state);
+    h.availability_state = static_cast<std::uint8_t>(snap.availability.state);
+    h.latency_threshold_ms = snap.latency_threshold_ms;
+    h.latency_fast_burn = snap.latency.fast_burn;
+    h.latency_slow_burn = snap.latency.slow_burn;
+    h.availability_fast_burn = snap.availability.fast_burn;
+    h.availability_slow_burn = snap.availability.slow_burn;
+    h.latency_violations = snap.latency.lifetime_bad;
+    h.availability_errors = snap.availability.lifetime_bad;
+    h.latency_transitions = snap.latency.transitions;
+    h.availability_transitions = snap.availability.transitions;
+    h.exemplars.reserve(snap.exemplars.size());
+    for (const auto& ex : snap.exemplars) {
+      HealthExemplar w;
+      w.ticket = ex.ticket;
+      w.user = ex.user;
+      w.e2e_ms = ex.e2e_ms;
+      w.queue_ms = ex.queue_ms;
+      w.engine_ms = ex.engine_ms;
+      w.finish_ms = ex.finish_ms;
+      h.exemplars.push_back(w);
+    }
+  }
+  auto& events = obs::EventLog::global();
+  h.events_recorded = events.recorded();
+  h.events_dropped = events.dropped();
+  h.events_json = events.export_json_lines(kHealthEventTail);
+  return h;
 }
 
 }  // namespace
@@ -282,15 +322,17 @@ bool TcpServer::handle_frame(Shard& sh, const std::shared_ptr<Conn>& conn,
   const bool can_inline = conn->inflight.load(std::memory_order_acquire) == 0;
   if (can_inline) flush_outbox(*conn);
 
-  if (req.type == MsgType::kStats || req.type == MsgType::kMetrics) {
+  if (req.type == MsgType::kStats || req.type == MsgType::kMetrics ||
+      req.type == MsgType::kHealth) {
     // Snapshotting stats — and especially rendering the Prometheus
-    // exposition — is milliseconds of string work; doing it here would
-    // head-of-line block every connection on this shard, so the lane
-    // encodes it behind this connection's earlier replies.
+    // exposition or the health event tail — is milliseconds of string work;
+    // doing it here would head-of-line block every connection on this shard,
+    // so the lane encodes it behind this connection's earlier replies.
     Reply reply;
     reply.conn = conn;
-    reply.kind = req.type == MsgType::kStats ? Reply::Kind::kStats
-                                             : Reply::Kind::kMetrics;
+    reply.kind = req.type == MsgType::kStats     ? Reply::Kind::kStats
+                 : req.type == MsgType::kMetrics ? Reply::Kind::kMetrics
+                                                 : Reply::Kind::kHealth;
     reply.t0 = t0;
     queue_reply(sh, std::move(reply));
     return true;
@@ -328,6 +370,13 @@ bool TcpServer::handle_frame(Shard& sh, const std::shared_ptr<Conn>& conn,
   if (sh.queued_queries.load(std::memory_order_acquire) >=
       opt_.max_queued_replies) {
     overload_sheds_.fetch_add(1, std::memory_order_relaxed);
+    // A shed query never reaches the batcher, so the availability SLO is fed
+    // here — it is a failed reply from the client's point of view.
+    if (opt_.slo != nullptr) opt_.slo->shed();
+    obs::EventLog::global().record(
+        obs::Severity::kWarn, obs::Component::kNet, "overload_shed",
+        {"shard", static_cast<std::uint64_t>(conn->shard)},
+        {"queued", sh.queued_queries.load(std::memory_order_relaxed)});
     QueryResponse resp;
     resp.status = Status::kOverloaded;
     std::vector<std::uint8_t> encoded;
@@ -397,6 +446,9 @@ void TcpServer::completion_loop(int shard_index) {
         // Rendered from the same stats() snapshot the stats op encodes, so
         // the two views agree whenever they are taken back to back.
         encode_metrics_response(metrics_exposition(stats()), &encoded);
+        break;
+      case Reply::Kind::kHealth:
+        encode_health_response(build_health(opt_.slo), &encoded);
         break;
       case Reply::Kind::kEncoded:
         encoded = std::move(reply.encoded);
@@ -535,6 +587,10 @@ void TcpServer::on_readable(Shard& sh, const std::shared_ptr<Conn>& conn) {
     // Hard error (ECONNRESET and friends): close now instead of leaving the
     // dead connection to linger until a later epoll error event.
     recv_errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::EventLog::global().record(
+        obs::Severity::kWarn, obs::Component::kNet, "recv_error",
+        {"fd", static_cast<std::uint64_t>(conn->fd)},
+        {"errno", static_cast<std::uint64_t>(errno)});
     close_conn(sh, conn);
     return;
   }
@@ -631,6 +687,10 @@ void TcpServer::io_loop(int shard_index) {
       // its replies would pin server memory.
       if (conn->out.size() - conn->out_off > opt_.max_out_buffer) {
         slow_closes_.fetch_add(1, std::memory_order_relaxed);
+        obs::EventLog::global().record(
+            obs::Severity::kWarn, obs::Component::kNet, "slow_client_close",
+            {"fd", static_cast<std::uint64_t>(conn->fd)},
+            {"unread", conn->out.size() - conn->out_off});
         close_conn(sh, conn);
         continue;
       }
@@ -663,6 +723,10 @@ void TcpServer::io_loop(int shard_index) {
         }
         if (conn->out.size() - conn->out_off > opt_.max_out_buffer) {
           slow_closes_.fetch_add(1, std::memory_order_relaxed);
+          obs::EventLog::global().record(
+              obs::Severity::kWarn, obs::Component::kNet, "slow_client_close",
+              {"fd", static_cast<std::uint64_t>(conn->fd)},
+              {"unread", conn->out.size() - conn->out_off});
           close_conn(sh, conn);
           continue;
         }

@@ -71,6 +71,10 @@
 #include "serve/net/protocol.hpp"
 #include "serve/serve_stats.hpp"
 
+namespace cumf::obs {
+class SloMonitor;
+}  // namespace cumf::obs
+
 namespace cumf::serve::net {
 
 struct ServerOptions {
@@ -110,6 +114,12 @@ struct ServerOptions {
   /// Merges extra counters into stats() snapshots before they are encoded
   /// for the stats op (Orchestrator::merge_into). Must be thread-safe.
   std::function<void(ServeStats&)> augment_stats;
+  /// SLO monitor behind the GetHealth op. When set, edge sheds feed its
+  /// availability objective (shed queries never reach the batcher, so the
+  /// batcher's own observe() hook cannot see them) and health responses
+  /// carry its burn rates / exemplars. Must outlive the server. Optional:
+  /// unset, GetHealth answers with zero states and the event tail alone.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// Serves a RequestBatcher over TCP. The batcher (and everything behind it)
@@ -193,6 +203,7 @@ class TcpServer {
       kQuery,    // future still resolving in the batcher
       kStats,    // stats snapshot: taken + encoded on the lane
       kMetrics,  // exposition: rendered + encoded on the lane
+      kHealth,   // SLO snapshot + event tail: taken + encoded on the lane
     };
     std::shared_ptr<Conn> conn;
     Kind kind = Kind::kEncoded;

@@ -180,6 +180,33 @@ struct OrchestratorStats {
   std::uint64_t last_train_tier = 0;
 };
 
+/// Burn-rate view of the serving SLOs, filled from an attached
+/// obs::SloMonitor (RequestBatcher::set_slo). All-zero with `attached`
+/// false when no monitor is wired in. Defined here — not in obs/ — as plain
+/// fields, so stats consumers need no dependency on the SLO engine.
+struct SloStats {
+  bool attached = false;
+  /// Latency SLO threshold (queries slower than this are violations).
+  double latency_threshold_ms = 0.0;
+  /// Alert states: 0 = ok, 1 = warn, 2 = page (obs::AlertState).
+  std::uint64_t latency_state = 0;
+  std::uint64_t availability_state = 0;
+  /// Fast/slow-window burn rates (error rate ÷ error budget).
+  double latency_fast_burn = 0.0;
+  double latency_slow_burn = 0.0;
+  double availability_fast_burn = 0.0;
+  double availability_slow_burn = 0.0;
+  /// Lifetime counts: latency-SLO violations and non-kOk replies (sheds
+  /// included).
+  std::uint64_t latency_violations = 0;
+  std::uint64_t availability_errors = 0;
+  /// Alert-state transitions so far, per objective.
+  std::uint64_t latency_transitions = 0;
+  std::uint64_t availability_transitions = 0;
+  /// Slow-query exemplars captured over the monitor's lifetime.
+  std::uint64_t exemplars_captured = 0;
+};
+
 /// Counters exported by the TCP front-end (net/server.hpp) when one runs in
 /// front of the serving stack. All-zero otherwise. Defined here — not in
 /// net/ — so the metrics exposition and the stats op need no dependency on
@@ -266,6 +293,10 @@ struct ServeStats {
   /// attached. Filled by Orchestrator::merge_into (the TcpServer's
   /// augment_stats hook routes it into the stats op).
   OrchestratorStats orchestrator;
+
+  /// SLO burn-rate slice; all-zero (attached=false) when no SloMonitor is
+  /// wired into the batcher.
+  SloStats slo;
 
   /// TCP front-end counters; all-zero when no server is attached. Filled by
   /// TcpServer::stats().

@@ -24,6 +24,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/solver.hpp"
+#include "obs/events.hpp"
 #include "data/synthetic.hpp"
 #include "eval/metrics.hpp"
 #include "gpusim/device_group.hpp"
@@ -399,6 +400,53 @@ TEST(Orchestrator, RollbackRestoresTheSupersededModel) {
             orchestrate::CycleOutcome::kPromoted);
   EXPECT_EQ(live.generation(), 4u);
   EXPECT_EQ(probe(engine, w.gen.m), gen2_probe);
+}
+
+TEST(Orchestrator, LifecycleTransitionsLandInTheEventLog) {
+  const auto& w = world();
+  TempWorkDir work("cumf_orch_events");
+  orchestrate::RatingLog log(w.split.train);
+  serve::LiveFactorStore live(serve::FactorStore(w.base_x, w.base_theta, 2));
+  const serve::TopKEngine engine(live);
+
+  orchestrate::Orchestrator orch(log, live, w.split.test,
+                                 small_options(work.path.string()), &w.R);
+
+  // Watermark the shared log: only events recorded by this test's cycles
+  // are examined below.
+  auto& events = obs::EventLog::global();
+  const std::uint64_t mark = events.recorded();
+
+  ASSERT_EQ(orch.submit_candidate(noised(w.base_x, 93), noised(w.base_theta,
+                                                               94))
+                .outcome,
+            orchestrate::CycleOutcome::kRejected);
+  ASSERT_EQ(orch.submit_candidate(w.better_x, w.better_theta).outcome,
+            orchestrate::CycleOutcome::kPromoted);
+  ASSERT_TRUE(orch.rollback());
+
+  // Every silent transition above left a structured event, in the order it
+  // happened: gate reject, then the promotion, then the rollback — with the
+  // store's generation_swap interleaved for each actual swap.
+  std::vector<std::string> trail;
+  std::vector<std::uint64_t> swap_generations;
+  for (const obs::Event& ev : events.snapshot()) {
+    if (ev.ticket < mark) continue;
+    if (ev.component == obs::Component::kOrch) {
+      trail.push_back(ev.message);
+    } else if (ev.component == obs::Component::kStore) {
+      ASSERT_STREQ(ev.message, "generation_swap");
+      swap_generations.push_back(ev.args[0].value);
+    }
+  }
+  const std::vector<std::string> want = {"gate_reject", "promotion",
+                                         "rollback"};
+  EXPECT_EQ(trail, want);
+  // Promotion swapped in generation 2; the rollback re-promoted the
+  // superseded checkpoint as generation 3.
+  const std::vector<std::uint64_t> want_swaps = {2, 3};
+  EXPECT_EQ(swap_generations, want_swaps);
+  EXPECT_EQ(live.generation(), 3u);
 }
 
 TEST(Orchestrator, ConcurrentIngestQueriesAndRetrainsStayConsistent) {

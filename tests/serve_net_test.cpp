@@ -16,6 +16,9 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/events.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/factor_store.hpp"
 #include "serve/live_store.hpp"
@@ -321,6 +324,159 @@ TEST(NetProtocol, MalformedMetricsFramesAreViolations) {
                ProtocolError);
   // Metrics *requests* carry nothing after the type byte.
   const std::uint8_t padded_req[2] = {4, 0};
+  EXPECT_THROW((void)decode_request(padded_req, 2), ProtocolError);
+}
+
+TEST(NetProtocol, HealthRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  encode_health_request(&wire);
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  EXPECT_EQ(decode_request(wire.data() + off, len).type, MsgType::kHealth);
+
+  HealthResponse h;
+  h.latency_state = 2;
+  h.availability_state = 1;
+  h.latency_threshold_ms = 25.0;
+  h.latency_fast_burn = 14.5;
+  h.latency_slow_burn = 11.0;
+  h.availability_fast_burn = 3.25;
+  h.availability_slow_burn = 2.5;
+  h.latency_violations = 120;
+  h.availability_errors = 7;
+  h.latency_transitions = 4;
+  h.availability_transitions = 2;
+  h.events_recorded = 900;
+  h.events_dropped = 12;
+  h.exemplars = {{5, 17, 80.0, 30.0, 45.0, 5.0}, {3, 9, 60.0, 10.0, 48.0, 2.0}};
+  h.events_json =
+      "{\"ticket\":0,\"message\":\"overload_shed\"}\n"
+      "{\"ticket\":1,\"message\":\"latency_slo_state\"}\n";
+
+  wire.clear();
+  encode_health_response(h, &wire);
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse query;
+  StatsResponse stats;
+  HealthResponse got;
+  ASSERT_EQ(decode_response(wire.data() + off, len, &query, &stats, nullptr,
+                            &got),
+            MsgType::kHealth);
+  EXPECT_EQ(got.latency_state, 2);
+  EXPECT_EQ(got.availability_state, 1);
+  EXPECT_DOUBLE_EQ(got.latency_threshold_ms, 25.0);
+  EXPECT_DOUBLE_EQ(got.latency_fast_burn, 14.5);
+  EXPECT_DOUBLE_EQ(got.latency_slow_burn, 11.0);
+  EXPECT_DOUBLE_EQ(got.availability_fast_burn, 3.25);
+  EXPECT_DOUBLE_EQ(got.availability_slow_burn, 2.5);
+  EXPECT_EQ(got.latency_violations, 120u);
+  EXPECT_EQ(got.availability_errors, 7u);
+  EXPECT_EQ(got.latency_transitions, 4u);
+  EXPECT_EQ(got.availability_transitions, 2u);
+  EXPECT_EQ(got.events_recorded, 900u);
+  EXPECT_EQ(got.events_dropped, 12u);
+  ASSERT_EQ(got.exemplars.size(), 2u);
+  EXPECT_EQ(got.exemplars[0].ticket, 5u);
+  EXPECT_EQ(got.exemplars[0].user, 17u);
+  EXPECT_DOUBLE_EQ(got.exemplars[0].e2e_ms, 80.0);
+  EXPECT_DOUBLE_EQ(got.exemplars[0].queue_ms, 30.0);
+  EXPECT_DOUBLE_EQ(got.exemplars[0].engine_ms, 45.0);
+  EXPECT_DOUBLE_EQ(got.exemplars[0].finish_ms, 5.0);
+  EXPECT_EQ(got.exemplars[1].user, 9u);
+  EXPECT_EQ(got.events_json, h.events_json);
+
+  // A decode with no health sink still consumes the frame cleanly.
+  ASSERT_EQ(decode_response(wire.data() + off, len, &query, &stats),
+            MsgType::kHealth);
+}
+
+TEST(NetProtocol, HealthResponseTrimsEventsAtLineBoundaries) {
+  HealthResponse h;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    h.exemplars.push_back({i, i, 100.0 - static_cast<double>(i), 1.0, 2.0,
+                           3.0});
+  }
+  std::string huge;
+  while (huge.size() < 2 * kMaxPayload) {
+    huge += "{\"ticket\":" + std::to_string(huge.size()) + ",\"pad\":\"" +
+            std::string(100, 'x') + "\"}\n";
+  }
+  h.events_json = huge;
+
+  std::vector<std::uint8_t> wire;
+  encode_health_response(h, &wire);
+  ASSERT_LE(wire.size(), static_cast<std::size_t>(kMaxPayload) + 4);
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse query;
+  StatsResponse stats;
+  HealthResponse got;
+  ASSERT_EQ(decode_response(wire.data() + off, len, &query, &stats, nullptr,
+                            &got),
+            MsgType::kHealth);
+
+  // Exemplars cap at the wire bound, keeping the front (slowest-first) ones.
+  ASSERT_EQ(got.exemplars.size(), kMaxHealthExemplars);
+  EXPECT_EQ(got.exemplars[0].ticket, 0u);
+  EXPECT_EQ(got.exemplars[kMaxHealthExemplars - 1].ticket,
+            static_cast<std::uint64_t>(kMaxHealthExemplars - 1));
+
+  // The events text is trimmed oldest-first to a *suffix* of the original,
+  // and the cut lands on a line boundary so every surviving line is intact.
+  ASSERT_FALSE(got.events_json.empty());
+  ASSERT_LT(got.events_json.size(), huge.size());
+  EXPECT_EQ(huge.compare(huge.size() - got.events_json.size(),
+                         got.events_json.size(), got.events_json),
+            0);
+  EXPECT_EQ(huge[huge.size() - got.events_json.size() - 1], '\n');
+  EXPECT_EQ(got.events_json.front(), '{');
+  EXPECT_EQ(got.events_json.back(), '\n');
+}
+
+TEST(NetProtocol, MalformedHealthFramesAreViolations) {
+  HealthResponse h;
+  h.exemplars = {{1, 2, 30.0, 10.0, 15.0, 5.0}};
+  h.events_json = "{\"ticket\":0}\n";
+  std::vector<std::uint8_t> wire;
+  encode_health_response(h, &wire);
+  std::size_t off = 0, len = 0;
+  ASSERT_TRUE(try_frame(wire.data(), wire.size(), &off, &len));
+  QueryResponse query;
+  StatsResponse stats;
+  HealthResponse got;
+
+  // Truncated payload: the trailing events text is cut short.
+  EXPECT_THROW((void)decode_response(wire.data() + off, len - 1, &query,
+                                     &stats, nullptr, &got),
+               ProtocolError);
+  // Trailing garbage after the events text is a violation.
+  std::vector<std::uint8_t> padded(wire.begin() + 4, wire.end());
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_response(padded.data(), padded.size(), &query,
+                                     &stats, nullptr, &got),
+               ProtocolError);
+  // A corrupt exemplar count can never expand past the payload: huge counts
+  // trip the bound check, small lies exhaust the frame.
+  std::vector<std::uint8_t> corrupt(wire.begin() + 4, wire.end());
+  const std::size_t n_ex_off = 4 + 5 * 8 + 6 * 8;  // fixed header before n_ex
+  corrupt[n_ex_off] = 0xff;
+  corrupt[n_ex_off + 1] = 0xff;
+  corrupt[n_ex_off + 2] = 0xff;
+  corrupt[n_ex_off + 3] = 0xff;
+  EXPECT_THROW((void)decode_response(corrupt.data(), corrupt.size(), &query,
+                                     &stats, nullptr, &got),
+               ProtocolError);
+  corrupt.assign(wire.begin() + 4, wire.end());
+  corrupt[n_ex_off] = 2;  // claims one more exemplar than the frame holds
+  EXPECT_THROW((void)decode_response(corrupt.data(), corrupt.size(), &query,
+                                     &stats, nullptr, &got),
+               ProtocolError);
+  // A bare type byte is truncated; health *requests* carry nothing after it.
+  const std::uint8_t type_only = 5;
+  EXPECT_THROW((void)decode_response(&type_only, 1, &query, &stats, nullptr,
+                                     &got),
+               ProtocolError);
+  const std::uint8_t padded_req[2] = {5, 0};
   EXPECT_THROW((void)decode_request(padded_req, 2), ProtocolError);
 }
 
@@ -870,6 +1026,142 @@ TEST(TcpServer, AddRatingFeedsIngestSinkInOrder) {
   }
   // The stats op reports the augmented orchestrator slice.
   EXPECT_EQ(client.stats().deltas_ingested, 77u);
+}
+
+// ------------------------------------------------------ SLO health op ------
+
+TEST(TcpServer, HealthWithoutMonitorAnswersZeroStates) {
+  LoopbackFixture fx;
+  Client client("127.0.0.1", fx.server->port());
+  ASSERT_EQ(client.query(0, LoopbackFixture::kK).status, Status::kOk);
+
+  const HealthResponse h = client.health();
+  EXPECT_EQ(h.latency_state, 0);
+  EXPECT_EQ(h.availability_state, 0);
+  EXPECT_DOUBLE_EQ(h.latency_threshold_ms, 0.0);
+  EXPECT_DOUBLE_EQ(h.latency_fast_burn, 0.0);
+  EXPECT_EQ(h.latency_violations, 0u);
+  EXPECT_TRUE(h.exemplars.empty());
+  // The process-wide event tail rides even without a monitor.
+  EXPECT_EQ(h.events_recorded, obs::EventLog::global().recorded());
+}
+
+TEST(TcpServer, SloHealthPagesUnderLoadAndDecaysWhenItStops) {
+  // Trace every query so each SLO violation captures an exemplar with its
+  // stage breakdown.
+  obs::TraceCollector::Options topt;
+  topt.sample_every = 1;
+  obs::TraceCollector::global().enable(topt);
+
+  // A monitor on a fake clock: the whole load burst lands in one 1-second
+  // bucket, and decay is driven by advancing the clock, not by sleeping.
+  std::atomic<std::uint64_t> fake_ms{0};
+  obs::SloOptions slo_opt;
+  slo_opt.latency_threshold_ms = 1e-3;  // every served query violates
+  slo_opt.latency_objective = 0.99;
+  slo_opt.fast_window_s = 1;
+  slo_opt.slow_window_s = 1;
+  obs::SloMonitor mon(slo_opt, &obs::EventLog::global(),
+                      [&fake_ms] { return fake_ms.load(); });
+
+  ServerOptions sopt;
+  sopt.slo = &mon;
+  LoopbackFixture fx(0, std::chrono::microseconds(2000), sopt);
+  fx.batcher->set_slo(&mon);
+  Client client("127.0.0.1", fx.server->port());
+
+  constexpr int kQueries = 40;
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_EQ(client.query(static_cast<idx_t>(i % LoopbackFixture::kUsers),
+                           LoopbackFixture::kK)
+                  .status,
+              Status::kOk);
+  }
+
+  // Under load: every query blew the threshold, so the latency SLO pages
+  // with a saturated fast burn, and the slowest offenders were captured.
+  const HealthResponse paged = client.health();
+  EXPECT_EQ(paged.latency_state, 2);  // page
+  EXPECT_EQ(paged.availability_state, 0);
+  EXPECT_GT(paged.latency_fast_burn, 0.0);
+  EXPECT_NEAR(paged.latency_fast_burn, 100.0, 1e-6);  // all bad, budget 0.01
+  EXPECT_EQ(paged.latency_violations, static_cast<std::uint64_t>(kQueries));
+  EXPECT_DOUBLE_EQ(paged.latency_threshold_ms, 1e-3);
+  ASSERT_FALSE(paged.exemplars.empty());
+  for (const HealthExemplar& ex : paged.exemplars) {
+    EXPECT_GT(ex.e2e_ms, 0.0);
+    // The stage breakdown sums back to the end-to-end time by construction.
+    EXPECT_NEAR(ex.queue_ms + ex.engine_ms + ex.finish_ms, ex.e2e_ms, 1e-3);
+  }
+  // Slowest first.
+  for (std::size_t i = 1; i < paged.exemplars.size(); ++i) {
+    EXPECT_LE(paged.exemplars[i].e2e_ms, paged.exemplars[i - 1].e2e_ms);
+  }
+  EXPECT_NE(paged.events_json.find("latency_slo_state"), std::string::npos);
+  EXPECT_GT(paged.events_recorded, 0u);
+
+  // Load stops and the windows empty: each health evaluation steps the
+  // alert down one state — page, then warn, then ok. Hysteresis in reverse.
+  fake_ms.store(10 * 1000);
+  EXPECT_EQ(client.health().latency_state, 1);  // warn
+  const HealthResponse cleared = client.health();
+  EXPECT_EQ(cleared.latency_state, 0);  // ok
+  EXPECT_DOUBLE_EQ(cleared.latency_fast_burn, 0.0);
+  EXPECT_EQ(cleared.latency_transitions, 3u);  // ok->page->warn->ok
+
+  // The incident trail is ordered in the event log: paged before cleared.
+  const std::string events = obs::EventLog::global().export_json_lines();
+  const std::size_t page_at = events.find(
+      "\"message\":\"latency_slo_state\",\"args\":{\"from\":0,\"to\":2");
+  const std::size_t ok_at = events.find(
+      "\"message\":\"latency_slo_state\",\"args\":{\"from\":1,\"to\":0");
+  EXPECT_NE(page_at, std::string::npos);
+  EXPECT_NE(ok_at, std::string::npos);
+  EXPECT_LT(page_at, ok_at);
+
+  fx.batcher->set_slo(nullptr);  // detach before the monitor dies
+  obs::TraceCollector::global().disable();
+}
+
+TEST(TcpServer, EdgeShedsFeedTheAvailabilitySlo) {
+  // Same overload shape as OverloadShedsAtTheEdgeAndRecovers, now with a
+  // monitor attached: every kOverloaded reply must burn availability budget.
+  std::atomic<std::uint64_t> fake_ms{0};
+  obs::SloOptions slo_opt;
+  slo_opt.availability_objective = 0.99;
+  slo_opt.fast_window_s = 1;
+  slo_opt.slow_window_s = 1;
+  obs::SloMonitor mon(slo_opt, nullptr, [&fake_ms] { return fake_ms.load(); });
+
+  ServerOptions sopt;
+  sopt.max_queued_replies = 4;
+  sopt.slo = &mon;
+  serve::BatcherOptions bopt;
+  bopt.k = 6;
+  bopt.max_batch = 1024;
+  bopt.max_delay = std::chrono::microseconds(50000);
+
+  const auto x = random_factors(30, 8, 601);
+  const auto theta = random_factors(120, 8, 602);
+  const serve::FactorStore store(x, theta, 3);
+  const serve::TopKEngine engine(store);
+  serve::RequestBatcher batcher(engine, bopt);
+  batcher.set_slo(&mon);
+  TcpServer server(batcher, sopt);
+  Client client("127.0.0.1", server.port());
+
+  constexpr int kQueries = 100;
+  for (int i = 0; i < kQueries; ++i) client.send_query(i % 30, 6);
+  int shed = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    if (client.read_query_response().status == Status::kOverloaded) ++shed;
+  }
+  ASSERT_GT(shed, 0);
+  EXPECT_EQ(mon.availability_errors(), static_cast<std::uint64_t>(shed));
+  const HealthResponse h = client.health();
+  EXPECT_GT(h.availability_fast_burn, 0.0);
+  EXPECT_EQ(h.availability_errors, static_cast<std::uint64_t>(shed));
+  batcher.set_slo(nullptr);
 }
 
 }  // namespace

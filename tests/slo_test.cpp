@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/slo.hpp"
+
+namespace cumf {
+namespace {
+
+// Fake millisecond clock shared with a monitor via the injectable ClockFn;
+// tests advance it explicitly so every window rotation is deterministic.
+struct FakeClock {
+  std::uint64_t ms = 0;
+  obs::SloMonitor::ClockFn fn() {
+    return [this] { return ms; };
+  }
+};
+
+void feed_ok(obs::SloMonitor* mon, int n, double e2e_ms) {
+  for (int i = 0; i < n; ++i) mon->observe(e2e_ms, true);
+}
+
+// ---------------------------------------------------------- burn math ------
+
+TEST(SloMonitor, WindowCountsAndBurnRates) {
+  FakeClock clock;
+  obs::SloOptions opt;
+  opt.latency_threshold_ms = 25.0;
+  opt.latency_objective = 0.99;  // budget 0.01: burn = bad-ratio * 100
+  opt.fast_window_s = 2;
+  opt.slow_window_s = 4;
+  obs::SloMonitor mon(opt, nullptr, clock.fn());
+
+  // Second 0: 10 samples, 1 over threshold. Second 1: 10 samples, all fast.
+  clock.ms = 0;
+  feed_ok(&mon, 9, 1.0);
+  feed_ok(&mon, 1, 100.0);
+  clock.ms = 1000;
+  feed_ok(&mon, 10, 1.0);
+
+  auto h = mon.snapshot();
+  EXPECT_EQ(h.latency.fast_total, 20u);
+  EXPECT_EQ(h.latency.fast_bad, 1u);
+  EXPECT_EQ(h.latency.slow_total, 20u);
+  EXPECT_NEAR(h.latency.fast_burn, 5.0, 1e-9);  // (1/20) / budget 0.01
+  EXPECT_EQ(h.latency.lifetime_total, 20u);
+  EXPECT_EQ(h.latency.lifetime_bad, 1u);
+
+  // Seconds 2 and 3: clean traffic pushes the bad second out of the fast
+  // window but it still counts in the slow one.
+  clock.ms = 2000;
+  feed_ok(&mon, 10, 1.0);
+  clock.ms = 3000;
+  feed_ok(&mon, 10, 1.0);
+  h = mon.snapshot();
+  EXPECT_EQ(h.latency.fast_total, 20u);
+  EXPECT_EQ(h.latency.fast_bad, 0u);
+  EXPECT_DOUBLE_EQ(h.latency.fast_burn, 0.0);
+  EXPECT_EQ(h.latency.slow_total, 40u);
+  EXPECT_EQ(h.latency.slow_bad, 1u);
+
+  // Second 4: the bad sample ages out of the slow window too.
+  clock.ms = 4000;
+  feed_ok(&mon, 10, 1.0);
+  h = mon.snapshot();
+  EXPECT_EQ(h.latency.slow_total, 40u);
+  EXPECT_EQ(h.latency.slow_bad, 0u);
+  EXPECT_DOUBLE_EQ(h.latency.slow_burn, 0.0);
+  EXPECT_EQ(h.latency.lifetime_bad, 1u);  // lifetime never forgets
+}
+
+TEST(SloMonitor, RingBucketsAreReusedAfterWrap) {
+  FakeClock clock;
+  obs::SloOptions opt;
+  opt.latency_objective = 0.99;
+  opt.fast_window_s = 1;
+  opt.slow_window_s = 3;  // ring capacity rounds up to 4 buckets
+  obs::SloMonitor mon(opt, nullptr, clock.fn());
+
+  // Stamp every bucket, then wrap far past the ring and write again: stale
+  // stamps must not leak old counts into the new windows.
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    clock.ms = s * 1000;
+    feed_ok(&mon, 5, 100.0);  // all bad
+  }
+  clock.ms = 100 * 1000;  // reuses bucket (100 & 3) == bucket 0
+  feed_ok(&mon, 4, 1.0);
+  auto h = mon.snapshot();
+  EXPECT_EQ(h.latency.fast_total, 4u);
+  EXPECT_EQ(h.latency.fast_bad, 0u);
+  EXPECT_EQ(h.latency.slow_total, 4u);
+  EXPECT_EQ(h.latency.slow_bad, 0u);
+  EXPECT_EQ(h.latency.lifetime_total, 24u);
+}
+
+TEST(SloMonitor, ZeroTrafficBurnsNothing) {
+  FakeClock clock;
+  obs::SloMonitor mon(obs::SloOptions{}, nullptr, clock.fn());
+  auto h = mon.snapshot();
+  EXPECT_DOUBLE_EQ(h.latency.fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(h.availability.slow_burn, 0.0);
+  EXPECT_EQ(h.latency.state, obs::AlertState::kOk);
+}
+
+// ------------------------------------------------------- alert states ------
+
+TEST(SloMonitor, SingleSpikeCannotPageWhenSlowWindowIsClean) {
+  FakeClock clock;
+  obs::SloOptions opt;
+  opt.latency_threshold_ms = 25.0;
+  opt.latency_objective = 0.99;
+  opt.fast_window_s = 1;
+  opt.slow_window_s = 10;
+  obs::SloMonitor mon(opt, nullptr, clock.fn());
+
+  // Nine clean seconds, then one solid second of violations: the fast
+  // window burns at 100 but the slow window sits near 1 — no alert.
+  for (std::uint64_t s = 0; s < 9; ++s) {
+    clock.ms = s * 1000;
+    feed_ok(&mon, 100, 1.0);
+  }
+  clock.ms = 9000;
+  feed_ok(&mon, 10, 100.0);
+  auto h = mon.snapshot();
+  EXPECT_GE(h.latency.fast_burn, opt.page_burn);
+  EXPECT_LT(h.latency.slow_burn, opt.warn_burn);
+  EXPECT_EQ(h.latency.state, obs::AlertState::kOk);
+
+  // Sustained violations saturate the slow window too: now it pages.
+  for (std::uint64_t s = 10; s < 19; ++s) {
+    clock.ms = s * 1000;
+    feed_ok(&mon, 100, 100.0);
+  }
+  h = mon.snapshot();
+  EXPECT_GE(h.latency.slow_burn, opt.page_burn);
+  EXPECT_EQ(h.latency.state, obs::AlertState::kPage);
+}
+
+TEST(SloMonitor, HystereticDowngradeHoldsUntilBurnClears) {
+  FakeClock clock;
+  obs::SloOptions opt;
+  opt.latency_threshold_ms = 25.0;
+  opt.latency_objective = 0.99;  // burn = bad-ratio * 100
+  opt.fast_window_s = 1;
+  opt.slow_window_s = 1;  // coinciding windows keep the math exact
+  obs::SloMonitor mon(opt, nullptr, clock.fn());
+
+  // Second 0: everything bad -> burn 100 -> page.
+  clock.ms = 0;
+  feed_ok(&mon, 20, 100.0);
+  EXPECT_EQ(mon.snapshot().latency.state, obs::AlertState::kPage);
+
+  // Second 1: 9% bad -> burn 9, above the page hold (10 * 0.8 = 8): the
+  // page must not clear. Bad samples first so intermediate evaluations only
+  // ever see a burn >= 9.
+  clock.ms = 1000;
+  feed_ok(&mon, 9, 100.0);
+  feed_ok(&mon, 91, 1.0);
+  auto h = mon.snapshot();
+  EXPECT_NEAR(h.latency.fast_burn, 9.0, 1e-9);
+  EXPECT_EQ(h.latency.state, obs::AlertState::kPage);
+
+  // Second 2: burn 100/13 ~ 7.7 — below the page hold but above the warn
+  // threshold (2): steps down exactly one notch and holds at warn.
+  clock.ms = 2000;
+  feed_ok(&mon, 1, 100.0);
+  feed_ok(&mon, 12, 1.0);
+  h = mon.snapshot();
+  EXPECT_LT(h.latency.fast_burn, opt.page_burn * opt.clear_factor);
+  EXPECT_GE(h.latency.fast_burn, opt.warn_burn);
+  EXPECT_EQ(h.latency.state, obs::AlertState::kWarn);
+  h = mon.snapshot();  // still warm: a second evaluation must not move it
+  EXPECT_EQ(h.latency.state, obs::AlertState::kWarn);
+}
+
+TEST(SloMonitor, IdleDecayStepsDownOneStatePerEvaluation) {
+  FakeClock clock;
+  obs::SloOptions opt;
+  opt.latency_objective = 0.99;
+  opt.fast_window_s = 1;
+  opt.slow_window_s = 2;
+  obs::EventLog events(16);
+  obs::SloMonitor mon(opt, &events, clock.fn());
+
+  clock.ms = 0;
+  feed_ok(&mon, 50, 1000.0);  // all bad -> page
+  EXPECT_EQ(mon.latency_state(), obs::AlertState::kPage);
+
+  // Jump past both windows: zero traffic burns 0, so each evaluation steps
+  // the state down exactly once — page, then warn, then ok.
+  clock.ms = 60 * 1000;
+  EXPECT_EQ(mon.snapshot().latency.state, obs::AlertState::kWarn);
+  EXPECT_EQ(mon.snapshot().latency.state, obs::AlertState::kOk);
+  auto h = mon.snapshot();
+  EXPECT_EQ(h.latency.state, obs::AlertState::kOk);
+  EXPECT_EQ(h.latency.transitions, 3u);  // ok->page, page->warn, warn->ok
+
+  // The transition trail landed in the event log, in order, with from/to.
+  std::vector<obs::Event> trail;
+  for (const obs::Event& ev : events.snapshot()) {
+    if (std::string(ev.message) == "latency_slo_state") trail.push_back(ev);
+  }
+  ASSERT_EQ(trail.size(), 3u);
+  EXPECT_EQ(trail[0].severity, obs::Severity::kError);  // -> page
+  EXPECT_EQ(trail[0].args[0].value, 0u);                // from ok
+  EXPECT_EQ(trail[0].args[1].value, 2u);                // to page
+  EXPECT_EQ(trail[1].args[0].value, 2u);
+  EXPECT_EQ(trail[1].args[1].value, 1u);
+  EXPECT_EQ(trail[2].args[0].value, 1u);
+  EXPECT_EQ(trail[2].args[1].value, 0u);
+  EXPECT_EQ(trail[2].severity, obs::Severity::kInfo);  // -> ok
+}
+
+// ------------------------------------------------------- availability ------
+
+TEST(SloMonitor, ShedsAndErrorsFeedAvailabilityNotLatency) {
+  FakeClock clock;
+  obs::SloOptions opt;
+  opt.availability_objective = 0.99;
+  opt.fast_window_s = 1;
+  opt.slow_window_s = 1;
+  obs::SloMonitor mon(opt, nullptr, clock.fn());
+
+  clock.ms = 0;
+  for (int i = 0; i < 10; ++i) mon.shed();
+  for (int i = 0; i < 10; ++i) mon.observe(1.0, false);  // engine errors
+  feed_ok(&mon, 80, 1.0);
+
+  auto h = mon.snapshot();
+  EXPECT_EQ(h.availability.fast_total, 100u);
+  EXPECT_EQ(h.availability.fast_bad, 20u);
+  EXPECT_EQ(h.availability.state, obs::AlertState::kPage);  // burn 20
+  EXPECT_EQ(mon.availability_errors(), 20u);
+  // Sheds and errored replies have no meaningful latency: the latency
+  // series only saw the 80 ok samples.
+  EXPECT_EQ(h.latency.fast_total, 80u);
+  EXPECT_EQ(h.latency.fast_bad, 0u);
+  EXPECT_EQ(h.latency.state, obs::AlertState::kOk);
+}
+
+// ----------------------------------------------------------- exemplars ------
+
+TEST(SloMonitor, ExemplarsKeepTheSlowestDeterministically) {
+  FakeClock clock;
+  obs::SloOptions opt;
+  opt.exemplar_capacity = 2;
+  obs::SloMonitor mon(opt, nullptr, clock.fn());
+
+  mon.capture_exemplar(/*user=*/1, /*e2e_ms=*/10.0, 2.0, 3.0);
+  mon.capture_exemplar(2, 20.0, 4.0, 5.0);
+  mon.capture_exemplar(3, 5.0, 1.0, 1.0);   // slower pair retained: dropped
+  mon.capture_exemplar(4, 30.0, 6.0, 7.0);  // evicts the 10 ms capture
+
+  auto h = mon.snapshot();
+  EXPECT_EQ(mon.exemplars_captured(), 4u);
+  ASSERT_EQ(h.exemplars.size(), 2u);
+  EXPECT_EQ(h.exemplars[0].user, 4u);  // slowest first
+  EXPECT_DOUBLE_EQ(h.exemplars[0].e2e_ms, 30.0);
+  EXPECT_EQ(h.exemplars[1].user, 2u);
+  EXPECT_DOUBLE_EQ(h.exemplars[1].e2e_ms, 20.0);
+}
+
+TEST(SloMonitor, ExemplarStagesSumToEndToEnd) {
+  FakeClock clock;
+  obs::SloMonitor mon(obs::SloOptions{}, nullptr, clock.fn());
+  mon.capture_exemplar(7, 40.0, 12.0, 20.0);
+  mon.capture_exemplar(8, 10.0, 6.0, 6.0);  // over-measured: clamp, not -2
+  auto h = mon.snapshot();
+  ASSERT_EQ(h.exemplars.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.exemplars[0].finish_ms, 8.0);
+  EXPECT_DOUBLE_EQ(h.exemplars[0].queue_ms + h.exemplars[0].engine_ms +
+                       h.exemplars[0].finish_ms,
+                   h.exemplars[0].e2e_ms);
+  EXPECT_DOUBLE_EQ(h.exemplars[1].finish_ms, 0.0);
+}
+
+// ----------------------------------------------------------- event log ------
+
+TEST(EventLog, RingWrapsKeepingTheNewestEvents) {
+  obs::EventLog log(4);
+  EXPECT_EQ(log.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    log.record(obs::Severity::kInfo, obs::Component::kStore, "swap",
+               {"generation", i});
+  }
+  EXPECT_EQ(log.recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ticket, 6u + i);  // oldest survivor first
+    EXPECT_EQ(events[i].args[0].value, 6u + i);
+    EXPECT_STREQ(events[i].message, "swap");
+  }
+}
+
+TEST(EventLog, SnapshotMaxKeepsTheNewestTail) {
+  obs::EventLog log(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    log.record(obs::Severity::kWarn, obs::Component::kNet, "overload_shed",
+               {"shard", i});
+  }
+  const auto tail = log.snapshot(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].ticket, 3u);
+  EXPECT_EQ(tail[1].ticket, 4u);
+}
+
+TEST(EventLog, ExportsOneJsonObjectPerLine) {
+  obs::EventLog log(8);
+  log.record(obs::Severity::kError, obs::Component::kOrch, "gate_reject",
+             {"generation", 3}, {"tier", 1});
+  log.record(obs::Severity::kInfo, obs::Component::kSlo, "latency_slo_state");
+
+  const std::string text = log.export_json_lines();
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::string> parsed;
+  while (std::getline(lines, line)) parsed.push_back(line);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_NE(parsed[0].find("\"ticket\":0"), std::string::npos);
+  EXPECT_NE(parsed[0].find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(parsed[0].find("\"component\":\"orchestrator\""),
+            std::string::npos);
+  EXPECT_NE(parsed[0].find("\"message\":\"gate_reject\""), std::string::npos);
+  EXPECT_NE(parsed[0].find("\"args\":{\"generation\":3,\"tier\":1}"),
+            std::string::npos);
+  // Unused arg slots render as an empty args object, still valid JSON.
+  EXPECT_NE(parsed[1].find("\"args\":{}"), std::string::npos);
+  for (const std::string& l : parsed) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+}
+
+TEST(EventLog, ConcurrentWritersNeverTearAnEvent) {
+  obs::EventLog log(64);
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 1000;
+  static const char* const kMessages[kWriters] = {"swap", "overload_shed",
+                                                  "gate_reject", "rollback"};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&log, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        log.record(obs::Severity::kWarn, obs::Component::kNet, kMessages[w],
+                   {"writer", static_cast<std::uint64_t>(w)}, {"seq", i});
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(log.recorded(), kWriters * kPerWriter);
+  const auto events = log.snapshot();
+  EXPECT_LE(events.size(), log.capacity());
+  EXPECT_FALSE(events.empty());
+  const std::set<std::string> valid(kMessages, kMessages + kWriters);
+  std::uint64_t last_ticket = 0;
+  for (const obs::Event& ev : events) {
+    // Every surviving slot is internally consistent: a known message with
+    // its matching writer id, tickets strictly increasing.
+    ASSERT_NE(ev.message, nullptr);
+    EXPECT_EQ(valid.count(ev.message), 1u);
+    EXPECT_LT(ev.args[0].value, static_cast<std::uint64_t>(kWriters));
+    EXPECT_STREQ(kMessages[ev.args[0].value], ev.message);
+    EXPECT_LT(ev.args[1].value, kPerWriter);
+    if (ev.ticket != events.front().ticket) {
+      EXPECT_GT(ev.ticket, last_ticket);
+    }
+    last_ticket = ev.ticket;
+  }
+}
+
+}  // namespace
+}  // namespace cumf
